@@ -1,0 +1,296 @@
+// Package repro_test is the benchmark harness of the reproduction: one
+// benchmark per paper table/figure (regenerating the artifact and reporting
+// its headline numbers as custom benchmark metrics) plus the ablations from
+// DESIGN.md's per-experiment index and microbenchmarks of the hot dataplane
+// paths.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Each artifact benchmark executes a full experiment per iteration (several
+// hundred ms of simulated traffic), so Go's default -benchtime usually runs
+// them once; the custom metrics (gap_%, Gbps, µs) carry the reproduced
+// values.
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chainsim"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/flow"
+	"repro/internal/metrics"
+	"repro/internal/nf"
+	"repro/internal/packet"
+	"repro/internal/pcie"
+	"repro/internal/scenario"
+	"repro/internal/traffic"
+)
+
+// quick returns the canonical parameters with a reduced size sweep for the
+// per-table benches that do not need all six sizes.
+func quick() scenario.Params {
+	p := scenario.DefaultParams()
+	p.PacketSizes = []int{64, 1024, 1500}
+	return p
+}
+
+// BenchmarkTable1Capacities regenerates Table 1 (E1): measured saturation
+// throughput of each vNF on each device.
+func BenchmarkTable1Capacities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.Table1(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + a.Render())
+		}
+	}
+}
+
+// BenchmarkFigure1Crossings regenerates the Figure 1 narrative (E4):
+// placements, borders and crossing counts of Original/Naive/PAM.
+func BenchmarkFigure1Crossings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.Figure1(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + a.Render())
+		}
+	}
+}
+
+// BenchmarkFigure2aLatency regenerates Figure 2(a) (E2): the latency
+// comparison across the 64B–1500B sweep. Reports the three average
+// latencies in µs.
+func BenchmarkFigure2aLatency(b *testing.B) {
+	p := scenario.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		outs, err := experiments.SweepPolicies(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range outs {
+			b.ReportMetric(o.AvgLatency, o.Name+"_µs")
+		}
+		if i == 0 {
+			a, err := experiments.Figure2a(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + a.Render())
+		}
+	}
+}
+
+// BenchmarkFigure2bThroughput regenerates Figure 2(b) (E3): delivered
+// throughput under overload. Reports the three averages in Gbps.
+func BenchmarkFigure2bThroughput(b *testing.B) {
+	p := scenario.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		outs, err := experiments.SweepPolicies(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range outs {
+			b.ReportMetric(o.AvgThrough, o.Name+"_Gbps")
+		}
+		if i == 0 {
+			a, err := experiments.Figure2b(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + a.Render())
+		}
+	}
+}
+
+// BenchmarkPCIeCrossing measures the modelled per-crossing cost (E5, the §1
+// "tens of microseconds" claim) across the size sweep.
+func BenchmarkPCIeCrossing(b *testing.B) {
+	link := pcie.DefaultLink()
+	var sink time.Duration
+	for i := 0; i < b.N; i++ {
+		for _, size := range scenario.DefaultParams().PacketSizes {
+			sink += link.CrossingTime(size)
+		}
+	}
+	b.ReportMetric(float64(link.CrossingTime(1024).Microseconds()), "crossing_µs")
+	_ = sink
+}
+
+// BenchmarkHeadline18Percent regenerates §3's summary claim (E6): PAM's
+// average latency across the sweep is ≈18% below the naive policy's.
+func BenchmarkHeadline18Percent(b *testing.B) {
+	p := scenario.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		_, gap, err := experiments.Headline(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(gap*100, "gap_%")
+		if gap < 0.12 || gap > 0.25 {
+			b.Fatalf("headline gap %.1f%% strays from the paper's 18%%", gap*100)
+		}
+	}
+}
+
+// BenchmarkAblationPCIeSweep runs ablation A1: how the headline gap depends
+// on the per-crossing PCIe latency.
+func BenchmarkAblationPCIeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.AblationPCIe(scenario.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + a.Render())
+		}
+	}
+}
+
+// BenchmarkAblationNaiveVariants runs ablation A2: the three readings of the
+// naive policy against PAM.
+func BenchmarkAblationNaiveVariants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.AblationNaive(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + a.Render())
+		}
+	}
+}
+
+// BenchmarkFutureFPGA runs the §4 future-work experiment (A3).
+func BenchmarkFutureFPGA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.FutureFPGA(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + a.Render())
+		}
+	}
+}
+
+// BenchmarkMultiStepMigration runs ablation A4: the Step-3 sliding-border
+// loop migrating several vNFs.
+func BenchmarkMultiStepMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.MultiStep(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + a.Render())
+		}
+	}
+}
+
+// --- microbenchmarks of the hot paths ---------------------------------------
+
+// BenchmarkPAMSelect measures one full PAM decision on the Figure-1 chain.
+func BenchmarkPAMSelect(b *testing.B) {
+	v := scenario.View(scenario.Figure1Chain(), scenario.DefaultParams(), 1.09)
+	sel := core.PAM{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sel.Select(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecoder measures the allocation-free packet decode path.
+func BenchmarkDecoder(b *testing.B) {
+	synth := traffic.NewSynth(16, 1)
+	frame := synth.Frame(3, 1024)
+	d := packet.NewDecoder()
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFirewallProcess measures the firewall fast path (established
+// flow hitting the connection cache).
+func BenchmarkFirewallProcess(b *testing.B) {
+	fw := nf.NewFirewall("fw", nf.DefaultFirewallRules(), false)
+	synth := traffic.NewSynth(16, 1)
+	frame := synth.Frame(2, 512)
+	d := packet.NewDecoder()
+	d.Decode(frame)
+	k, _ := flow.FromDecoder(d)
+	ctx := &nf.Ctx{Frame: frame, Decoder: d, FlowKey: k, HasFlow: true}
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Process(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlowSymmetricHash measures the load-balancer hash.
+func BenchmarkFlowSymmetricHash(b *testing.B) {
+	k := flow.Key{
+		SrcIP:   packet.IPv4Addr{10, 1, 2, 3},
+		DstIP:   packet.IPv4Addr{192, 168, 9, 9},
+		SrcPort: 5555,
+		DstPort: 443,
+		Proto:   packet.ProtoTCP,
+	}
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += k.SymmetricHash()
+	}
+	_ = sink
+}
+
+// BenchmarkHistogramRecord measures the latency histogram's record path.
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := metrics.NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i%1_000_000 + 1000))
+	}
+}
+
+// BenchmarkChainsimThroughput measures the discrete-event simulator itself:
+// simulated packets per wall-clock second on the Figure-1 chain.
+func BenchmarkChainsimThroughput(b *testing.B) {
+	p := scenario.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		s, err := chainsim.New(chainsim.Config{
+			Chain:         scenario.Figure1Chain(),
+			Catalog:       device.Table1(),
+			NFOverhead:    p.NFOverhead,
+			Link:          pcie.Link{PropDelay: p.PCIeLatency, BandwidthGbps: p.PCIeBandwidthGbps},
+			DMAEngineGbps: float64(p.DMAEngineGbps),
+			QueueCapacity: p.QueueCapacity,
+			Seed:          p.Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		src, err := traffic.NewGen(1.0, traffic.FixedSize(1024), traffic.ProcessCBR, 16, 0, 100*time.Millisecond, p.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Inject(src)
+		res := s.Run(150 * time.Millisecond)
+		b.ReportMetric(float64(res.Delivered), "sim_pkts/op")
+	}
+}

@@ -1,0 +1,120 @@
+// Command chainsim runs one discrete-event simulation of an NFV service
+// chain and prints the measurement summary — the low-level tool behind the
+// pamctl experiments, useful for exploring custom loads.
+//
+// Usage:
+//
+//	chainsim [-chain figure1|long] [-rate 1.0] [-size 1024] [-dur 200ms]
+//	         [-process cbr|poisson] [-policy none|pam|naive] [-series]
+//
+// With -policy, the selection algorithm runs against the overloaded chain
+// first and the simulation uses the resulting placement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/chainsim"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/pcie"
+	"repro/internal/scenario"
+	"repro/internal/traffic"
+)
+
+func main() {
+	chainName := flag.String("chain", "figure1", "chain: figure1 or long")
+	rate := flag.Float64("rate", 1.0, "offered load (Gbps)")
+	size := flag.Int("size", 1024, "frame size (bytes)")
+	dur := flag.Duration("dur", 200*time.Millisecond, "traffic duration (virtual)")
+	process := flag.String("process", "cbr", "arrival process: cbr or poisson")
+	policy := flag.String("policy", "none", "pre-run selection: none, pam, naive")
+	series := flag.Bool("series", false, "print telemetry time series")
+	flag.Parse()
+
+	if err := run(*chainName, *rate, *size, *dur, *process, *policy, *series); err != nil {
+		fmt.Fprintf(os.Stderr, "chainsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(chainName string, rate float64, size int, dur time.Duration, process, policy string, series bool) error {
+	p := scenario.DefaultParams()
+	var c *chain.Chain
+	cat := device.Table1()
+	switch chainName {
+	case "figure1":
+		c = scenario.Figure1Chain()
+	case "long":
+		c = scenario.LongChain()
+		cat = device.ExtendedCatalog()
+	default:
+		return fmt.Errorf("unknown chain %q", chainName)
+	}
+
+	if policy != "none" {
+		v := scenario.View(c, p, device.Gbps(1/0.9125))
+		v.Catalog = cat
+		var sel core.Selector
+		switch policy {
+		case "pam":
+			sel = core.PAM{}
+		case "naive":
+			sel = core.NaiveCheapestOnCPU{}
+		default:
+			return fmt.Errorf("unknown policy %q", policy)
+		}
+		plan, err := sel.Select(v)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sel.Name(), err)
+		}
+		fmt.Println(plan)
+		c = plan.Result
+	}
+
+	cfg := chainsim.Config{
+		Chain:         c,
+		Catalog:       cat,
+		NFOverhead:    p.NFOverhead,
+		Link:          pcie.Link{PropDelay: p.PCIeLatency, BandwidthGbps: p.PCIeBandwidthGbps},
+		DMAEngineGbps: float64(p.DMAEngineGbps),
+		QueueCapacity: p.QueueCapacity,
+		Seed:          p.Seed,
+		Warmup:        10 * time.Millisecond,
+	}
+	if series {
+		cfg.SampleEvery = 10 * time.Millisecond
+	}
+	s, err := chainsim.New(cfg)
+	if err != nil {
+		return err
+	}
+	proc := traffic.ProcessCBR
+	if process == "poisson" {
+		proc = traffic.ProcessPoisson
+	}
+	src, err := traffic.NewGen(rate, traffic.FixedSize(size), proc, 16, 0, dur, p.Seed)
+	if err != nil {
+		return err
+	}
+	s.Inject(src)
+	res := s.Run(dur + 50*time.Millisecond)
+
+	fmt.Printf("chain:      %s (crossings=%d)\n", c, c.Crossings())
+	fmt.Printf("offered:    %.3f Gbps (%d frames of %dB, %s)\n", res.OfferedGbps, res.OfferedPkts, size, process)
+	fmt.Printf("delivered:  %.3f Gbps (%d frames, loss %.2f%%)\n", res.DeliveredGbps, res.Delivered, res.LossRate*100)
+	fmt.Printf("latency:    %v\n", res.Latency)
+	fmt.Printf("device:     NIC util %.3f, CPU util %.3f\n", res.NICUtil, res.CPUUtil)
+	if series {
+		fmt.Println("telemetry (t, nicUtil, cpuUtil, deliveredGbps):")
+		for i := range res.NICSeries {
+			fmt.Printf("  %8v %.3f %.3f %.3f\n",
+				res.NICSeries[i].T, res.NICSeries[i].V, res.CPUSeries[i].V, res.ThrSeries[i].V)
+		}
+	}
+	return nil
+}

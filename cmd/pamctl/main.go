@@ -1,0 +1,160 @@
+// Command pamctl regenerates the paper's tables and figures and inspects
+// PAM decisions.
+//
+// Usage:
+//
+//	pamctl all                  # run every artifact in DESIGN.md's index
+//	pamctl table1               # Table 1 capacities
+//	pamctl figure1              # Figure 1 placements/crossings narrative
+//	pamctl figure2a             # Figure 2(a) latency comparison
+//	pamctl figure2b             # Figure 2(b) throughput comparison
+//	pamctl pcie                 # §1 PCIe microbenchmark
+//	pamctl headline             # §3 18%-lower-latency claim
+//	pamctl ablation-pcie        # A1: sensitivity to PCIe latency
+//	pamctl ablation-naive       # A2: naive variants vs PAM
+//	pamctl future-fpga          # §4 future work: FPGA SmartNIC profile
+//	pamctl multistep            # A4: sliding-border multi-migration
+//	pamctl plan                 # print the PAM plan for the Figure-1 chain
+//
+// Flags:
+//
+//	-csv       also print each table as CSV
+//	-probe     latency probe load in Gbps (default 0.8)
+//	-overload  overload offered load in Gbps (default 4.0)
+//	-pcie      per-crossing PCIe latency (default 43µs)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "also print tables as CSV")
+	probe := flag.Float64("probe", 0, "latency probe load (Gbps)")
+	overload := flag.Float64("overload", 0, "overload offered load (Gbps)")
+	pcieLat := flag.Duration("pcie", 0, "per-crossing PCIe latency")
+	flag.Parse()
+
+	p := scenario.DefaultParams()
+	if *probe > 0 {
+		p.ProbeGbps = *probe
+	}
+	if *overload > 0 {
+		p.OverloadGbps = *overload
+	}
+	if *pcieLat > 0 {
+		p.PCIeLatency = *pcieLat
+	}
+
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "all"
+	}
+	if err := run(cmd, p, *csv); err != nil {
+		fmt.Fprintf(os.Stderr, "pamctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd string, p scenario.Params, csv bool) error {
+	emit := func(a experiments.Artifact) {
+		fmt.Println(a.Render())
+		if csv {
+			fmt.Println(a.Table.CSV())
+		}
+	}
+	switch cmd {
+	case "all":
+		start := time.Now()
+		arts, err := experiments.All(p)
+		if err != nil {
+			return err
+		}
+		for _, a := range arts {
+			emit(a)
+			fmt.Println()
+		}
+		fmt.Printf("(regenerated %d artifacts in %v)\n", len(arts), time.Since(start).Round(time.Millisecond))
+		return nil
+	case "table1":
+		a, err := experiments.Table1(p)
+		if err != nil {
+			return err
+		}
+		emit(a)
+	case "figure1":
+		a, err := experiments.Figure1(p)
+		if err != nil {
+			return err
+		}
+		emit(a)
+	case "figure2a":
+		a, err := experiments.Figure2a(p)
+		if err != nil {
+			return err
+		}
+		emit(a)
+	case "figure2b":
+		a, err := experiments.Figure2b(p)
+		if err != nil {
+			return err
+		}
+		emit(a)
+	case "pcie":
+		emit(experiments.PCIeMicrobench(p))
+	case "headline":
+		a, gap, err := experiments.Headline(p)
+		if err != nil {
+			return err
+		}
+		emit(a)
+		fmt.Printf("PAM reduces average service-chain latency by %.1f%% vs naive (paper: 18%%)\n", gap*100)
+	case "ablation-pcie":
+		a, err := experiments.AblationPCIe(p)
+		if err != nil {
+			return err
+		}
+		emit(a)
+	case "ablation-naive":
+		a, err := experiments.AblationNaive(p)
+		if err != nil {
+			return err
+		}
+		emit(a)
+	case "future-fpga":
+		a, err := experiments.FutureFPGA(p)
+		if err != nil {
+			return err
+		}
+		emit(a)
+	case "multistep":
+		a, err := experiments.MultiStep(p)
+		if err != nil {
+			return err
+		}
+		emit(a)
+	case "plan":
+		c := scenario.Figure1Chain()
+		v := scenario.View(c, p, device.Gbps(1/0.9125))
+		fmt.Printf("chain: %s\n", c)
+		for _, sel := range []core.Selector{core.PAM{}, core.NaiveCheapestOnCPU{}, core.NaiveMinNICCapacity{}} {
+			plan, err := sel.Select(v)
+			if err != nil {
+				fmt.Printf("%-18s %v\n", sel.Name()+":", err)
+				continue
+			}
+			fmt.Printf("%-18s %v\n", sel.Name()+":", plan)
+		}
+	default:
+		return fmt.Errorf("unknown command %q (try: all, table1, figure1, figure2a, figure2b, pcie, headline, ablation-pcie, ablation-naive, future-fpga, multistep, plan)", cmd)
+	}
+	return nil
+}

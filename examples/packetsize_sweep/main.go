@@ -1,0 +1,38 @@
+// Packet-size sweep: regenerates the paper's evaluation (§3) — the
+// 64B–1500B sweep behind Figure 2(a) and 2(b), printed as tables and
+// terminal bar charts, exactly as pamctl does but showing the library calls
+// an application would make.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+func main() {
+	p := scenario.DefaultParams()
+
+	outs, err := experiments.SweepPolicies(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %-12s %-14s %s\n", "policy", "crossings", "avg lat (µs)", "avg thr (Gbps)")
+	for _, o := range outs {
+		fmt.Printf("%-10s %-12d %-14.1f %.2f\n", o.Name, o.Crossings, o.AvgLatency, o.AvgThrough)
+	}
+
+	fig2a, err := experiments.Figure2a(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig2b, err := experiments.Figure2b(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(fig2a.Render())
+	fmt.Println(fig2b.Render())
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chain"
+	"repro/internal/device"
+)
+
+// Multi-chain extension. The paper evaluates a single service chain, but an
+// NFV server hosts many chains sharing one SmartNIC and CPU; utilizations
+// then sum across chains (the linear model is additive), and a hot spot can
+// be relieved by pushing borders aside in any chain. This file extends PAM
+// to that setting while preserving the paper's single-chain behaviour
+// exactly when only one chain is present.
+
+// Load pairs a chain with its measured throughput.
+type Load struct {
+	Chain      *chain.Chain
+	Throughput device.Gbps
+}
+
+// MultiView is the controller's snapshot for a multi-chain deployment.
+type MultiView struct {
+	Loads      []Load
+	Catalog    device.Catalog
+	NIC        device.Device
+	CPU        device.Device
+	BorderMode chain.BorderMode
+	// OverloadThreshold as in View; zero selects the default.
+	OverloadThreshold float64
+}
+
+// MultiPlan is a plan over several chains: per-chain migration steps plus
+// the resulting placements (parallel to the view's Loads).
+type MultiPlan struct {
+	Steps   []MultiStepEntry
+	Results []*chain.Chain
+}
+
+// MultiStepEntry tags a Step with the chain it belongs to.
+type MultiStepEntry struct {
+	ChainIndex int
+	Step       Step
+}
+
+// Empty reports whether the plan migrates nothing.
+func (p MultiPlan) Empty() bool { return len(p.Steps) == 0 }
+
+// String summarizes the plan.
+func (p MultiPlan) String() string {
+	if p.Empty() {
+		return "multi-PAM: no migration"
+	}
+	s := fmt.Sprintf("multi-PAM: %d migration(s):", len(p.Steps))
+	for _, st := range p.Steps {
+		s += fmt.Sprintf(" [chain %d: %v]", st.ChainIndex, st.Step)
+	}
+	return s
+}
+
+// nicUtilAll sums SmartNIC utilization over all chains at their respective
+// throughputs (no DMA term: Eq. 3 semantics).
+func nicUtilAll(loads []Load, cat device.Catalog, results []*chain.Chain) (float64, error) {
+	var u float64
+	nic := device.Device{Kind: device.KindSmartNIC}
+	for i, l := range loads {
+		c := results[i]
+		ui, err := nic.Utilization(cat, c.TypesOn(device.KindSmartNIC), l.Throughput)
+		if err != nil {
+			return 0, err
+		}
+		u += ui
+	}
+	return u, nil
+}
+
+// cpuUtilAll sums CPU utilization over all chains.
+func cpuUtilAll(loads []Load, cat device.Catalog, results []*chain.Chain, cpu device.Device) (float64, error) {
+	var u float64
+	for i, l := range loads {
+		ui, err := cpu.Utilization(cat, results[i].TypesOn(device.KindCPU), l.Throughput)
+		if err != nil {
+			return 0, err
+		}
+		u += ui
+	}
+	return u, nil
+}
+
+// MultiPAM runs the PAM loop over a multi-chain view: while the SmartNIC's
+// aggregate utilization is at or above the threshold, pick — across all
+// chains — the border vNF with minimum θS whose move passes the aggregate
+// Eq. 2 check, migrate it, slide that chain's border, and repeat. With one
+// chain this reduces to the paper's algorithm.
+type MultiPAM struct {
+	Mode chain.BorderMode
+}
+
+// Name identifies the policy.
+func (MultiPAM) Name() string { return "Multi-PAM" }
+
+// Select computes the migration plan. It returns ErrNotOverloaded when the
+// aggregate NIC utilization is below the threshold and ErrBothOverloaded
+// when the border sets empty out while the NIC stays hot.
+func (m MultiPAM) Select(v MultiView) (MultiPlan, error) {
+	if len(v.Loads) == 0 {
+		return MultiPlan{}, ErrNoCandidate
+	}
+	results := make([]*chain.Chain, len(v.Loads))
+	totalElems := 0
+	for i, l := range v.Loads {
+		if err := l.Chain.Validate(); err != nil {
+			return MultiPlan{}, fmt.Errorf("multichain %d: %w", i, err)
+		}
+		results[i] = l.Chain.Clone()
+		totalElems += l.Chain.Len()
+	}
+	th := v.OverloadThreshold
+	if th <= 0 {
+		th = DefaultOverloadThreshold
+	}
+
+	u, err := nicUtilAll(v.Loads, v.Catalog, results)
+	if err != nil {
+		return MultiPlan{}, err
+	}
+	if u < th {
+		return MultiPlan{}, ErrNotOverloaded
+	}
+
+	mode := m.Mode
+	if v.BorderMode != chain.BorderModePaper {
+		mode = v.BorderMode
+	}
+	excluded := make(map[string]bool) // "chainIdx/name"
+
+	var steps []MultiStepEntry
+	for iter := 0; iter <= totalElems; iter++ {
+		// Gather border candidates across all chains, smallest θS first
+		// (ties broken by chain then position for determinism).
+		type cand struct {
+			chainIdx, pos int
+			cap           device.Gbps
+		}
+		var cands []cand
+		for ci, c := range results {
+			bl, br := c.Borders(mode)
+			for _, pos := range mergeUnique(bl, br) {
+				e := c.At(pos)
+				if excluded[fmt.Sprintf("%d/%s", ci, e.Name)] {
+					continue
+				}
+				g, err := v.Catalog.Lookup(e.Type, device.KindSmartNIC)
+				if err != nil {
+					return MultiPlan{}, fmt.Errorf("multichain: %w", err)
+				}
+				cands = append(cands, cand{chainIdx: ci, pos: pos, cap: g})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].cap != cands[j].cap {
+				return cands[i].cap < cands[j].cap
+			}
+			if cands[i].chainIdx != cands[j].chainIdx {
+				return cands[i].chainIdx < cands[j].chainIdx
+			}
+			return cands[i].pos < cands[j].pos
+		})
+
+		migrated := false
+		for _, cd := range cands {
+			c := results[cd.chainIdx]
+			e := c.At(cd.pos)
+			// Aggregate Eq. 2: CPU over all chains plus the candidate.
+			cpuU, err := cpuUtilAll(v.Loads, v.Catalog, results, v.CPU)
+			if err != nil {
+				return MultiPlan{}, err
+			}
+			g, err := v.Catalog.Lookup(e.Type, device.KindCPU)
+			if err != nil {
+				excluded[fmt.Sprintf("%d/%s", cd.chainIdx, e.Name)] = true
+				continue
+			}
+			cpuU += float64(v.Loads[cd.chainIdx].Throughput) / float64(g)
+			if cpuU >= 1 {
+				excluded[fmt.Sprintf("%d/%s", cd.chainIdx, e.Name)] = true
+				continue
+			}
+			c.SetLoc(cd.pos, device.KindCPU)
+			steps = append(steps, MultiStepEntry{
+				ChainIndex: cd.chainIdx,
+				Step:       Step{Element: e.Name, From: device.KindSmartNIC, To: device.KindCPU},
+			})
+			migrated = true
+			break
+		}
+		if !migrated {
+			return MultiPlan{}, ErrBothOverloaded
+		}
+
+		// Aggregate Eq. 3.
+		u, err := nicUtilAll(v.Loads, v.Catalog, results)
+		if err != nil {
+			return MultiPlan{}, err
+		}
+		if u < 1 {
+			return MultiPlan{Steps: steps, Results: results}, nil
+		}
+	}
+	return MultiPlan{}, fmt.Errorf("multichain: did not terminate")
+}

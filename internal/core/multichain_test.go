@@ -1,0 +1,154 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/scenario"
+)
+
+func multiView(loads ...core.Load) core.MultiView {
+	p := scenario.DefaultParams()
+	nic, cpu := scenario.Devices(p)
+	return core.MultiView{
+		Loads:   loads,
+		Catalog: device.Table1(),
+		NIC:     nic,
+		CPU:     cpu,
+	}
+}
+
+func TestMultiPAMReducesToSingleChainPAM(t *testing.T) {
+	// With exactly one chain, MultiPAM must make the same decision as PAM.
+	v := multiView(core.Load{Chain: scenario.Figure1Chain(), Throughput: 1.05})
+	plan, err := core.MultiPAM{}.Select(v)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if len(plan.Steps) != 1 || plan.Steps[0].Step.Element != scenario.NameLogger {
+		t.Fatalf("steps = %v, want single logger migration", plan.Steps)
+	}
+	single, err := core.PAM{}.Select(scenario.View(scenario.Figure1Chain(), scenario.DefaultParams(), 1.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Steps[0].Element != plan.Steps[0].Step.Element {
+		t.Errorf("multi (%v) and single (%v) disagree", plan.Steps, single.Steps)
+	}
+}
+
+func TestMultiPAMAggregatesUtilization(t *testing.T) {
+	// Two half-loaded copies of the Figure-1 chain: each alone is fine
+	// (util 0.55×0.9125 = 0.50) but together the NIC is at 1.0. MultiPAM
+	// must see the aggregate hot spot and migrate.
+	a := scenario.Figure1Chain()
+	b := scenario.Figure1Chain()
+	b.Name = "figure1-b"
+	v := multiView(
+		core.Load{Chain: a, Throughput: 0.55},
+		core.Load{Chain: b, Throughput: 0.55},
+	)
+	plan, err := core.MultiPAM{}.Select(v)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if plan.Empty() {
+		t.Fatal("no migration despite aggregate overload")
+	}
+	// The minimum-θS border across both chains is a Logger (θS = 2).
+	if plan.Steps[0].Step.Element != scenario.NameLogger {
+		t.Errorf("first step = %v, want a logger", plan.Steps[0])
+	}
+	// Crossings must not grow in any chain.
+	for i, res := range plan.Results {
+		if res.Crossings() != v.Loads[i].Chain.Crossings() {
+			t.Errorf("chain %d crossings %d -> %d", i, v.Loads[i].Chain.Crossings(), res.Crossings())
+		}
+	}
+	// Aggregate NIC must now be below 1 under Eq. 3 semantics.
+	nic := device.Device{Kind: device.KindSmartNIC}
+	var u float64
+	for i, res := range plan.Results {
+		ui, err := nic.Utilization(v.Catalog, res.TypesOn(device.KindSmartNIC), v.Loads[i].Throughput)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u += ui
+	}
+	if u >= 1 {
+		t.Errorf("aggregate NIC util %.3f after plan", u)
+	}
+}
+
+func TestMultiPAMNotOverloaded(t *testing.T) {
+	v := multiView(core.Load{Chain: scenario.Figure1Chain(), Throughput: 0.3})
+	_, err := (core.MultiPAM{}).Select(v)
+	if !errors.Is(err, core.ErrNotOverloaded) {
+		t.Fatalf("err = %v, want ErrNotOverloaded", err)
+	}
+}
+
+func TestMultiPAMBothOverloaded(t *testing.T) {
+	// CPU already carries too much for any border to move.
+	a := scenario.Figure1Chain()
+	v := multiView(
+		core.Load{Chain: a, Throughput: 1.05},
+		// A second chain placed entirely on the CPU soaks its capacity.
+		core.Load{Chain: mustChain(t,
+			chain.Element{Name: "x0", Type: device.TypeLoadBalancer, Loc: device.KindCPU},
+			chain.Element{Name: "x1", Type: device.TypeFirewall, Loc: device.KindCPU},
+		), Throughput: 2.5},
+	)
+	// CPU util: LB(a) 1.05/4 + LB(x) 2.5/4 + FW(x) 2.5/4 = 1.51 — anything
+	// more overloads it.
+	_, err := (core.MultiPAM{}).Select(v)
+	if !errors.Is(err, core.ErrBothOverloaded) {
+		t.Fatalf("err = %v, want ErrBothOverloaded", err)
+	}
+}
+
+func TestMultiPAMEmptyView(t *testing.T) {
+	_, err := (core.MultiPAM{}).Select(core.MultiView{})
+	if !errors.Is(err, core.ErrNoCandidate) {
+		t.Fatalf("err = %v, want ErrNoCandidate", err)
+	}
+}
+
+func TestMultiPAMPrefersGlobalMinCapacityBorder(t *testing.T) {
+	// Chain A's only border is a Firewall (θS 10); chain B's border is a
+	// Logger (θS 2). Both are Eq.-2-feasible; the global Eq. 1 argmin must
+	// pick B's logger even though A is listed first.
+	// NIC: 6.0/10 + 0.7/2 = 0.95 (hot). CPU: monA 6/10 + lbB 0.7/4 = 0.775;
+	// adding logB costs 0.7/4 = 0.175 → 0.95 < 1 (feasible).
+	a := mustChain(t,
+		chain.Element{Name: "monA", Type: device.TypeMonitor, Loc: device.KindCPU},
+		chain.Element{Name: "fwA", Type: device.TypeFirewall, Loc: device.KindSmartNIC},
+	)
+	b := mustChain(t,
+		chain.Element{Name: "lbB", Type: device.TypeLoadBalancer, Loc: device.KindCPU},
+		chain.Element{Name: "logB", Type: device.TypeLogger, Loc: device.KindSmartNIC},
+	)
+	v := multiView(
+		core.Load{Chain: a, Throughput: 6.0},
+		core.Load{Chain: b, Throughput: 0.7},
+	)
+	plan, err := core.MultiPAM{}.Select(v)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if plan.Steps[0].ChainIndex != 1 || plan.Steps[0].Step.Element != "logB" {
+		t.Errorf("first step = %+v, want logB from chain 1", plan.Steps[0])
+	}
+}
+
+func mustChain(t *testing.T, elems ...chain.Element) *chain.Chain {
+	t.Helper()
+	c, err := chain.New("t", elems...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// The naive baselines. The paper's §3 describes the naive policy as picking
+// "the vNF on SmartNIC with minimal capacity θS", while Figure 1(b) shows it
+// migrating the mid-chain Monitor; DESIGN.md §2 (Inconsistency A) explains
+// why both readings are implemented. All naive policies ignore chain
+// geometry, which is exactly the behaviour PAM improves upon.
+
+// NaiveMinNICCapacity migrates the single SmartNIC vNF with the smallest θS
+// (the literal §3 sentence; UNO's "bottleneck vNF with minimum processing
+// capacity").
+type NaiveMinNICCapacity struct{}
+
+// Name implements Selector.
+func (NaiveMinNICCapacity) Name() string { return "Naive-MinNICCap" }
+
+// Select implements Selector.
+func (n NaiveMinNICCapacity) Select(v View) (Plan, error) {
+	return naiveSingle(n.Name(), v, func(v View, types []string, positions []int) (int, error) {
+		best, bestIdx := device.Gbps(0), -1
+		for j, t := range types {
+			g, err := v.Catalog.Lookup(t, device.KindSmartNIC)
+			if err != nil {
+				return -1, err
+			}
+			if bestIdx == -1 || g < best {
+				best, bestIdx = g, j
+			}
+		}
+		return bestIdx, nil
+	})
+}
+
+// NaiveCheapestOnCPU migrates the single SmartNIC vNF with the largest θC,
+// i.e. the one cheapest to host on the CPU. On the Figure 1 chain this
+// selects Monitor (θC = 10 Gbps), reproducing the migration the paper draws
+// in Figure 1(b).
+type NaiveCheapestOnCPU struct{}
+
+// Name implements Selector.
+func (NaiveCheapestOnCPU) Name() string { return "Naive-CheapCPU" }
+
+// Select implements Selector.
+func (n NaiveCheapestOnCPU) Select(v View) (Plan, error) {
+	return naiveSingle(n.Name(), v, func(v View, types []string, positions []int) (int, error) {
+		best, bestIdx := device.Gbps(0), -1
+		for j, t := range types {
+			g, err := v.Catalog.Lookup(t, device.KindCPU)
+			if err != nil {
+				return -1, err
+			}
+			if bestIdx == -1 || g > best {
+				best, bestIdx = g, j
+			}
+		}
+		return bestIdx, nil
+	})
+}
+
+// NaiveMinCapacityLoop is the iterative flavour of NaiveMinNICCapacity: it
+// keeps migrating minimum-θS vNFs (checking the Eq. 2 CPU constraint, for
+// fairness with PAM) until the SmartNIC is no longer overloaded, without any
+// border awareness. It isolates the value of PAM's border restriction in
+// the ablation benches.
+type NaiveMinCapacityLoop struct{}
+
+// Name implements Selector.
+func (NaiveMinCapacityLoop) Name() string { return "Naive-MinCapLoop" }
+
+// Select implements Selector.
+func (n NaiveMinCapacityLoop) Select(v View) (Plan, error) {
+	if err := v.Chain.Validate(); err != nil {
+		return Plan{}, err
+	}
+	overloaded, err := v.NICOverloaded()
+	if err != nil {
+		return Plan{}, err
+	}
+	if !overloaded {
+		return Plan{}, ErrNotOverloaded
+	}
+	work := v.Chain.Clone()
+	excluded := make(map[string]bool)
+	var steps []Step
+	for iter := 0; iter <= work.Len(); iter++ {
+		// Pick min θS among remaining NIC vNFs.
+		b0, b0Cap := -1, device.Gbps(0)
+		for _, i := range work.On(device.KindSmartNIC) {
+			e := work.At(i)
+			if excluded[e.Name] {
+				continue
+			}
+			g, err := v.Catalog.Lookup(e.Type, device.KindSmartNIC)
+			if err != nil {
+				return Plan{}, fmt.Errorf("naive: %w", err)
+			}
+			if b0 == -1 || g < b0Cap {
+				b0, b0Cap = i, g
+			}
+		}
+		if b0 == -1 {
+			return Plan{}, ErrBothOverloaded
+		}
+		elem := work.At(b0)
+		cpuTypes := append(work.TypesOn(device.KindCPU), elem.Type)
+		cpuU, err := v.CPU.Utilization(v.Catalog, cpuTypes, v.Throughput)
+		if err != nil {
+			return Plan{}, fmt.Errorf("naive: %w", err)
+		}
+		if cpuU >= 1 {
+			excluded[elem.Name] = true
+			continue
+		}
+		work.SetLoc(b0, device.KindCPU)
+		steps = append(steps, Step{Element: elem.Name, From: device.KindSmartNIC, To: device.KindCPU})
+		nicU, err := device.Device{Kind: device.KindSmartNIC}.
+			Utilization(v.Catalog, work.TypesOn(device.KindSmartNIC), v.Throughput)
+		if err != nil {
+			return Plan{}, fmt.Errorf("naive: %w", err)
+		}
+		if nicU < 1 {
+			return finishPlan(n.Name(), v, work, steps)
+		}
+	}
+	return Plan{}, fmt.Errorf("naive: did not terminate on chain %q", v.Chain.Name)
+}
+
+// naiveSingle implements the shared one-shot naive skeleton: verify the NIC
+// is overloaded, pick one NIC vNF via choose (returns an index into the
+// parallel types/positions slices), and migrate it.
+func naiveSingle(name string, v View, choose func(View, []string, []int) (int, error)) (Plan, error) {
+	if err := v.Chain.Validate(); err != nil {
+		return Plan{}, err
+	}
+	overloaded, err := v.NICOverloaded()
+	if err != nil {
+		return Plan{}, err
+	}
+	if !overloaded {
+		return Plan{}, ErrNotOverloaded
+	}
+	positions := v.Chain.On(device.KindSmartNIC)
+	if len(positions) == 0 {
+		return Plan{}, ErrNoCandidate
+	}
+	types := make([]string, len(positions))
+	for j, i := range positions {
+		types[j] = v.Chain.At(i).Type
+	}
+	j, err := choose(v, types, positions)
+	if err != nil {
+		return Plan{}, fmt.Errorf("%s: %w", name, err)
+	}
+	if j < 0 || j >= len(positions) {
+		return Plan{}, ErrNoCandidate
+	}
+	work := v.Chain.Clone()
+	pos := positions[j]
+	elem := work.At(pos)
+	work.SetLoc(pos, device.KindCPU)
+	steps := []Step{{Element: elem.Name, From: device.KindSmartNIC, To: device.KindCPU}}
+	return finishPlan(name, v, work, steps)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/device"
+)
+
+// PAM implements the paper's Push Aside Migration selection algorithm (§2).
+//
+// Step 1 — Border vNF identification: compute the left/right border sets
+// BL/BR of SmartNIC-resident vNFs whose neighbour sits on the CPU.
+//
+// Step 2 — Migration vNF selection (Eq. 1): b0 = argmin over BL ∪ BR of θS.
+//
+// Step 3 — Overload alleviation check: (Eq. 2) migrating b0 must not create
+// a CPU hot spot — otherwise drop b0 from the border sets and retry Step 2;
+// (Eq. 3) if, with b0 pushed aside, the SmartNIC is no longer overloaded,
+// migrate b0 and terminate; otherwise migrate b0, slide the border inward
+// (downstream of a left border, upstream of a right border), and loop.
+//
+// If the border sets empty out while the SmartNIC is still overloaded the
+// paper's terminal case applies and ErrBothOverloaded is returned.
+type PAM struct {
+	// Mode selects border identification semantics; the zero value
+	// (BorderModePaper) matches the paper's Figure 1 literally. The view's
+	// BorderMode, when different policies are compared, takes precedence.
+	Mode chain.BorderMode
+}
+
+// Name implements Selector.
+func (PAM) Name() string { return "PAM" }
+
+// Select implements Selector, running Steps 1–3 against the view.
+func (p PAM) Select(v View) (Plan, error) {
+	if err := v.Chain.Validate(); err != nil {
+		return Plan{}, err
+	}
+	overloaded, err := v.NICOverloaded()
+	if err != nil {
+		return Plan{}, err
+	}
+	if !overloaded {
+		return Plan{}, ErrNotOverloaded
+	}
+
+	work := v.Chain.Clone()
+	mode := p.Mode
+	if v.BorderMode != chain.BorderModePaper {
+		mode = v.BorderMode
+	}
+
+	// Border sets as position indices into work. Rebuilding after each
+	// migration implements both the implicit removal of migrated vNFs and
+	// the explicit border slide of Step 3: when a left border moves to the
+	// CPU its downstream SmartNIC neighbour becomes the new left border
+	// (symmetrically for right borders).
+	excluded := make(map[string]bool) // b0s rejected by Eq. 2
+
+	var steps []Step
+	for iter := 0; iter <= work.Len(); iter++ {
+		bl, br := work.Borders(mode)
+		cands := mergeUnique(bl, br)
+
+		// Step 2 (Eq. 1): minimum-θS border not excluded by Eq. 2.
+		b0 := -1
+		var b0Cap device.Gbps
+		for {
+			b0 = -1
+			for _, i := range cands {
+				e := work.At(i)
+				if excluded[e.Name] {
+					continue
+				}
+				g, err := v.Catalog.Lookup(e.Type, device.KindSmartNIC)
+				if err != nil {
+					return Plan{}, fmt.Errorf("pam: %w", err)
+				}
+				if b0 == -1 || g < b0Cap {
+					b0, b0Cap = i, g
+				}
+			}
+			if b0 == -1 {
+				// Border sets exhausted while the NIC is still hot.
+				return Plan{}, ErrBothOverloaded
+			}
+
+			// Step 3 check 1 (Eq. 2): CPU must absorb b0 without a new
+			// hot spot: Σ_{i on C} θcur/θC_i + θcur/θC_b0 < 1.
+			elem := work.At(b0)
+			cpuTypes := append(work.TypesOn(device.KindCPU), elem.Type)
+			cpuU, err := v.CPU.Utilization(v.Catalog, cpuTypes, v.Throughput)
+			if err != nil {
+				return Plan{}, fmt.Errorf("pam: %w", err)
+			}
+			if cpuU >= 1 {
+				excluded[elem.Name] = true
+				continue // back to Step 2
+			}
+			break
+		}
+
+		// Migrate b0.
+		elem := work.At(b0)
+		work.SetLoc(b0, device.KindCPU)
+		steps = append(steps, Step{Element: elem.Name, From: device.KindSmartNIC, To: device.KindCPU})
+
+		// Step 3 check 2 (Eq. 3): Σ_{i on S, i≠b0} θcur/θS_i < 1.
+		// The paper's equation sums plain vNF utilizations; the DMA charge
+		// for crossings is a dataplane effect the algorithm does not see.
+		nicU, err := device.Device{Kind: device.KindSmartNIC}.
+			Utilization(v.Catalog, work.TypesOn(device.KindSmartNIC), v.Throughput)
+		if err != nil {
+			return Plan{}, fmt.Errorf("pam: %w", err)
+		}
+		if nicU < 1 {
+			return finishPlan(p.Name(), v, work, steps)
+		}
+		// Otherwise loop: border sets are recomputed from the updated
+		// placement, which performs the Step-3 slide.
+	}
+	return Plan{}, fmt.Errorf("pam: did not terminate on chain %q", v.Chain.Name)
+}
+
+// mergeUnique merges two ascending index slices without duplicates.
+func mergeUnique(a, b []int) []int {
+	seen := make(map[int]bool, len(a)+len(b))
+	out := make([]int, 0, len(a)+len(b))
+	for _, x := range a {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	for _, x := range b {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,341 @@
+package core_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/scenario"
+)
+
+func figure1View(t *testing.T, throughput device.Gbps) core.View {
+	t.Helper()
+	return scenario.View(scenario.Figure1Chain(), scenario.DefaultParams(), throughput)
+}
+
+func TestPAMSelectsLoggerOnFigure1(t *testing.T) {
+	v := figure1View(t, 1.05) // just past the NIC saturation point
+	plan, err := core.PAM{}.Select(v)
+	if err != nil {
+		t.Fatalf("PAM.Select: %v", err)
+	}
+	if len(plan.Steps) != 1 {
+		t.Fatalf("steps = %v, want exactly one", plan.Steps)
+	}
+	if got := plan.Steps[0].Element; got != scenario.NameLogger {
+		t.Errorf("migrated %q, want %q (the min-capacity border vNF)", got, scenario.NameLogger)
+	}
+	if plan.After.Crossings != plan.Before.Crossings {
+		t.Errorf("crossings %d -> %d, PAM must not add PCIe crossings on figure1",
+			plan.Before.Crossings, plan.After.Crossings)
+	}
+	if plan.Result.At(plan.Result.Index(scenario.NameLogger)).Loc != device.KindCPU {
+		t.Errorf("result placement does not have Logger on CPU: %v", plan.Result)
+	}
+	// Original chain must be untouched.
+	if v.Chain.At(v.Chain.Index(scenario.NameLogger)).Loc != device.KindSmartNIC {
+		t.Errorf("Select mutated the input chain")
+	}
+}
+
+func TestPAMNotOverloaded(t *testing.T) {
+	v := figure1View(t, 0.5) // well under saturation
+	_, err := core.PAM{}.Select(v)
+	if !errors.Is(err, core.ErrNotOverloaded) {
+		t.Fatalf("err = %v, want ErrNotOverloaded", err)
+	}
+}
+
+func TestPAMBothOverloaded(t *testing.T) {
+	// At a measured throughput the CPU cannot absorb any border vNF
+	// (Eq. 2 fails for every candidate), PAM must report the paper's
+	// terminal scale-out case.
+	v := figure1View(t, 3.5) // LB alone puts CPU at 0.875; +any vNF exceeds 1
+	_, err := core.PAM{}.Select(v)
+	if !errors.Is(err, core.ErrBothOverloaded) {
+		t.Fatalf("err = %v, want ErrBothOverloaded", err)
+	}
+}
+
+func TestPAMEq2ExcludesAndFallsBack(t *testing.T) {
+	// Craft capacities where the min-capacity border (Logger) would
+	// overload the CPU, so PAM must fall back to the other border
+	// (Firewall) instead of migrating mid-chain.
+	v := figure1View(t, 1.05)
+	cat := v.Catalog.Clone()
+	cat[device.TypeLogger] = device.Capacity{SmartNIC: 2, CPU: 0.5}  // CPU can't host it
+	cat[device.TypeFirewall] = device.Capacity{SmartNIC: 3, CPU: 40} // cheap on CPU
+	v.Catalog = cat
+	plan, err := core.PAM{}.Select(v)
+	if err != nil {
+		t.Fatalf("PAM.Select: %v", err)
+	}
+	if len(plan.Steps) == 0 || plan.Steps[0].Element != scenario.NameFirewall {
+		t.Fatalf("steps = %v, want firewall first (logger excluded by Eq. 2)", plan.Steps)
+	}
+	for _, s := range plan.Steps {
+		if s.Element == scenario.NameLogger {
+			t.Errorf("logger migrated despite Eq. 2 exclusion: %v", plan.Steps)
+		}
+	}
+}
+
+func TestPAMMultiStepSlidesBorder(t *testing.T) {
+	// Make every NIC vNF expensive enough that migrating one border is not
+	// sufficient (Eq. 3 keeps failing) and the CPU roomy enough to accept
+	// several: PAM must slide the border inward and migrate multiple vNFs,
+	// in border order only.
+	c := scenario.Figure1Chain()
+	v := scenario.View(c, scenario.DefaultParams(), 1.5)
+	cat := device.Catalog{
+		device.TypeLoadBalancer: {SmartNIC: device.Unbounded, CPU: 100},
+		device.TypeLogger:       {SmartNIC: 2, CPU: 100},
+		device.TypeMonitor:      {SmartNIC: 2.1, CPU: 100},
+		device.TypeFirewall:     {SmartNIC: 2.2, CPU: 100},
+	}
+	v.Catalog = cat
+	// NIC util at 1.5: 1.5*(1/2+1/2.1+1/2.2) = 2.14 → needs ≥2 migrations:
+	// after logger: 1.5*(1/2.1+1/2.2) = 1.396 still hot; after monitor:
+	// 1.5/2.2 = 0.68 → stop.
+	plan, err := core.PAM{}.Select(v)
+	if err != nil {
+		t.Fatalf("PAM.Select: %v", err)
+	}
+	want := []string{scenario.NameLogger, scenario.NameMonitor}
+	if len(plan.Steps) != len(want) {
+		t.Fatalf("steps = %v, want %v", plan.Steps, want)
+	}
+	for i, w := range want {
+		if plan.Steps[i].Element != w {
+			t.Errorf("step %d = %q, want %q", i, plan.Steps[i].Element, w)
+		}
+	}
+	if plan.After.Crossings != plan.Before.Crossings {
+		t.Errorf("crossings %d -> %d; sliding-border migration must not add crossings",
+			plan.Before.Crossings, plan.After.Crossings)
+	}
+}
+
+func TestNaiveCheapestOnCPUPicksMonitor(t *testing.T) {
+	v := figure1View(t, 1.05)
+	plan, err := core.NaiveCheapestOnCPU{}.Select(v)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if len(plan.Steps) != 1 || plan.Steps[0].Element != scenario.NameMonitor {
+		t.Fatalf("steps = %v, want single monitor migration (Figure 1(b))", plan.Steps)
+	}
+	if got, want := plan.After.Crossings, plan.Before.Crossings+2; got != want {
+		t.Errorf("crossings after naive = %d, want %d (+2 per §1)", got, want)
+	}
+}
+
+func TestNaiveMinNICCapacityPicksLogger(t *testing.T) {
+	v := figure1View(t, 1.05)
+	plan, err := core.NaiveMinNICCapacity{}.Select(v)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if len(plan.Steps) != 1 || plan.Steps[0].Element != scenario.NameLogger {
+		t.Fatalf("steps = %v, want single logger migration (§3's literal reading)", plan.Steps)
+	}
+}
+
+func TestNaiveMinCapacityLoopRelievesNIC(t *testing.T) {
+	v := figure1View(t, 1.05)
+	plan, err := core.NaiveMinCapacityLoop{}.Select(v)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if plan.Empty() {
+		t.Fatal("expected at least one migration")
+	}
+	a, err := core.Analyze(plan.Result, v, v.Throughput)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	// The paper's Eq. 3 ignores the DMA charge; reconstruct that check.
+	nicU, err := device.Device{Kind: device.KindSmartNIC}.
+		Utilization(v.Catalog, plan.Result.TypesOn(device.KindSmartNIC), v.Throughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nicU >= 1 {
+		t.Errorf("NIC still overloaded after loop: util=%.3f (analysis=%+v)", nicU, a)
+	}
+}
+
+func TestAnalyzeFigure1Fluid(t *testing.T) {
+	// Fluid-model numbers derived by hand in DESIGN.md §2/§5.
+	v := figure1View(t, 1.0)
+	a, err := core.Analyze(v.Chain, v, 1.0)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if a.Crossings != 2 {
+		t.Errorf("crossings = %d, want 2", a.Crossings)
+	}
+	// NIC util at 1 Gbps: 1/2 + 1/3.2 + 1/10 = 0.9125; DMA engines carry
+	// 2 crossings / 40 Gbps = 0.05 separately.
+	if !close(a.NICUtil, 0.9125, 1e-9) {
+		t.Errorf("NIC util = %v, want 0.9125", a.NICUtil)
+	}
+	if !close(a.DMAUtil, 0.05, 1e-9) {
+		t.Errorf("DMA util = %v, want 0.05", a.DMAUtil)
+	}
+	if !close(a.CPUUtil, 0.25, 1e-9) {
+		t.Errorf("CPU util = %v, want 0.25", a.CPUUtil)
+	}
+	if !close(float64(a.NICSaturation), 1/0.9125, 1e-9) {
+		t.Errorf("NIC saturation = %v, want %v", a.NICSaturation, 1/0.9125)
+	}
+	if !close(float64(a.DMASaturation), 20, 1e-9) {
+		t.Errorf("DMA saturation = %v, want 20", a.DMASaturation)
+	}
+	if !close(float64(a.CPUSaturation), 4, 1e-9) {
+		t.Errorf("CPU saturation = %v, want 4", a.CPUSaturation)
+	}
+}
+
+func close(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// --- property-based tests -------------------------------------------------
+
+// randomChain builds a random valid chain over the extended catalog.
+func randomChain(r *rand.Rand) *chain.Chain {
+	types := []string{
+		device.TypeFirewall, device.TypeLogger, device.TypeMonitor,
+		device.TypeLoadBalancer, device.TypeNAT, device.TypeDPI,
+		device.TypeRateLimiter, device.TypeIDS,
+	}
+	n := 2 + r.Intn(6)
+	elems := make([]chain.Element, n)
+	for i := range elems {
+		loc := device.KindSmartNIC
+		if r.Intn(2) == 0 {
+			loc = device.KindCPU
+		}
+		elems[i] = chain.Element{
+			Name: types[r.Intn(len(types))] + string(rune('a'+i)),
+			Type: types[r.Intn(len(types))],
+			Loc:  loc,
+		}
+	}
+	c, err := chain.New("rand", elems...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Property: under BorderModeStrict, migrating any border vNF to the CPU
+// never increases PCIe crossings (the paper's central claim, §2).
+func TestPropertyStrictBorderMigrationNeverAddsCrossings(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomChain(r)
+		before := c.Crossings()
+		bl, br := c.Borders(chain.BorderModeStrict)
+		for _, idx := range append(append([]int{}, bl...), br...) {
+			cc := c.Clone()
+			cc.SetLoc(idx, device.KindCPU)
+			if cc.Crossings() > before {
+				t.Logf("chain %v: migrating %d raised crossings %d -> %d",
+					c, idx, before, cc.Crossings())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PAM terminates on random chains with one of its three defined
+// outcomes and, when it produces a plan under strict borders, the plan never
+// increases crossings and every step moves NIC→CPU.
+func TestPropertyPAMTerminatesAndIsSane(t *testing.T) {
+	p := scenario.DefaultParams()
+	f := func(seed int64, tp uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomChain(r)
+		throughput := device.Gbps(0.1 + float64(tp%40)/10) // 0.1 .. 4.0
+		v := scenario.ViewExtended(c, p, throughput)
+		v.BorderMode = chain.BorderModeStrict
+		plan, err := core.PAM{Mode: chain.BorderModeStrict}.Select(v)
+		if err != nil {
+			return errors.Is(err, core.ErrNotOverloaded) || errors.Is(err, core.ErrBothOverloaded)
+		}
+		if plan.After.Crossings > plan.Before.Crossings {
+			t.Logf("plan added crossings: %v", plan)
+			return false
+		}
+		for _, s := range plan.Steps {
+			if s.From != device.KindSmartNIC || s.To != device.KindCPU {
+				t.Logf("bad step direction: %v", s)
+				return false
+			}
+		}
+		// Eq. 3 as the algorithm sees it (no DMA term) must hold after.
+		nicU, err := device.Device{Kind: device.KindSmartNIC}.
+			Utilization(v.Catalog, plan.Result.TypesOn(device.KindSmartNIC), throughput)
+		if err != nil {
+			t.Logf("utilization: %v", err)
+			return false
+		}
+		return nicU < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PAM migrates only vNFs that were border vNFs at the moment of
+// their migration (replaying the plan step by step).
+func TestPropertyPAMMigratesOnlyBorders(t *testing.T) {
+	p := scenario.DefaultParams()
+	f := func(seed int64, tp uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomChain(r)
+		throughput := device.Gbps(0.1 + float64(tp%40)/10)
+		v := scenario.ViewExtended(c, p, throughput)
+		plan, err := core.PAM{}.Select(v)
+		if err != nil {
+			return true // covered by the termination property
+		}
+		replay := c.Clone()
+		for _, s := range plan.Steps {
+			bl, br := replay.Borders(chain.BorderModePaper)
+			idx := replay.Index(s.Element)
+			if !containsInt(bl, idx) && !containsInt(br, idx) {
+				t.Logf("step %v was not a border of %v", s, replay)
+				return false
+			}
+			replay.SetLoc(idx, device.KindCPU)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,467 @@
+// Package emul is the execution-based emulation runtime: real serialized
+// frames flow through the real NF implementations (internal/nf) on a
+// goroutine pipeline, with per-vNF token-bucket throttling that reproduces
+// the Table-1 capacity asymmetry between SmartNIC and CPU, PCIe crossings
+// emulated as latency, and live UNO-style migration (freeze → state
+// transfer → restore → replay) while traffic flows.
+//
+// The emulator complements the discrete-event simulator: chainsim produces
+// the paper's figures with virtual-clock precision; emul demonstrates that
+// the same control decisions work against actual packet-processing code
+// with actual migratable state. Rates are scaled down by Config.Scale so a
+// development machine can saturate the emulated devices.
+package emul
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/device"
+	"repro/internal/flow"
+	"repro/internal/metrics"
+	"repro/internal/migrate"
+	"repro/internal/nf"
+	"repro/internal/packet"
+	"repro/internal/pcie"
+)
+
+// Config parameterizes a Runtime.
+type Config struct {
+	Chain   *chain.Chain
+	Catalog device.Catalog
+	// Link models PCIe crossings (slept as latency).
+	Link pcie.Link
+	// Scale divides catalog rates so the host can saturate them: an NF with
+	// θ = 2 Gbps and Scale = 1000 is throttled to 2 Mbps. Default 1000.
+	Scale float64
+	// QueueDepth bounds each NF's input queue in frames (default 256); the
+	// queue doubles as the migration freeze buffer.
+	QueueDepth int
+	// SleepPCIe enables real sleeps for PCIe crossings. Off, crossings are
+	// only accounted (useful for fast tests).
+	SleepPCIe bool
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Chain == nil {
+		return c, errors.New("emul: nil chain")
+	}
+	if err := c.Chain.Validate(); err != nil {
+		return c, err
+	}
+	if c.Catalog == nil {
+		return c, errors.New("emul: nil catalog")
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1000
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	return c, nil
+}
+
+// job is one frame in flight.
+type job struct {
+	frame    []byte
+	ingress  time.Duration
+	crossing bool // the frame crossed PCIe to reach this element
+}
+
+// element is one chain position: its NF instance, current placement, input
+// queue and throttle.
+type element struct {
+	name string
+	typ  string
+
+	mu   sync.Mutex
+	inst nf.NF
+	loc  atomic.Int32 // device.Kind
+
+	in     chan job
+	gate   gate
+	drops  atomic.Uint64
+	parent *Runtime
+	pos    int
+
+	ctrl chan migrateReq
+}
+
+type migrateReq struct {
+	to   device.Kind
+	resp chan migrateResp
+}
+
+type migrateResp struct {
+	rep migrate.Report
+	err error
+}
+
+// Runtime is a running emulated chain.
+type Runtime struct {
+	cfg   Config
+	elems []*element
+
+	start   time.Time
+	started atomic.Bool
+	closed  atomic.Bool
+
+	latency      *metrics.Histogram
+	meter        *metrics.Meter
+	offered      atomic.Uint64 // frames offered at ingress
+	ingressDrops atomic.Uint64 // Send rejections (first queue full)
+	inFlight     sync.WaitGroup
+
+	egress func(frame []byte) // optional tap for tests
+}
+
+// New builds a runtime with default-configured NF instances per element.
+func New(cfg Config) (*Runtime, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r := &Runtime{
+		cfg:     cfg,
+		latency: metrics.NewHistogram(),
+		meter:   metrics.NewMeter(0),
+	}
+	for i, e := range cfg.Chain.Elems {
+		inst, err := nf.New(e.Name, e.Type)
+		if err != nil {
+			return nil, fmt.Errorf("emul: element %d: %w", i, err)
+		}
+		rate, err := cfg.Catalog.Lookup(e.Type, e.Loc)
+		if err != nil {
+			return nil, fmt.Errorf("emul: element %d: %w", i, err)
+		}
+		el := &element{
+			name:   e.Name,
+			typ:    e.Type,
+			inst:   inst,
+			in:     make(chan job, cfg.QueueDepth),
+			ctrl:   make(chan migrateReq),
+			parent: r,
+			pos:    i,
+		}
+		el.loc.Store(int32(e.Loc))
+		el.gate.setRate(bytesPerSec(rate, cfg.Scale))
+		r.elems = append(r.elems, el)
+	}
+	return r, nil
+}
+
+// bytesPerSec converts a catalog rate to the emulated throttle rate.
+func bytesPerSec(g device.Gbps, scale float64) float64 {
+	return float64(g) * 1e9 / 8 / scale
+}
+
+// Start launches the element workers. It must be called once before Send.
+func (r *Runtime) Start() {
+	if !r.started.CompareAndSwap(false, true) {
+		return
+	}
+	r.start = time.Now()
+	for _, el := range r.elems {
+		go el.run()
+	}
+}
+
+// now returns emulation time (wall-clock since Start).
+func (r *Runtime) now() time.Duration { return time.Since(r.start) }
+
+// Send offers one frame to the chain ingress. It reports false when the
+// first element's queue is full (ingress drop). The frame is owned by the
+// runtime afterwards.
+func (r *Runtime) Send(frame []byte) bool {
+	if !r.started.Load() || r.closed.Load() {
+		return false
+	}
+	r.offered.Add(1)
+	first := r.elems[0]
+	j := job{
+		frame:    frame,
+		ingress:  r.now(),
+		crossing: device.Kind(first.loc.Load()) == device.KindCPU, // NIC ingress → CPU
+	}
+	r.inFlight.Add(1)
+	select {
+	case first.in <- j:
+		return true
+	default:
+		r.inFlight.Done()
+		r.ingressDrops.Add(1)
+		r.meter.Drop(r.now())
+		return false
+	}
+}
+
+// Drain blocks until every accepted frame has left the pipeline.
+func (r *Runtime) Drain() { r.inFlight.Wait() }
+
+// Close shuts the pipeline down after draining. The runtime cannot be
+// restarted.
+func (r *Runtime) Close() {
+	if !r.closed.CompareAndSwap(false, true) {
+		return
+	}
+	r.Drain()
+	for _, el := range r.elems {
+		close(el.in)
+	}
+}
+
+// SetEgressTap installs fn to receive every delivered frame (tests).
+// Must be set before Start.
+func (r *Runtime) SetEgressTap(fn func(frame []byte)) { r.egress = fn }
+
+// run is the per-element worker: control messages (migration) preempt
+// packet work; the bounded input channel doubles as the freeze buffer while
+// a migration is in progress.
+func (el *element) run() {
+	dec := packet.NewDecoder()
+	for {
+		select {
+		case req := <-el.ctrl:
+			req.resp <- el.doMigrate(req.to)
+			continue
+		default:
+		}
+		select {
+		case req := <-el.ctrl:
+			req.resp <- el.doMigrate(req.to)
+		case j, ok := <-el.in:
+			if !ok {
+				return
+			}
+			el.process(j, dec)
+		}
+	}
+}
+
+// process runs one frame through this element's NF and forwards it.
+func (el *element) process(j job, dec *packet.Decoder) {
+	r := el.parent
+
+	// Emulate the device capacity: the gate admits len(frame) bytes at the
+	// element's current rate.
+	el.gate.take(len(j.frame))
+
+	// PCIe crossing latency to reach this element, if any.
+	if j.crossing && r.cfg.SleepPCIe {
+		time.Sleep(r.cfg.Link.CrossingTime(len(j.frame)))
+	}
+
+	_, _ = dec.Decode(j.frame) // NFs tolerate partial decodes
+	ctx := nf.Ctx{
+		Frame:   j.frame,
+		Decoder: dec,
+		Now:     r.now(),
+	}
+	if k, ok := flow.FromDecoder(dec); ok {
+		ctx.FlowKey, ctx.HasFlow = k, true
+	}
+	el.mu.Lock()
+	inst := el.inst
+	el.mu.Unlock()
+	verdict, _ := inst.Process(&ctx)
+	if verdict == nf.VerdictDrop {
+		r.inFlight.Done()
+		return
+	}
+
+	// Forward to the next element or egress.
+	if el.pos == len(r.elems)-1 {
+		// Egress: crossing back to the NIC when the tail is on the CPU.
+		if device.Kind(el.loc.Load()) == device.KindCPU && r.cfg.SleepPCIe {
+			time.Sleep(r.cfg.Link.CrossingTime(len(j.frame)))
+		}
+		now := r.now()
+		r.latency.Record(int64(now - j.ingress))
+		r.meter.Observe(len(j.frame), now)
+		if r.egress != nil {
+			r.egress(j.frame)
+		}
+		r.inFlight.Done()
+		return
+	}
+	next := r.elems[el.pos+1]
+	j.crossing = el.loc.Load() != next.loc.Load()
+	select {
+	case next.in <- j:
+	default:
+		next.drops.Add(1)
+		r.meter.Drop(r.now())
+		r.inFlight.Done()
+	}
+}
+
+// doMigrate performs the UNO sequence on the worker goroutine: the element
+// is implicitly frozen (no packets consumed) for the duration; arriving
+// frames accumulate in the bounded input queue and are replayed by virtue
+// of FIFO consumption after the swap.
+func (el *element) doMigrate(to device.Kind) migrateResp {
+	r := el.parent
+	from := device.Kind(el.loc.Load())
+	if from == to {
+		return migrateResp{rep: migrate.Report{Element: el.name}}
+	}
+	rate, err := r.cfg.Catalog.Lookup(el.typ, to)
+	if err != nil {
+		return migrateResp{err: err}
+	}
+	fresh, err := nf.New(el.name, el.typ)
+	if err != nil {
+		return migrateResp{err: err}
+	}
+	tr := migrate.PCIeTransport{Link: r.cfg.Link, Setup: time.Millisecond}
+	el.mu.Lock()
+	old := el.inst
+	el.mu.Unlock()
+	rep, err := migrate.Move(old, fresh, tr)
+	if err != nil {
+		return migrateResp{err: err}
+	}
+	rep.Buffered = len(el.in)
+	if r.cfg.SleepPCIe {
+		time.Sleep(rep.Transfer)
+	}
+	el.mu.Lock()
+	el.inst = fresh
+	el.mu.Unlock()
+	el.loc.Store(int32(to))
+	el.gate.setRate(bytesPerSec(rate, r.cfg.Scale))
+	rep.Replayed = rep.Buffered // FIFO consumption replays the queue
+	return migrateResp{rep: rep}
+}
+
+// Migrate live-moves the named element to the device, returning the
+// migration report. Loss-free: frames arriving during the move wait in the
+// element's queue (up to QueueDepth).
+func (r *Runtime) Migrate(name string, to device.Kind) (migrate.Report, error) {
+	for _, el := range r.elems {
+		if el.name != name {
+			continue
+		}
+		req := migrateReq{to: to, resp: make(chan migrateResp, 1)}
+		el.ctrl <- req
+		resp := <-req.resp
+		return resp.rep, resp.err
+	}
+	return migrate.Report{}, fmt.Errorf("emul: no element %q", name)
+}
+
+// Placement returns the current placement as a chain.
+func (r *Runtime) Placement() *chain.Chain {
+	c := r.cfg.Chain.Clone()
+	for i, el := range r.elems {
+		c.SetLoc(i, device.Kind(el.loc.Load()))
+	}
+	return c
+}
+
+// NFStats returns the per-element NF statistics by name.
+func (r *Runtime) NFStats() map[string]nf.Stats {
+	out := make(map[string]nf.Stats, len(r.elems))
+	for _, el := range r.elems {
+		el.mu.Lock()
+		out[el.name] = el.inst.Stats()
+		el.mu.Unlock()
+	}
+	return out
+}
+
+// Instance returns the live NF instance for a name (tests inspect state).
+func (r *Runtime) Instance(name string) (nf.NF, bool) {
+	for _, el := range r.elems {
+		if el.name == name {
+			el.mu.Lock()
+			defer el.mu.Unlock()
+			return el.inst, true
+		}
+	}
+	return nil, false
+}
+
+// Result summarizes the run so far. The accounting identity is
+//
+//	accepted Sends = Delivered + Σ NF verdict drops + Σ QueueDrops
+//
+// with ingress rejections (Send returning false) counted separately in
+// IngressDrops.
+type Result struct {
+	Latency       metrics.Summary
+	Offered       uint64
+	Delivered     uint64
+	Dropped       uint64 // all drops seen by the meter (ingress + queue)
+	IngressDrops  uint64
+	DeliveredGbps float64 // at emulated (scaled) rate
+	QueueDrops    map[string]uint64
+}
+
+// Results snapshots the runtime's measurements.
+func (r *Runtime) Results() Result {
+	qd := make(map[string]uint64, len(r.elems))
+	for _, el := range r.elems {
+		qd[el.name] = el.drops.Load()
+	}
+	return Result{
+		Latency:       r.latency.Snapshot(),
+		Offered:       r.offered.Load(),
+		Delivered:     r.meter.Packets(),
+		Dropped:       r.meter.Drops(),
+		IngressDrops:  r.ingressDrops.Load(),
+		DeliveredGbps: r.meter.Gbps(),
+		QueueDrops:    qd,
+	}
+}
+
+// gate is a token bucket throttling a worker to a byte rate. take blocks
+// (sleeps) until the requested bytes are available. Rate changes take
+// effect immediately (migration changes the device).
+type gate struct {
+	mu     sync.Mutex
+	rate   float64 // bytes/s
+	tokens float64
+	burst  float64
+	last   time.Time
+}
+
+func (g *gate) setRate(bps float64) {
+	g.mu.Lock()
+	g.rate = bps
+	g.burst = bps / 100 // 10 ms of burst
+	if g.burst < float64(packet.MaxFrameSize) {
+		g.burst = float64(packet.MaxFrameSize)
+	}
+	if g.last.IsZero() {
+		g.last = time.Now()
+		g.tokens = g.burst
+	}
+	g.mu.Unlock()
+}
+
+// take blocks until n bytes of budget are available.
+func (g *gate) take(n int) {
+	for {
+		g.mu.Lock()
+		now := time.Now()
+		g.tokens += g.rate * now.Sub(g.last).Seconds()
+		g.last = now
+		if g.tokens > g.burst {
+			g.tokens = g.burst
+		}
+		if g.tokens >= float64(n) {
+			g.tokens -= float64(n)
+			g.mu.Unlock()
+			return
+		}
+		need := (float64(n) - g.tokens) / g.rate
+		g.mu.Unlock()
+		time.Sleep(time.Duration(need * float64(time.Second)))
+	}
+}

@@ -1,0 +1,153 @@
+package experiments_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+// quickParams shrinks the sweep so experiment tests stay fast while
+// exercising the full code path.
+func quickParams() scenario.Params {
+	p := scenario.DefaultParams()
+	p.PacketSizes = []int{1024}
+	return p
+}
+
+func TestPlacementsMatchFigure1(t *testing.T) {
+	p := quickParams()
+	orig, naive, pam, err := experiments.Placements(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Crossings() != 2 || naive.Crossings() != 4 || pam.Crossings() != 2 {
+		t.Errorf("crossings = %d/%d/%d, want 2/4/2",
+			orig.Crossings(), naive.Crossings(), pam.Crossings())
+	}
+	if naive.At(naive.Index(scenario.NameMonitor)).Loc != device.KindCPU {
+		t.Error("naive did not migrate the Monitor (Figure 1(b))")
+	}
+	if pam.At(pam.Index(scenario.NameLogger)).Loc != device.KindCPU {
+		t.Error("PAM did not migrate the Logger (Figure 1(c))")
+	}
+}
+
+func TestSweepReproducesPaperShape(t *testing.T) {
+	p := quickParams()
+	outs, err := experiments.SweepPolicies(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	var orig, naive, pam experiments.PolicyOutcome
+	for _, o := range outs {
+		switch o.Name {
+		case "Original":
+			orig = o
+		case "Naive":
+			naive = o
+		case "PAM":
+			pam = o
+		}
+	}
+	// Figure 2(a): Original ≈ PAM < Naive, gap ≈ 18%.
+	gap := (naive.AvgLatency - pam.AvgLatency) / naive.AvgLatency
+	if gap < 0.12 || gap > 0.25 {
+		t.Errorf("latency gap = %.3f, want ≈0.18", gap)
+	}
+	// Figure 2(b): Original < Naive ≤ PAM.
+	if !(orig.AvgThrough < naive.AvgThrough && naive.AvgThrough <= pam.AvgThrough+0.02) {
+		t.Errorf("throughput ordering: %.2f / %.2f / %.2f",
+			orig.AvgThrough, naive.AvgThrough, pam.AvgThrough)
+	}
+}
+
+func TestTable1MeasurementsMatchCatalog(t *testing.T) {
+	a, err := experiments.Table1(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(a.Table.Rows))
+	}
+	// Spot-check the Logger row: θS 2.0 measured within 10%.
+	for _, row := range a.Table.Rows {
+		if row[0] != device.TypeLogger {
+			continue
+		}
+		meas, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", row[2], err)
+		}
+		if meas < 1.8 || meas > 2.2 {
+			t.Errorf("Logger θS measured %.2f, want ≈2.0", meas)
+		}
+	}
+	if !strings.Contains(a.Render(), "Table 1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure1ArtifactNarrative(t *testing.T) {
+	a, err := experiments.Figure1(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.Render()
+	for _, want := range []string{"(a) original", "(b) naive", "(c) PAM", "logger0", "fw0"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestPCIeMicrobenchArtifact(t *testing.T) {
+	a := experiments.PCIeMicrobench(quickParams())
+	if len(a.Table.Rows) != 1 { // one packet size in quickParams
+		t.Fatalf("rows = %d", len(a.Table.Rows))
+	}
+}
+
+func TestFPGAProfileSwapsColumn(t *testing.T) {
+	cat := experiments.FPGAProfile(device.Table1())
+	if cat[device.TypeMonitor].SmartNIC != device.Table1()[device.TypeMonitor].FPGA {
+		t.Error("FPGA profile did not replace the SmartNIC column")
+	}
+}
+
+func TestMultiStepSlides(t *testing.T) {
+	a, err := experiments.MultiStep(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Table.Rows) < 2 {
+		t.Fatalf("steps = %d, want ≥2 (sliding border)", len(a.Table.Rows))
+	}
+	for _, row := range a.Table.Rows {
+		if row[2] != "2" {
+			t.Errorf("crossings drifted: %v", row)
+		}
+	}
+}
+
+func TestHeadlineGapNearPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	start := time.Now()
+	_, gap, err := experiments.Headline(scenario.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("headline gap %.3f in %v", gap, time.Since(start))
+	if gap < 0.15 || gap > 0.21 {
+		t.Errorf("headline gap = %.1f%%, want ≈18%%", gap*100)
+	}
+}

@@ -1,0 +1,214 @@
+package flow_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/packet"
+)
+
+func key(a, b byte, sp, dp uint16) flow.Key {
+	return flow.Key{
+		SrcIP:   packet.IPv4Addr{10, 0, 0, a},
+		DstIP:   packet.IPv4Addr{10, 0, 0, b},
+		SrcPort: sp,
+		DstPort: dp,
+		Proto:   packet.ProtoTCP,
+	}
+}
+
+func TestReverseAndCanonical(t *testing.T) {
+	k := key(1, 2, 100, 200)
+	r := k.Reverse()
+	if r.SrcIP != k.DstIP || r.SrcPort != k.DstPort {
+		t.Fatalf("reverse = %v", r)
+	}
+	if k.Canonical() != r.Canonical() {
+		t.Error("canonical differs across directions")
+	}
+}
+
+func TestSymmetricHash(t *testing.T) {
+	k := key(1, 2, 100, 200)
+	if k.SymmetricHash() != k.Reverse().SymmetricHash() {
+		t.Error("symmetric hash is not symmetric")
+	}
+	if k.Hash() == k.Reverse().Hash() {
+		t.Error("directional hash unexpectedly symmetric (collision?)")
+	}
+}
+
+func TestFromDecoder(t *testing.T) {
+	b := packet.NewBuilder()
+	frame := b.BuildUDP4(
+		packet.Ethernet{Type: packet.EtherTypeIPv4},
+		packet.IPv4{Version: 4, TTL: 64, Src: packet.IPv4Addr{1, 1, 1, 1}, Dst: packet.IPv4Addr{2, 2, 2, 2}},
+		packet.UDP{SrcPort: 5, DstPort: 6}, nil)
+	d := packet.NewDecoder()
+	if _, err := d.Decode(frame); err != nil {
+		t.Fatal(err)
+	}
+	k, ok := flow.FromDecoder(d)
+	if !ok {
+		t.Fatal("no flow extracted")
+	}
+	if k.SrcPort != 5 || k.DstPort != 6 || k.Proto != packet.ProtoUDP {
+		t.Errorf("key = %v", k)
+	}
+}
+
+func TestTableTouchAndLookup(t *testing.T) {
+	tbl := flow.NewTable(time.Second, 0)
+	k := key(1, 2, 3, 4)
+	e := tbl.Touch(k, 100, 10*time.Millisecond)
+	if e.Packets != 1 || e.Bytes != 100 {
+		t.Fatalf("entry = %+v", e)
+	}
+	tbl.Touch(k, 50, 20*time.Millisecond)
+	got, ok := tbl.Lookup(k, 30*time.Millisecond)
+	if !ok || got.Packets != 2 || got.Bytes != 150 {
+		t.Fatalf("lookup = %+v ok=%v", got, ok)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("len = %d", tbl.Len())
+	}
+}
+
+func TestTableTTLExpiry(t *testing.T) {
+	tbl := flow.NewTable(100*time.Millisecond, 0)
+	k := key(1, 2, 3, 4)
+	tbl.Touch(k, 10, 0)
+	if _, ok := tbl.Lookup(k, 50*time.Millisecond); !ok {
+		t.Fatal("entry expired too early")
+	}
+	if _, ok := tbl.Lookup(k, 200*time.Millisecond); ok {
+		t.Fatal("entry did not expire")
+	}
+}
+
+func TestTableSweep(t *testing.T) {
+	tbl := flow.NewTable(time.Millisecond, 0)
+	for i := 0; i < 50; i++ {
+		tbl.Touch(key(byte(i), 2, 3, 4), 10, 0)
+	}
+	if n := tbl.Sweep(time.Second); n != 50 {
+		t.Errorf("swept %d, want 50", n)
+	}
+	if tbl.Len() != 0 {
+		t.Errorf("len = %d after sweep", tbl.Len())
+	}
+}
+
+func TestTableBoundEviction(t *testing.T) {
+	tbl := flow.NewTable(0, 16)
+	for i := 0; i < 200; i++ {
+		tbl.Touch(key(byte(i), byte(i/255), uint16(i), 4), 10, time.Duration(i))
+	}
+	if tbl.Len() > 16 {
+		t.Errorf("len = %d, want ≤ 16", tbl.Len())
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	tbl := flow.NewTable(0, 0)
+	for i := 0; i < 20; i++ {
+		tbl.Touch(key(byte(i), 2, 3, 4), i*10, time.Duration(i))
+	}
+	snap := tbl.Snapshot()
+	if len(snap) != 20 {
+		t.Fatalf("snapshot = %d entries", len(snap))
+	}
+	tbl2 := flow.NewTable(0, 0)
+	tbl2.Restore(snap)
+	if tbl2.Len() != 20 {
+		t.Fatalf("restored = %d entries", tbl2.Len())
+	}
+	e, ok := tbl2.Lookup(key(5, 2, 3, 4), time.Hour)
+	if !ok || e.Bytes != 50 {
+		t.Fatalf("restored entry = %+v ok=%v", e, ok)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tbl := flow.NewTable(0, 0)
+	k := key(9, 2, 3, 4)
+	tbl.Touch(k, 1, 0)
+	if !tbl.Delete(k) {
+		t.Error("delete existing returned false")
+	}
+	if tbl.Delete(k) {
+		t.Error("delete missing returned true")
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tbl := flow.NewTable(0, 0)
+	for i := 0; i < 10; i++ {
+		tbl.Touch(key(byte(i), 2, 3, 4), 1, 0)
+	}
+	n := 0
+	tbl.Range(func(*flow.Entry) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("visited %d, want 3", n)
+	}
+}
+
+// Property: SymmetricHash is invariant under direction reversal for random
+// keys, and Canonical is idempotent.
+func TestPropertySymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := flow.Key{
+			SrcIP:   packet.IPv4FromUint32(r.Uint32()),
+			DstIP:   packet.IPv4FromUint32(r.Uint32()),
+			SrcPort: uint16(r.Intn(65536)),
+			DstPort: uint16(r.Intn(65536)),
+			Proto:   packet.IPProto(r.Intn(256)),
+		}
+		if k.SymmetricHash() != k.Reverse().SymmetricHash() {
+			return false
+		}
+		c := k.Canonical()
+		return c == c.Canonical()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: table counters equal the sum of touches for any sequence.
+func TestPropertyTableAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tbl := flow.NewTable(0, 0)
+		keys := make([]flow.Key, 1+r.Intn(8))
+		for i := range keys {
+			keys[i] = key(byte(i), 7, uint16(i), 99)
+		}
+		wantPkts := make(map[flow.Key]uint64)
+		wantBytes := make(map[flow.Key]uint64)
+		for i := 0; i < 500; i++ {
+			k := keys[r.Intn(len(keys))]
+			n := r.Intn(1500)
+			tbl.Touch(k, n, time.Duration(i))
+			wantPkts[k]++
+			wantBytes[k] += uint64(n)
+		}
+		for k, wp := range wantPkts {
+			e, ok := tbl.Lookup(k, time.Hour)
+			if !ok || e.Packets != wp || e.Bytes != wantBytes[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+package nf
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"repro/internal/device"
+)
+
+// DPI scans application payloads for a signature set using an Aho–Corasick
+// automaton (all patterns matched in one pass). Matching packets are dropped
+// (inline IPS behaviour) or passed with a hit counter, per BlockOnMatch.
+// Its payload-heavy workload explains the low NIC capacity in the extended
+// catalog. The automaton is rebuilt from patterns on restore; match counts
+// migrate.
+type DPI struct {
+	base
+	blockOnMatch bool
+
+	mu       sync.RWMutex
+	patterns []string
+	ac       *ahoCorasick
+	hits     map[string]uint64
+}
+
+// NewDPI builds a DPI engine over the given byte-string patterns.
+func NewDPI(name string, patterns []string, blockOnMatch bool) *DPI {
+	d := &DPI{
+		base:         newBase(name, device.TypeDPI),
+		blockOnMatch: blockOnMatch,
+		hits:         make(map[string]uint64),
+	}
+	d.setPatterns(patterns)
+	return d
+}
+
+func (d *DPI) setPatterns(patterns []string) {
+	cp := append([]string(nil), patterns...)
+	d.mu.Lock()
+	d.patterns = cp
+	d.ac = newAhoCorasick(cp)
+	d.mu.Unlock()
+}
+
+// Process implements NF: scan the application payload (or the whole frame
+// when no transport layer decoded).
+func (d *DPI) Process(ctx *Ctx) (Verdict, error) {
+	payload := ctx.Decoder.Payload
+	if payload == nil {
+		payload = ctx.Frame
+	}
+	d.mu.RLock()
+	matches := d.ac.scan(payload)
+	d.mu.RUnlock()
+	if len(matches) == 0 {
+		return d.account(VerdictPass, nil)
+	}
+	d.mu.Lock()
+	for _, m := range matches {
+		d.hits[m]++
+	}
+	d.mu.Unlock()
+	if d.blockOnMatch {
+		return d.account(VerdictDrop, nil)
+	}
+	return d.account(VerdictPass, nil)
+}
+
+// Hits returns a copy of the per-pattern match counters.
+func (d *DPI) Hits() map[string]uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[string]uint64, len(d.hits))
+	for k, v := range d.hits {
+		out[k] = v
+	}
+	return out
+}
+
+type dpiState struct {
+	Patterns     []string
+	BlockOnMatch bool
+	Hits         map[string]uint64
+}
+
+// Snapshot implements Stateful.
+func (d *DPI) Snapshot() ([]byte, error) {
+	d.mu.RLock()
+	st := dpiState{
+		Patterns:     append([]string(nil), d.patterns...),
+		BlockOnMatch: d.blockOnMatch,
+		Hits:         make(map[string]uint64, len(d.hits)),
+	}
+	for k, v := range d.hits {
+		st.Hits[k] = v
+	}
+	d.mu.RUnlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("dpi %s: snapshot: %w", d.name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements Stateful.
+func (d *DPI) Restore(data []byte) error {
+	var st dpiState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("dpi %s: restore: %w", d.name, err)
+	}
+	d.setPatterns(st.Patterns)
+	d.mu.Lock()
+	d.blockOnMatch = st.BlockOnMatch
+	d.hits = st.Hits
+	if d.hits == nil {
+		d.hits = make(map[string]uint64)
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// ahoCorasick is a byte-level Aho–Corasick automaton over a dense goto
+// table (256-way per node): O(len(input)) scan independent of pattern count.
+type ahoCorasick struct {
+	next [][256]int32
+	fail []int32
+	out  [][]string
+}
+
+// newAhoCorasick builds the automaton for the patterns (empty patterns are
+// ignored).
+func newAhoCorasick(patterns []string) *ahoCorasick {
+	ac := &ahoCorasick{
+		next: make([][256]int32, 1),
+		fail: make([]int32, 1),
+		out:  make([][]string, 1),
+	}
+	for i := range ac.next[0] {
+		ac.next[0][i] = -1
+	}
+	// Build the trie.
+	for _, p := range patterns {
+		if p == "" {
+			continue
+		}
+		cur := int32(0)
+		for i := 0; i < len(p); i++ {
+			c := p[i]
+			if ac.next[cur][c] == -1 {
+				ac.next = append(ac.next, [256]int32{})
+				for j := range ac.next[len(ac.next)-1] {
+					ac.next[len(ac.next)-1][j] = -1
+				}
+				ac.fail = append(ac.fail, 0)
+				ac.out = append(ac.out, nil)
+				ac.next[cur][c] = int32(len(ac.next) - 1)
+			}
+			cur = ac.next[cur][c]
+		}
+		ac.out[cur] = append(ac.out[cur], p)
+	}
+	// BFS to fill failure links and convert to a full goto function.
+	queue := make([]int32, 0, len(ac.next))
+	for c := 0; c < 256; c++ {
+		if ac.next[0][c] == -1 {
+			ac.next[0][c] = 0
+		} else {
+			ac.fail[ac.next[0][c]] = 0
+			queue = append(queue, ac.next[0][c])
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		ac.out[u] = append(ac.out[u], ac.out[ac.fail[u]]...)
+		for c := 0; c < 256; c++ {
+			v := ac.next[u][c]
+			if v == -1 {
+				ac.next[u][c] = ac.next[ac.fail[u]][c]
+				continue
+			}
+			ac.fail[v] = ac.next[ac.fail[u]][c]
+			queue = append(queue, v)
+		}
+	}
+	return ac
+}
+
+// scan returns the distinct patterns found in data (each reported once).
+func (ac *ahoCorasick) scan(data []byte) []string {
+	var found []string
+	var seen map[string]bool
+	cur := int32(0)
+	for _, b := range data {
+		cur = ac.next[cur][b]
+		if outs := ac.out[cur]; len(outs) > 0 {
+			if seen == nil {
+				seen = make(map[string]bool, 4)
+			}
+			for _, p := range outs {
+				if !seen[p] {
+					seen[p] = true
+					found = append(found, p)
+				}
+			}
+		}
+	}
+	return found
+}
+
+var (
+	_ NF       = (*DPI)(nil)
+	_ Stateful = (*DPI)(nil)
+)

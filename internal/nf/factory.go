@@ -1,0 +1,58 @@
+package nf
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/packet"
+)
+
+// New constructs a default-configured NF instance of the given catalog type,
+// the factory the emulator uses to materialize chain elements. Instances can
+// always be built directly for custom configuration.
+func New(name, nfType string) (NF, error) {
+	switch nfType {
+	case device.TypeFirewall:
+		return NewFirewall(name, DefaultFirewallRules(), false), nil
+	case device.TypeLogger:
+		return NewLogger(name, 4096), nil
+	case device.TypeMonitor:
+		return NewMonitor(name, 0, 1<<16), nil
+	case device.TypeLoadBalancer:
+		return NewLoadBalancer(name, DefaultBackends())
+	case device.TypeNAT:
+		return NewNAT(name, packet.IPv4Addr{203, 0, 113, 1}, 20000, 60000)
+	case device.TypeDPI:
+		return NewDPI(name, DefaultSignatures(), true), nil
+	case device.TypeRateLimiter:
+		return NewRateLimiter(name, 8, 0), nil
+	case device.TypeIDS:
+		return NewIDS(name, 100, 50), nil
+	default:
+		return nil, fmt.Errorf("nf: unknown type %q", nfType)
+	}
+}
+
+// DefaultFirewallRules returns a small realistic rule set: block a bogon
+// prefix, block telnet, allow everything else (default-allow instance).
+func DefaultFirewallRules() []Rule {
+	return []Rule{
+		{Priority: 10, AnyProto: true, SrcIP: packet.IPv4Addr{198, 51, 100, 0}, SrcBits: 24, Action: ActionDeny},
+		{Priority: 20, Proto: packet.ProtoTCP, DstPortMin: 23, DstPortMax: 23, Action: ActionDeny},
+		{Priority: 100, AnyProto: true, Action: ActionAllow},
+	}
+}
+
+// DefaultBackends returns the load balancer's default backend pool.
+func DefaultBackends() []Backend {
+	return []Backend{
+		{IP: packet.IPv4Addr{192, 168, 100, 1}, Weight: 1},
+		{IP: packet.IPv4Addr{192, 168, 100, 2}, Weight: 1},
+		{IP: packet.IPv4Addr{192, 168, 100, 3}, Weight: 2},
+	}
+}
+
+// DefaultSignatures returns the DPI default signature set.
+func DefaultSignatures() []string {
+	return []string{"EVILPAYLOAD", "SELECT * FROM", "/etc/passwd", "\x90\x90\x90\x90"}
+}

@@ -1,0 +1,193 @@
+package nf
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/flow"
+	"repro/internal/packet"
+)
+
+// Alert is one IDS detection event.
+type Alert struct {
+	At     time.Duration
+	Key    flow.Key
+	Reason string
+}
+
+// IDS is a lightweight intrusion detector combining two classic detectors:
+//
+//   - SYN-flood detection: per-source half-open (SYN without ACK) counting
+//     with a threshold, and
+//   - port-scan detection: per-source distinct destination port counting
+//     within a window.
+//
+// Offending packets are dropped once a source is flagged. Flag sets and
+// counters are the migratable state.
+type IDS struct {
+	base
+	synThreshold  int
+	scanThreshold int
+
+	mu       sync.Mutex
+	halfOpen map[packet.IPv4Addr]int
+	ports    map[packet.IPv4Addr]map[uint16]bool
+	flagged  map[packet.IPv4Addr]string
+	alerts   []Alert
+}
+
+// NewIDS builds an IDS; synThreshold flags a source after that many
+// half-open SYNs, scanThreshold after that many distinct destination ports.
+func NewIDS(name string, synThreshold, scanThreshold int) *IDS {
+	if synThreshold < 1 {
+		synThreshold = 100
+	}
+	if scanThreshold < 1 {
+		scanThreshold = 50
+	}
+	return &IDS{
+		base:          newBase(name, device.TypeIDS),
+		synThreshold:  synThreshold,
+		scanThreshold: scanThreshold,
+		halfOpen:      make(map[packet.IPv4Addr]int),
+		ports:         make(map[packet.IPv4Addr]map[uint16]bool),
+		flagged:       make(map[packet.IPv4Addr]string),
+	}
+}
+
+// Process implements NF.
+func (d *IDS) Process(ctx *Ctx) (Verdict, error) {
+	if !ctx.HasFlow {
+		return d.account(VerdictPass, nil)
+	}
+	src := ctx.FlowKey.SrcIP
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if reason, bad := d.flagged[src]; bad {
+		_ = reason
+		return d.account(VerdictDrop, nil)
+	}
+	// SYN-flood detector.
+	if ctx.FlowKey.Proto == packet.ProtoTCP && ctx.Decoder.Has(packet.LayerTCP) {
+		fl := ctx.Decoder.TCP.Flags
+		if fl&packet.TCPSyn != 0 && fl&packet.TCPAck == 0 {
+			d.halfOpen[src]++
+			if d.halfOpen[src] >= d.synThreshold {
+				d.flag(src, "syn-flood", ctx)
+				return d.account(VerdictDrop, nil)
+			}
+		} else if fl&packet.TCPAck != 0 && d.halfOpen[src] > 0 {
+			d.halfOpen[src]--
+		}
+	}
+	// Port-scan detector.
+	ps := d.ports[src]
+	if ps == nil {
+		ps = make(map[uint16]bool)
+		d.ports[src] = ps
+	}
+	ps[ctx.FlowKey.DstPort] = true
+	if len(ps) >= d.scanThreshold {
+		d.flag(src, "port-scan", ctx)
+		return d.account(VerdictDrop, nil)
+	}
+	return d.account(VerdictPass, nil)
+}
+
+// flag marks a source and records the alert (callers hold d.mu).
+func (d *IDS) flag(src packet.IPv4Addr, reason string, ctx *Ctx) {
+	d.flagged[src] = reason
+	d.alerts = append(d.alerts, Alert{At: ctx.Now, Key: ctx.FlowKey, Reason: reason})
+}
+
+// Alerts returns a copy of recorded alerts.
+func (d *IDS) Alerts() []Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Alert(nil), d.alerts...)
+}
+
+// FlaggedCount returns how many sources are currently blocked.
+func (d *IDS) FlaggedCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.flagged)
+}
+
+type idsState struct {
+	SynThreshold  int
+	ScanThreshold int
+	HalfOpen      map[packet.IPv4Addr]int
+	Ports         map[packet.IPv4Addr][]uint16
+	Flagged       map[packet.IPv4Addr]string
+	Alerts        []Alert
+}
+
+// Snapshot implements Stateful.
+func (d *IDS) Snapshot() ([]byte, error) {
+	d.mu.Lock()
+	st := idsState{
+		SynThreshold:  d.synThreshold,
+		ScanThreshold: d.scanThreshold,
+		HalfOpen:      make(map[packet.IPv4Addr]int, len(d.halfOpen)),
+		Ports:         make(map[packet.IPv4Addr][]uint16, len(d.ports)),
+		Flagged:       make(map[packet.IPv4Addr]string, len(d.flagged)),
+		Alerts:        append([]Alert(nil), d.alerts...),
+	}
+	for k, v := range d.halfOpen {
+		st.HalfOpen[k] = v
+	}
+	for k, m := range d.ports {
+		for p := range m {
+			st.Ports[k] = append(st.Ports[k], p)
+		}
+	}
+	for k, v := range d.flagged {
+		st.Flagged[k] = v
+	}
+	d.mu.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("ids %s: snapshot: %w", d.name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements Stateful.
+func (d *IDS) Restore(data []byte) error {
+	var st idsState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("ids %s: restore: %w", d.name, err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.synThreshold = st.SynThreshold
+	d.scanThreshold = st.ScanThreshold
+	d.halfOpen = st.HalfOpen
+	if d.halfOpen == nil {
+		d.halfOpen = make(map[packet.IPv4Addr]int)
+	}
+	d.ports = make(map[packet.IPv4Addr]map[uint16]bool, len(st.Ports))
+	for k, list := range st.Ports {
+		m := make(map[uint16]bool, len(list))
+		for _, p := range list {
+			m[p] = true
+		}
+		d.ports[k] = m
+	}
+	d.flagged = st.Flagged
+	if d.flagged == nil {
+		d.flagged = make(map[packet.IPv4Addr]string)
+	}
+	d.alerts = st.Alerts
+	return nil
+}
+
+var (
+	_ NF       = (*IDS)(nil)
+	_ Stateful = (*IDS)(nil)
+)

@@ -1,0 +1,186 @@
+package nf
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/flow"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+)
+
+// Backend is a load-balancer target.
+type Backend struct {
+	IP     packet.IPv4Addr
+	Weight int // ≥1; relative share of new flows
+}
+
+// LoadBalancer is an L4 load balancer: new flows are assigned to a backend
+// by weighted rendezvous hashing on the symmetric flow hash (so both
+// directions stick), the destination IP is rewritten and checksums fixed.
+// The flow→backend binding table is the migratable state — exactly the kind
+// of state OpenNF/UNO-style migration must move without loss.
+type LoadBalancer struct {
+	base
+	mu       sync.RWMutex
+	backends []Backend
+	bindings *flow.Table
+	rewrites metrics.Counter
+}
+
+// NewLoadBalancer builds a load balancer over the given backends (at least
+// one; weights below 1 are raised to 1).
+func NewLoadBalancer(name string, backends []Backend) (*LoadBalancer, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("loadbalancer %s: no backends", name)
+	}
+	cp := make([]Backend, len(backends))
+	copy(cp, backends)
+	for i := range cp {
+		if cp[i].Weight < 1 {
+			cp[i].Weight = 1
+		}
+	}
+	return &LoadBalancer{
+		base:     newBase(name, device.TypeLoadBalancer),
+		backends: cp,
+		bindings: flow.NewTable(0, 1<<16),
+	}, nil
+}
+
+// Backends returns a copy of the backend set.
+func (lb *LoadBalancer) Backends() []Backend {
+	lb.mu.RLock()
+	defer lb.mu.RUnlock()
+	cp := make([]Backend, len(lb.backends))
+	copy(cp, lb.backends)
+	return cp
+}
+
+// Process implements NF: bind the flow to a backend (existing binding wins),
+// rewrite the destination IP, and fix checksums.
+func (lb *LoadBalancer) Process(ctx *Ctx) (Verdict, error) {
+	if !ctx.HasFlow {
+		return lb.account(VerdictPass, nil) // non-IPv4 passes untouched
+	}
+	key := ctx.FlowKey.Canonical()
+	var target packet.IPv4Addr
+	if e, ok := lb.bindings.Lookup(key, ctx.Now); ok {
+		target = e.Value.(packet.IPv4Addr)
+		lb.bindings.Touch(key, len(ctx.Frame), ctx.Now)
+	} else {
+		target = lb.pick(key)
+		e := lb.bindings.Touch(key, len(ctx.Frame), ctx.Now)
+		e.Value = target
+	}
+	if err := rewriteDstIP(ctx.Frame, target); err != nil {
+		return lb.account(VerdictDrop, err)
+	}
+	lb.rewrites.Inc()
+	return lb.account(VerdictPass, nil)
+}
+
+// pick selects a backend by weighted rendezvous hashing: deterministic for
+// a key regardless of backend order, stable under backend addition/removal
+// except for the moved share.
+func (lb *LoadBalancer) pick(key flow.Key) packet.IPv4Addr {
+	lb.mu.RLock()
+	defer lb.mu.RUnlock()
+	h := key.SymmetricHash()
+	var best uint64
+	var bestIP packet.IPv4Addr
+	for _, b := range lb.backends {
+		score := mix(h ^ uint64(b.IP.Uint32()))
+		// Weighted rendezvous: replicate weight times with distinct salts.
+		for w := 0; w < b.Weight; w++ {
+			s := mix(score + uint64(w)*0x9e3779b97f4a7c15)
+			if s > best {
+				best, bestIP = s, b.IP
+			}
+		}
+	}
+	return bestIP
+}
+
+// mix is a 64-bit finalizer (splitmix64's avalanche).
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// rewriteDstIP rewrites the IPv4 destination address in place and fixes the
+// IP and transport checksums.
+func rewriteDstIP(frame []byte, ip packet.IPv4Addr) error {
+	if len(frame) < packet.EthernetHeaderLen+packet.IPv4MinHeaderLen {
+		return fmt.Errorf("loadbalancer: %w", packet.ErrTruncated)
+	}
+	copy(frame[packet.EthernetHeaderLen+16:packet.EthernetHeaderLen+20], ip[:])
+	if err := packet.FixupIPv4Checksum(frame); err != nil {
+		return err
+	}
+	// Transport checksum covers the pseudo-header; best effort for TCP/UDP.
+	if err := packet.FixupTransportChecksum(frame); err != nil {
+		// ICMP and other protocols carry no pseudo-header checksum.
+		if frame[packet.EthernetHeaderLen+9] == byte(packet.ProtoTCP) ||
+			frame[packet.EthernetHeaderLen+9] == byte(packet.ProtoUDP) {
+			return err
+		}
+	}
+	return nil
+}
+
+// lbBinding is the serializable flow→backend pair.
+type lbBinding struct {
+	Entry flow.Entry
+	IP    packet.IPv4Addr
+}
+
+type lbState struct {
+	Backends []Backend
+	Bindings []lbBinding
+}
+
+// Snapshot implements Stateful.
+func (lb *LoadBalancer) Snapshot() ([]byte, error) {
+	st := lbState{Backends: lb.Backends()}
+	for _, e := range lb.bindings.Snapshot() {
+		ip, _ := e.Value.(packet.IPv4Addr)
+		e.Value = nil
+		st.Bindings = append(st.Bindings, lbBinding{Entry: e, IP: ip})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("loadbalancer %s: snapshot: %w", lb.name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements Stateful.
+func (lb *LoadBalancer) Restore(data []byte) error {
+	var st lbState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("loadbalancer %s: restore: %w", lb.name, err)
+	}
+	lb.mu.Lock()
+	lb.backends = st.Backends
+	lb.mu.Unlock()
+	lb.bindings = flow.NewTable(0, 1<<16)
+	for _, b := range st.Bindings {
+		e := b.Entry
+		e.Value = b.IP
+		lb.bindings.Restore([]flow.Entry{e})
+	}
+	return nil
+}
+
+var (
+	_ NF       = (*LoadBalancer)(nil)
+	_ Stateful = (*LoadBalancer)(nil)
+)

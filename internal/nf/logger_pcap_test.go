@@ -1,0 +1,92 @@
+package nf_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/nf"
+	"repro/internal/pcap"
+	"repro/internal/traffic"
+)
+
+func TestLoggerCaptureExportsPcap(t *testing.T) {
+	lg := nf.NewLoggerCapture("log", 64, 96)
+	synth := traffic.NewSynth(4, 9)
+	var wantSizes []int
+	for i := 0; i < 10; i++ {
+		fr := synth.Frame(uint64(i%4), 200+i*10)
+		ctx, _ := mkCtx(t, fr, time.Duration(i)*time.Millisecond)
+		if v, _ := lg.Process(ctx); v != nf.VerdictPass {
+			t.Fatal("logger dropped")
+		}
+		wantSizes = append(wantSizes, len(fr))
+	}
+
+	var buf bytes.Buffer
+	n, err := lg.WritePcap(&buf)
+	if err != nil {
+		t.Fatalf("WritePcap: %v", err)
+	}
+	if n != 10 {
+		t.Fatalf("wrote %d packets, want 10", n)
+	}
+	pkts, err := pcap.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(pkts) != 10 {
+		t.Fatalf("read %d packets", len(pkts))
+	}
+	for i, p := range pkts {
+		if p.OrigLen != wantSizes[i] {
+			t.Errorf("pkt %d origlen = %d, want %d", i, p.OrigLen, wantSizes[i])
+		}
+		if len(p.Data) > 96 {
+			t.Errorf("pkt %d not truncated to snaplen: %d", i, len(p.Data))
+		}
+		if p.Time != time.Duration(i)*time.Millisecond {
+			t.Errorf("pkt %d time = %v", i, p.Time)
+		}
+	}
+}
+
+func TestLoggerCaptureSurvivesMigration(t *testing.T) {
+	lg := nf.NewLoggerCapture("log", 8, 128)
+	synth := traffic.NewSynth(2, 9)
+	for i := 0; i < 5; i++ {
+		ctx, _ := mkCtx(t, synth.Frame(0, 256), time.Duration(i))
+		lg.Process(ctx)
+	}
+	blob, err := lg.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg2 := nf.NewLogger("log", 1) // plain logger; restore brings capture config
+	if err := lg2.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := lg2.WritePcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("restored journal exported %d packets, want 5", n)
+	}
+}
+
+func TestPlainLoggerExportsNothing(t *testing.T) {
+	lg := nf.NewLogger("log", 8)
+	synth := traffic.NewSynth(2, 9)
+	ctx, _ := mkCtx(t, synth.Frame(0, 256), 0)
+	lg.Process(ctx)
+	var buf bytes.Buffer
+	n, err := lg.WritePcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("plain logger exported %d packets", n)
+	}
+}

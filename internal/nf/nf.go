@@ -1,0 +1,138 @@
+// Package nf is the network-function framework of the reproduction: the NF
+// interface real packets flow through in the execution emulator, the
+// processing context with its pre-decoded layers, verdicts, per-NF
+// statistics, and state snapshot/restore hooks consumed by the UNO-style
+// migration mechanism (internal/migrate).
+//
+// Eight NFs are implemented: the paper's four (Firewall, Logger, Monitor,
+// LoadBalancer) plus NAT, DPI, RateLimiter and IDS for wider chains. All are
+// functionally real — the Firewall matches rules, the NAT rewrites headers
+// and fixes checksums, the DPI scans payloads with Aho–Corasick — because
+// migration must move real state between devices.
+package nf
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+)
+
+// Verdict is an NF's decision for a packet.
+type Verdict uint8
+
+// Verdicts.
+const (
+	// VerdictPass forwards the packet to the next NF unchanged or modified
+	// in place.
+	VerdictPass Verdict = iota
+	// VerdictDrop discards the packet (firewall deny, rate limit, IDS
+	// block).
+	VerdictDrop
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	if v == VerdictDrop {
+		return "drop"
+	}
+	return "pass"
+}
+
+// Ctx carries one packet through an NF. Frame is the mutable wire frame;
+// Decoder holds its pre-decoded layers (decoded once per chain hop by the
+// runtime, shared by the NFs of a segment); Now is virtual or wall-clock
+// time; FlowKey is the extracted 5-tuple when IPv4.
+type Ctx struct {
+	Frame   []byte
+	Decoder *packet.Decoder
+	Now     time.Duration
+	FlowKey flow.Key
+	HasFlow bool
+}
+
+// NF is a network function instance. Process must be safe for concurrent
+// calls only if the NF is marked Concurrent; the emulator serializes calls
+// otherwise. Implementations must not retain ctx or its frame beyond the
+// call.
+type NF interface {
+	// Name returns the instance name (unique within a chain).
+	Name() string
+	// Type returns the catalog type name (device.Type*).
+	Type() string
+	// Process handles one packet and returns the verdict and an error for
+	// malformed input the NF refuses to handle (counted, packet dropped).
+	Process(ctx *Ctx) (Verdict, error)
+	// Stats returns a snapshot of the NF's counters.
+	Stats() Stats
+}
+
+// Stateful is implemented by NFs carrying migratable runtime state. The
+// migration mechanism calls Snapshot on the source instance, transfers the
+// bytes, and Restore on the destination instance.
+type Stateful interface {
+	NF
+	// Snapshot serializes the NF's dynamic state.
+	Snapshot() ([]byte, error)
+	// Restore installs a snapshot taken from an instance of the same type.
+	Restore(data []byte) error
+}
+
+// Stats counts an NF's packet outcomes.
+type Stats struct {
+	Processed uint64
+	Passed    uint64
+	Dropped   uint64
+	Errors    uint64
+}
+
+// String renders the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("processed=%d passed=%d dropped=%d errors=%d",
+		s.Processed, s.Passed, s.Dropped, s.Errors)
+}
+
+// base carries the bookkeeping shared by all NF implementations.
+type base struct {
+	name      string
+	typ       string
+	processed metrics.Counter
+	passed    metrics.Counter
+	dropped   metrics.Counter
+	errors    metrics.Counter
+}
+
+func newBase(name, typ string) base { return base{name: name, typ: typ} }
+
+// Name implements NF.
+func (b *base) Name() string { return b.name }
+
+// Type implements NF.
+func (b *base) Type() string { return b.typ }
+
+// Stats implements NF.
+func (b *base) Stats() Stats {
+	return Stats{
+		Processed: b.processed.Load(),
+		Passed:    b.passed.Load(),
+		Dropped:   b.dropped.Load(),
+		Errors:    b.errors.Load(),
+	}
+}
+
+// account records the outcome of one Process call.
+func (b *base) account(v Verdict, err error) (Verdict, error) {
+	b.processed.Inc()
+	if err != nil {
+		b.errors.Inc()
+		return VerdictDrop, err
+	}
+	if v == VerdictDrop {
+		b.dropped.Inc()
+	} else {
+		b.passed.Inc()
+	}
+	return v, nil
+}

@@ -1,0 +1,177 @@
+package orchestrator_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/chainsim"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/migrate"
+	"repro/internal/orchestrator"
+	"repro/internal/pcie"
+	"repro/internal/scenario"
+	"repro/internal/telemetry"
+	"repro/internal/traffic"
+)
+
+func newSim(t *testing.T) *chainsim.Sim {
+	t.Helper()
+	p := scenario.DefaultParams()
+	s, err := chainsim.New(chainsim.Config{
+		Chain:         scenario.Figure1Chain(),
+		Catalog:       device.Table1(),
+		NFOverhead:    p.NFOverhead,
+		Link:          pcie.Link{PropDelay: p.PCIeLatency, BandwidthGbps: p.PCIeBandwidthGbps},
+		DMAEngineGbps: float64(p.DMAEngineGbps),
+		QueueCapacity: p.QueueCapacity,
+		Seed:          p.Seed,
+		SampleEvery:   5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func orchConfig() orchestrator.Config {
+	return orchestrator.Config{
+		PollEvery: 5 * time.Millisecond,
+		Selector:  core.PAM{},
+		Detector:  telemetry.DetectorConfig{Consecutive: 3, Alpha: 0.5},
+		Transport: migrate.PCIeTransport{Link: pcie.DefaultLink(), Setup: time.Millisecond},
+	}
+}
+
+func TestControlLoopMigratesOnOverload(t *testing.T) {
+	p := scenario.DefaultParams()
+	s := newSim(t)
+	o, err := orchestrator.New(s, orchConfig(), scenario.View(scenario.Figure1Chain(), p, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Start()
+
+	// Ramp: calm, then a hot spot well past the NIC saturation point.
+	src, err := traffic.NewRamp([]traffic.Phase{
+		{RateGbps: 0.5, Duration: 100 * time.Millisecond},
+		{RateGbps: 3.0, Duration: 500 * time.Millisecond},
+	}, traffic.FixedSize(1024), traffic.ProcessCBR, 16, p.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Inject(src)
+	res := s.Run(600 * time.Millisecond)
+
+	if o.Migrations() != 1 {
+		t.Fatalf("migrations = %d, want 1\nlog:\n%s", o.Migrations(), o.Describe())
+	}
+	evs := o.Events()
+	if len(evs) == 0 || evs[0].Kind != orchestrator.EventMigrated {
+		t.Fatalf("events = %v", evs)
+	}
+	plan := evs[0].Plan
+	if plan.Selector != "PAM" || len(plan.Steps) != 1 || plan.Steps[0].Element != scenario.NameLogger {
+		t.Errorf("plan = %v, want PAM migrating logger0", plan)
+	}
+	if evs[0].Downtime <= 0 {
+		t.Error("no modelled migration downtime")
+	}
+	// The placement must have been applied to the dataplane.
+	got := s.Placement()
+	if got.At(got.Index(scenario.NameLogger)).Loc != device.KindCPU {
+		t.Errorf("placement not applied: %v", got)
+	}
+	if res.Migrations != 1 {
+		t.Errorf("sim recorded %d migrations", res.Migrations)
+	}
+}
+
+func TestControlLoopQuietWhenUnderloaded(t *testing.T) {
+	p := scenario.DefaultParams()
+	s := newSim(t)
+	o, err := orchestrator.New(s, orchConfig(), scenario.View(scenario.Figure1Chain(), p, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Start()
+	src, err := traffic.NewGen(0.5, traffic.FixedSize(1024), traffic.ProcessCBR, 16, 0, 300*time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Inject(src)
+	s.Run(300 * time.Millisecond)
+	if o.Migrations() != 0 {
+		t.Errorf("migrated under calm load:\n%s", o.Describe())
+	}
+}
+
+func TestControlLoopRespectsMaxMigrations(t *testing.T) {
+	p := scenario.DefaultParams()
+	s := newSim(t)
+	cfg := orchConfig()
+	cfg.MaxMigrations = 0 // unbounded
+	cfg.Selector = core.NaiveCheapestOnCPU{}
+	o, err := orchestrator.New(s, cfg, scenario.View(scenario.Figure1Chain(), p, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Start()
+	src, _ := traffic.NewGen(3.5, traffic.FixedSize(1024), traffic.ProcessCBR, 16, 0, 900*time.Millisecond, 1)
+	s.Inject(src)
+	s.Run(900 * time.Millisecond)
+	// The naive policy migrates Monitor; the NIC (Logger+Firewall) is still
+	// hot at 3.5 offered (sat 1.67), so a second episode may fire; the
+	// detector's hysteresis plus cooldown must keep it bounded and the log
+	// must explain each event.
+	if o.Migrations() > 3 {
+		t.Errorf("runaway migrations: %d\n%s", o.Migrations(), o.Describe())
+	}
+	if o.Describe() == "" {
+		t.Error("no event log")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	s := newSim(t)
+	if _, err := orchestrator.New(s, orchestrator.Config{Selector: core.PAM{}}, core.View{}); err == nil {
+		t.Error("zero PollEvery accepted")
+	}
+	if _, err := orchestrator.New(s, orchestrator.Config{PollEvery: time.Second}, core.View{}); err == nil {
+		t.Error("nil selector accepted")
+	}
+}
+
+func TestSkippedEventWhenBothOverloaded(t *testing.T) {
+	// Force Eq. 2 failures: a catalog where the CPU cannot absorb anything.
+	p := scenario.DefaultParams()
+	s := newSim(t)
+	cfg := orchConfig()
+	v := scenario.View(scenario.Figure1Chain(), p, 0)
+	cat := v.Catalog.Clone()
+	cat[device.TypeLogger] = device.Capacity{SmartNIC: 2, CPU: 0.2}
+	cat[device.TypeMonitor] = device.Capacity{SmartNIC: 3.2, CPU: 0.2}
+	cat[device.TypeFirewall] = device.Capacity{SmartNIC: 10, CPU: 0.2}
+	v.Catalog = cat
+	o, err := orchestrator.New(s, cfg, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Start()
+	src, _ := traffic.NewGen(3.0, traffic.FixedSize(1024), traffic.ProcessCBR, 16, 0, 400*time.Millisecond, 1)
+	s.Inject(src)
+	s.Run(400 * time.Millisecond)
+	if o.Migrations() != 0 {
+		t.Fatalf("migrated despite infeasible CPU:\n%s", o.Describe())
+	}
+	var sawSkip bool
+	for _, e := range o.Events() {
+		if e.Kind == orchestrator.EventSkipped && errors.Is(e.Err, core.ErrBothOverloaded) {
+			sawSkip = true
+		}
+	}
+	if !sawSkip {
+		t.Errorf("no both-overloaded skip event:\n%s", o.Describe())
+	}
+}

@@ -1,0 +1,204 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Builder assembles complete Ethernet frames front-to-back into a reusable
+// buffer, fixing up length and checksum fields that depend on outer/inner
+// layers. It is the serialization counterpart of Decoder and is used by the
+// traffic generator and by NFs that rewrite packets (NAT).
+//
+// A Builder is not safe for concurrent use.
+type Builder struct {
+	buf []byte
+}
+
+// NewBuilder returns a Builder with capacity for a maximum-size frame.
+func NewBuilder() *Builder {
+	return &Builder{buf: make([]byte, 0, MaxFrameSize)}
+}
+
+// Bytes returns the most recently built frame. The slice is valid until the
+// next Build call; callers that retain frames must copy.
+func (b *Builder) Bytes() []byte { return b.buf }
+
+// BuildUDP4 assembles Ethernet/IPv4/UDP with the given payload, computing
+// all lengths and checksums. The frame is padded to MinFrameSize if shorter.
+// It returns the frame (valid until the next call) and its length.
+func (b *Builder) BuildUDP4(eth Ethernet, ip IPv4, udp UDP, payload []byte) []byte {
+	ipHL := IPv4MinHeaderLen + len(ip.Options)
+	total := EthernetHeaderLen + ipHL + UDPHeaderLen + len(payload)
+	b.grow(total)
+
+	eth.Type = EtherTypeIPv4
+	eth.Serialize(b.buf[0:])
+
+	ip.Version = 4
+	ip.Protocol = ProtoUDP
+	ip.Length = uint16(ipHL + UDPHeaderLen + len(payload))
+	ipOff := EthernetHeaderLen
+
+	udp.Length = uint16(UDPHeaderLen + len(payload))
+	udpOff := ipOff + ipHL
+	udp.Serialize(b.buf[udpOff:])
+	copy(b.buf[udpOff+UDPHeaderLen:], payload)
+
+	ip.Serialize(b.buf[ipOff:]) // computes IP header checksum
+
+	// UDP checksum over pseudo-header + segment.
+	seg := b.buf[udpOff : udpOff+UDPHeaderLen+len(payload)]
+	ck := PseudoHeaderChecksum(ip.Src, ip.Dst, ProtoUDP, seg)
+	if ck == 0 {
+		ck = 0xffff // RFC 768: transmitted as all ones
+	}
+	binary.BigEndian.PutUint16(seg[6:8], ck)
+
+	b.pad(total)
+	return b.buf
+}
+
+// BuildTCP4 assembles Ethernet/IPv4/TCP with the given payload, computing
+// all lengths and checksums. The frame is padded to MinFrameSize if shorter.
+func (b *Builder) BuildTCP4(eth Ethernet, ip IPv4, tcp TCP, payload []byte) []byte {
+	ipHL := IPv4MinHeaderLen + len(ip.Options)
+	tcpHL := TCPMinHeaderLen + len(tcp.Options)
+	total := EthernetHeaderLen + ipHL + tcpHL + len(payload)
+	b.grow(total)
+
+	eth.Type = EtherTypeIPv4
+	eth.Serialize(b.buf[0:])
+
+	ip.Version = 4
+	ip.Protocol = ProtoTCP
+	ip.Length = uint16(ipHL + tcpHL + len(payload))
+	ipOff := EthernetHeaderLen
+
+	tcpOff := ipOff + ipHL
+	tcp.Serialize(b.buf[tcpOff:])
+	copy(b.buf[tcpOff+tcpHL:], payload)
+
+	ip.Serialize(b.buf[ipOff:])
+
+	seg := b.buf[tcpOff : tcpOff+tcpHL+len(payload)]
+	ck := PseudoHeaderChecksum(ip.Src, ip.Dst, ProtoTCP, seg)
+	binary.BigEndian.PutUint16(seg[16:18], ck)
+
+	b.pad(total)
+	return b.buf
+}
+
+// BuildICMP4 assembles Ethernet/IPv4/ICMPv4 with the given payload.
+func (b *Builder) BuildICMP4(eth Ethernet, ip IPv4, icmp ICMPv4, payload []byte) []byte {
+	ipHL := IPv4MinHeaderLen + len(ip.Options)
+	total := EthernetHeaderLen + ipHL + ICMPHeaderLen + len(payload)
+	b.grow(total)
+
+	eth.Type = EtherTypeIPv4
+	eth.Serialize(b.buf[0:])
+
+	ip.Version = 4
+	ip.Protocol = ProtoICMP
+	ip.Length = uint16(ipHL + ICMPHeaderLen + len(payload))
+	ipOff := EthernetHeaderLen
+
+	icmpOff := ipOff + ipHL
+	icmp.Serialize(b.buf[icmpOff:])
+	copy(b.buf[icmpOff+ICMPHeaderLen:], payload)
+
+	ip.Serialize(b.buf[ipOff:])
+
+	seg := b.buf[icmpOff : icmpOff+ICMPHeaderLen+len(payload)]
+	ck := Checksum(seg)
+	binary.BigEndian.PutUint16(seg[2:4], ck)
+
+	b.pad(total)
+	return b.buf
+}
+
+func (b *Builder) grow(n int) {
+	if cap(b.buf) < n {
+		b.buf = make([]byte, n)
+	} else {
+		b.buf = b.buf[:n]
+	}
+	clear(b.buf)
+}
+
+// pad extends the frame with zero bytes to the Ethernet minimum when needed.
+func (b *Builder) pad(n int) {
+	if n >= MinFrameSize {
+		return
+	}
+	b.buf = b.buf[:MinFrameSize]
+	clear(b.buf[n:MinFrameSize])
+}
+
+// FixupIPv4Checksum recomputes the IPv4 header checksum of frame in place.
+// frame must contain an Ethernet+IPv4 stack; it returns an error otherwise.
+// NFs that rewrite IP addresses (e.g. NAT) call this before forwarding.
+func FixupIPv4Checksum(frame []byte) error {
+	if len(frame) < EthernetHeaderLen+IPv4MinHeaderLen {
+		return fmt.Errorf("fixup: %w", ErrTruncated)
+	}
+	if EtherType(binary.BigEndian.Uint16(frame[12:14])) != EtherTypeIPv4 {
+		return fmt.Errorf("fixup: %w: not IPv4", ErrUnsupported)
+	}
+	ipb := frame[EthernetHeaderLen:]
+	hlen := int(ipb[0]&0x0f) * 4
+	if hlen < IPv4MinHeaderLen || hlen > len(ipb) {
+		return fmt.Errorf("fixup: %w: bad IHL", ErrBadHeader)
+	}
+	ipb[10], ipb[11] = 0, 0
+	ck := Checksum(ipb[:hlen])
+	binary.BigEndian.PutUint16(ipb[10:12], ck)
+	return nil
+}
+
+// FixupTransportChecksum recomputes the TCP or UDP checksum of an IPv4 frame
+// in place after header fields were rewritten.
+func FixupTransportChecksum(frame []byte) error {
+	if len(frame) < EthernetHeaderLen+IPv4MinHeaderLen {
+		return fmt.Errorf("fixup: %w", ErrTruncated)
+	}
+	if EtherType(binary.BigEndian.Uint16(frame[12:14])) != EtherTypeIPv4 {
+		return fmt.Errorf("fixup: %w: not IPv4", ErrUnsupported)
+	}
+	ipb := frame[EthernetHeaderLen:]
+	hlen := int(ipb[0]&0x0f) * 4
+	if hlen < IPv4MinHeaderLen || hlen > len(ipb) {
+		return fmt.Errorf("fixup: %w: bad IHL", ErrBadHeader)
+	}
+	totalLen := int(binary.BigEndian.Uint16(ipb[2:4]))
+	if totalLen < hlen || totalLen > len(ipb) {
+		totalLen = len(ipb)
+	}
+	var src, dst IPv4Addr
+	copy(src[:], ipb[12:16])
+	copy(dst[:], ipb[16:20])
+	proto := IPProto(ipb[9])
+	seg := ipb[hlen:totalLen]
+	switch proto {
+	case ProtoTCP:
+		if len(seg) < TCPMinHeaderLen {
+			return fmt.Errorf("fixup: %w: short tcp", ErrTruncated)
+		}
+		seg[16], seg[17] = 0, 0
+		ck := PseudoHeaderChecksum(src, dst, ProtoTCP, seg)
+		binary.BigEndian.PutUint16(seg[16:18], ck)
+	case ProtoUDP:
+		if len(seg) < UDPHeaderLen {
+			return fmt.Errorf("fixup: %w: short udp", ErrTruncated)
+		}
+		seg[6], seg[7] = 0, 0
+		ck := PseudoHeaderChecksum(src, dst, ProtoUDP, seg)
+		if ck == 0 {
+			ck = 0xffff
+		}
+		binary.BigEndian.PutUint16(seg[6:8], ck)
+	default:
+		return fmt.Errorf("fixup: %w: proto %v", ErrUnsupported, proto)
+	}
+	return nil
+}

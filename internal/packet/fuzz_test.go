@@ -1,0 +1,53 @@
+package packet_test
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+)
+
+// FuzzDecode hammers the decoder with arbitrary bytes: it must never panic,
+// and whenever it reports success for an IPv4 frame the header fields must
+// be self-consistent.
+func FuzzDecode(f *testing.F) {
+	b := packet.NewBuilder()
+	f.Add([]byte{})
+	f.Add(b.BuildUDP4(sampleEth(), sampleIP(), packet.UDP{SrcPort: 1, DstPort: 2}, []byte("seed")))
+	f.Add(b.BuildTCP4(sampleEth(), sampleIP(), packet.TCP{SrcPort: 3, DstPort: 4}, nil))
+	f.Add(b.BuildICMP4(sampleEth(), sampleIP(), packet.ICMPv4{Type: packet.ICMPEchoRequest}, nil))
+
+	d := packet.NewDecoder()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		layers, err := d.Decode(data)
+		if err != nil {
+			return
+		}
+		for _, lt := range layers {
+			if lt == packet.LayerIPv4 {
+				if d.IP4.Version != 4 {
+					t.Fatalf("accepted IPv4 with version %d", d.IP4.Version)
+				}
+				if int(d.IP4.IHL)*4 < packet.IPv4MinHeaderLen {
+					t.Fatalf("accepted IPv4 with IHL %d", d.IP4.IHL)
+				}
+			}
+		}
+	})
+}
+
+// FuzzFixups ensures checksum fixup helpers never panic and keep valid
+// frames valid.
+func FuzzFixups(f *testing.F) {
+	b := packet.NewBuilder()
+	f.Add(b.BuildUDP4(sampleEth(), sampleIP(), packet.UDP{SrcPort: 5, DstPort: 6}, []byte("x")))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp := append([]byte(nil), data...)
+		if err := packet.FixupIPv4Checksum(cp); err == nil {
+			if !packet.VerifyIPv4Checksum(cp[packet.EthernetHeaderLen:]) {
+				t.Fatal("fixup produced invalid checksum")
+			}
+		}
+		cp2 := append([]byte(nil), data...)
+		_ = packet.FixupTransportChecksum(cp2)
+	})
+}

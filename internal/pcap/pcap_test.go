@@ -1,0 +1,183 @@
+package pcap_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/pcap"
+	"repro/internal/traffic"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth := traffic.NewSynth(4, 1)
+	var want []pcap.Packet
+	for i := 0; i < 10; i++ {
+		p := pcap.Packet{
+			Time: time.Duration(i) * 123 * time.Microsecond,
+			Data: synth.Frame(uint64(i%4), 200+i*37),
+		}
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, p)
+	}
+	if w.Count() != 10 {
+		t.Errorf("count = %d", w.Count())
+	}
+
+	got, err := pcap.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d packets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Time != want[i].Time {
+			t.Errorf("pkt %d time = %v, want %v", i, got[i].Time, want[i].Time)
+		}
+		if !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Errorf("pkt %d data mismatch", i)
+		}
+		if got[i].OrigLen != len(want[i].Data) {
+			t.Errorf("pkt %d origlen = %d, want %d", i, got[i].OrigLen, len(want[i].Data))
+		}
+	}
+}
+
+func TestSnapLenTruncates(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 500)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := w.WritePacket(pcap.Packet{Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pcap.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got[0].Data) != 64 {
+		t.Errorf("caplen = %d, want 64", len(got[0].Data))
+	}
+	if got[0].OrigLen != 500 {
+		t.Errorf("origlen = %d, want 500", got[0].OrigLen)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	junk := make([]byte, 24)
+	if _, err := pcap.NewReader(bytes.NewReader(junk)); !errors.Is(err, pcap.ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBigEndianAccepted(t *testing.T) {
+	// Hand-build a big-endian header + one empty record.
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.BigEndian.PutUint32(hdr[0:4], 0xa1b2c3d4)
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[16:20], 65535)
+	binary.BigEndian.PutUint32(hdr[20:24], pcap.LinkTypeEthernet)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.BigEndian.PutUint32(rec[0:4], 1)  // 1 s
+	binary.BigEndian.PutUint32(rec[4:8], 5)  // 5 µs
+	binary.BigEndian.PutUint32(rec[8:12], 3) // caplen
+	binary.BigEndian.PutUint32(rec[12:16], 3)
+	buf.Write(rec)
+	buf.Write([]byte{1, 2, 3})
+
+	got, err := pcap.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Time != time.Second+5*time.Microsecond {
+		t.Fatalf("got = %+v", got)
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := pcap.NewWriter(&buf, 0)
+	w.WritePacket(pcap.Packet{Data: []byte{1, 2, 3, 4}})
+	full := buf.Bytes()
+	r, err := pcap.NewReader(bytes.NewReader(full[:len(full)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, pcap.ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestEmptyFileCleanEOF(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := pcap.NewWriter(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, err := pcap.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+// Property: arbitrary packet sequences round-trip bit-exactly (timestamps
+// at µs resolution).
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var buf bytes.Buffer
+		w, err := pcap.NewWriter(&buf, 0)
+		if err != nil {
+			return false
+		}
+		n := 1 + r.Intn(20)
+		want := make([]pcap.Packet, n)
+		for i := range want {
+			data := make([]byte, 1+r.Intn(1500))
+			r.Read(data)
+			want[i] = pcap.Packet{
+				Time: time.Duration(r.Int63n(1e15)) / time.Microsecond * time.Microsecond,
+				Data: data,
+			}
+			if err := w.WritePacket(want[i]); err != nil {
+				return false
+			}
+		}
+		got, err := pcap.ReadAll(bytes.NewReader(buf.Bytes()))
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range want {
+			if got[i].Time != want[i].Time || !bytes.Equal(got[i].Data, want[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package pcie_test
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/pcie"
+)
+
+func TestDefaultLinkIsTensOfMicroseconds(t *testing.T) {
+	l := pcie.DefaultLink()
+	ct := l.CrossingTime(1024)
+	if ct < 10*time.Microsecond || ct > 100*time.Microsecond {
+		t.Errorf("crossing = %v, want tens of µs (§1 of the paper)", ct)
+	}
+}
+
+func TestSerializationTime(t *testing.T) {
+	l := pcie.Link{BandwidthGbps: 64}
+	// 1024B at 64 Gbps = 8192 bits / 64e9 = 128 ns.
+	if got := l.SerializationTime(1024); got != 128*time.Nanosecond {
+		t.Errorf("serialization = %v, want 128ns", got)
+	}
+	if got := l.SerializationTime(0); got != 0 {
+		t.Errorf("zero bytes = %v", got)
+	}
+	if got := (pcie.Link{}).SerializationTime(1024); got != 0 {
+		t.Errorf("zero bandwidth = %v", got)
+	}
+}
+
+func TestCrossingTimeComposition(t *testing.T) {
+	l := pcie.Link{PropDelay: 40 * time.Microsecond, BandwidthGbps: 64}
+	want := 40*time.Microsecond + 128*time.Nanosecond
+	if got := l.CrossingTime(1024); got != want {
+		t.Errorf("crossing = %v, want %v", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (pcie.Link{PropDelay: -time.Second}).Validate(); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if err := (pcie.Link{BandwidthGbps: -1}).Validate(); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+	if err := pcie.DefaultLink().Validate(); err != nil {
+		t.Errorf("default link invalid: %v", err)
+	}
+}
+
+// Property: crossing time is monotone in frame size and always at least the
+// propagation delay.
+func TestPropertyCrossingMonotone(t *testing.T) {
+	l := pcie.DefaultLink()
+	f := func(a, b uint16) bool {
+		x, y := int(a%1500)+1, int(b%1500)+1
+		if x > y {
+			x, y = y, x
+		}
+		cx, cy := l.CrossingTime(x), l.CrossingTime(y)
+		return cx <= cy && cx >= l.PropDelay
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := report.NewTable("Title", "a", "bbbb")
+	tbl.AddRow("x", "1")
+	tbl.AddRow("longer", "2")
+	s := tbl.String()
+	if !strings.Contains(s, "Title") || !strings.Contains(s, "bbbb") {
+		t.Errorf("render missing parts:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("lines = %d:\n%s", len(lines), s)
+	}
+	// Columns must align: every data line has the separator column width.
+	if len(lines[2]) < len("longer")+2+1 {
+		t.Errorf("separator too narrow: %q", lines[2])
+	}
+}
+
+func TestTableShortRowsPadded(t *testing.T) {
+	tbl := report.NewTable("", "a", "b", "c")
+	tbl.AddRow("only")
+	if len(tbl.Rows[0]) != 3 {
+		t.Errorf("row = %v", tbl.Rows[0])
+	}
+}
+
+func TestAddRowfFormats(t *testing.T) {
+	tbl := report.NewTable("", "a", "b")
+	tbl.AddRowf(1.23456, 42)
+	if tbl.Rows[0][0] != "1.235" || tbl.Rows[0][1] != "42" {
+		t.Errorf("row = %v", tbl.Rows[0])
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tbl := report.NewTable("", "name", "note")
+	tbl.AddRow("a,b", `say "hi"`)
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"a,b"`) {
+		t.Errorf("comma cell not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"say ""hi"""`) {
+		t.Errorf("quote cell not escaped: %s", csv)
+	}
+}
+
+func TestBars(t *testing.T) {
+	s := report.Bars("chart", []string{"x", "yy"}, []float64{1, 2}, "Gbps")
+	if !strings.Contains(s, "chart") || !strings.Contains(s, "Gbps") {
+		t.Errorf("bars missing parts:\n%s", s)
+	}
+	// The larger value gets the longer bar.
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if strings.Count(lines[1], "#") >= strings.Count(lines[2], "#") {
+		t.Errorf("bar lengths wrong:\n%s", s)
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	s := report.Bars("", []string{"a"}, []float64{0}, "x")
+	if s == "" {
+		t.Error("zero bars must still render")
+	}
+}

@@ -1,0 +1,136 @@
+// Package scenario defines the canonical experimental setups of the
+// reproduction: the Figure-1 service chain, device parameters calibrated in
+// DESIGN.md §5, and the offered-load/packet-size sweeps behind each paper
+// artifact. Keeping them in one place guarantees the CLI tools, examples,
+// benches and tests all run identical configurations.
+package scenario
+
+import (
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// Element instance names of the Figure-1 chain.
+const (
+	NameLB       = "lb0"
+	NameLogger   = "logger0"
+	NameMonitor  = "monitor0"
+	NameFirewall = "fw0"
+)
+
+// Params carries every calibrated constant of the reproduction. See
+// DESIGN.md §5 for the provenance of each default.
+type Params struct {
+	// PCIeLatency is the one-way per-crossing latency ("tens of
+	// microseconds", §1 of the paper).
+	PCIeLatency time.Duration
+	// PCIeBandwidth is the effective per-direction PCIe bandwidth used for
+	// the size-proportional serialization term.
+	PCIeBandwidthGbps float64
+	// NFOverhead is the per-vNF pipeline (virtualization) latency added to
+	// every packet, identical on NIC and CPU per DESIGN.md §5.
+	NFOverhead time.Duration
+	// DMAEngineGbps is the aggregate capacity of the SmartNIC's DMA
+	// engines, a hardware resource separate from the NPU microengines;
+	// each PCIe crossing consumes θ/DMAEngineGbps of it.
+	DMAEngineGbps device.Gbps
+	// QueueCapacity bounds each device queue in packets; arrivals beyond it
+	// are dropped (tail drop), which is how overload manifests.
+	QueueCapacity int
+	// ProbeGbps is the offered load of the latency probe (Figure 2(a)):
+	// below every placement's saturation so queueing stays moderate.
+	ProbeGbps float64
+	// OverloadGbps is the offered load that creates the hot spot
+	// (Figure 2(b) and the trigger for migration).
+	OverloadGbps float64
+	// PacketSizes is the frame-size sweep of §3 (64B to 1500B).
+	PacketSizes []int
+	// Seed makes every randomized component deterministic.
+	Seed int64
+}
+
+// DefaultParams returns the calibrated defaults of DESIGN.md §5.
+func DefaultParams() Params {
+	return Params{
+		PCIeLatency:       43 * time.Microsecond,
+		PCIeBandwidthGbps: 64, // PCIe gen3 x8 effective
+		NFOverhead:        75 * time.Microsecond,
+		DMAEngineGbps:     40,
+		QueueCapacity:     4096, // ≈6 MB of NIC packet buffer at 1500B
+		ProbeGbps:         0.8,
+		OverloadGbps:      4.0,
+		PacketSizes:       []int{64, 128, 256, 512, 1024, 1500},
+		Seed:              42,
+	}
+}
+
+// Figure1Chain returns the paper's service chain (derived from NFP [7]) in
+// its pre-migration placement: the Load Balancer on the CPU and Logger,
+// Monitor, Firewall on the SmartNIC. Packet path:
+//
+//	NIC ingress → PCIe → LB (CPU) → PCIe → Logger → Monitor → Firewall → egress
+//
+// giving 2 baseline PCIe crossings, left border {Logger} and right border
+// {Firewall} exactly as §2 describes.
+func Figure1Chain() *chain.Chain {
+	c, err := chain.New("figure1",
+		chain.Element{Name: NameLB, Type: device.TypeLoadBalancer, Loc: device.KindCPU},
+		chain.Element{Name: NameLogger, Type: device.TypeLogger, Loc: device.KindSmartNIC},
+		chain.Element{Name: NameMonitor, Type: device.TypeMonitor, Loc: device.KindSmartNIC},
+		chain.Element{Name: NameFirewall, Type: device.TypeFirewall, Loc: device.KindSmartNIC},
+	)
+	if err != nil {
+		panic("scenario: figure1 chain invalid: " + err.Error()) // impossible by construction
+	}
+	return c
+}
+
+// LongChain returns a six-NF chain that weaves across the PCIe boundary
+// twice, producing multiple border vNFs per side; used by tests and the
+// multi-segment example ("there may be multiple border vNFs in a service
+// chain", §2).
+func LongChain() *chain.Chain {
+	c, err := chain.New("long",
+		chain.Element{Name: "rl0", Type: device.TypeRateLimiter, Loc: device.KindSmartNIC},
+		chain.Element{Name: "lb0", Type: device.TypeLoadBalancer, Loc: device.KindCPU},
+		chain.Element{Name: "log0", Type: device.TypeLogger, Loc: device.KindSmartNIC},
+		chain.Element{Name: "mon0", Type: device.TypeMonitor, Loc: device.KindSmartNIC},
+		chain.Element{Name: "dpi0", Type: device.TypeDPI, Loc: device.KindCPU},
+		chain.Element{Name: "fw0", Type: device.TypeFirewall, Loc: device.KindSmartNIC},
+	)
+	if err != nil {
+		panic("scenario: long chain invalid: " + err.Error())
+	}
+	return c
+}
+
+// Devices returns the SmartNIC and CPU device models under params.
+func Devices(p Params) (nic, cpu device.Device) {
+	nic = device.Device{Name: "agilio-cx", Kind: device.KindSmartNIC, DMAEngineGbps: p.DMAEngineGbps}
+	cpu = device.Device{Name: "xeon-e5", Kind: device.KindCPU}
+	return nic, cpu
+}
+
+// View assembles a core.View for the given chain at the measured throughput.
+func View(c *chain.Chain, p Params, throughput device.Gbps) core.View {
+	nic, cpu := Devices(p)
+	return core.View{
+		Chain:      c,
+		Catalog:    device.Table1(),
+		Throughput: throughput,
+		NIC:        nic,
+		CPU:        cpu,
+		BorderMode: chain.BorderModePaper,
+	}
+}
+
+// ViewExtended is View with the extended catalog (for chains using the
+// additional NF types).
+func ViewExtended(c *chain.Chain, p Params, throughput device.Gbps) core.View {
+	v := View(c, p, throughput)
+	v.Catalog = device.ExtendedCatalog()
+	return v
+}

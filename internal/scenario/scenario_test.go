@@ -1,0 +1,75 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/device"
+	"repro/internal/scenario"
+)
+
+func TestFigure1ChainShape(t *testing.T) {
+	c := scenario.Figure1Chain()
+	if c.Len() != 4 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.Crossings() != 2 {
+		t.Errorf("crossings = %d, want 2", c.Crossings())
+	}
+	// §2's border example: left border Logger, right border Firewall.
+	bl, br := c.Borders(chain.BorderModePaper)
+	if len(bl) != 1 || c.At(bl[0]).Name != scenario.NameLogger {
+		t.Errorf("BL = %v", bl)
+	}
+	if len(br) != 1 || c.At(br[0]).Name != scenario.NameFirewall {
+		t.Errorf("BR = %v", br)
+	}
+	if c.At(0).Loc != device.KindCPU {
+		t.Error("LB must start on the CPU")
+	}
+}
+
+func TestLongChainWeaves(t *testing.T) {
+	c := scenario.LongChain()
+	if c.Crossings() < 4 {
+		t.Errorf("crossings = %d, want a multi-segment weave", c.Crossings())
+	}
+	bl, br := c.Borders(chain.BorderModePaper)
+	if len(bl)+len(br) < 3 {
+		t.Errorf("borders = %v/%v, want multiple per §2", bl, br)
+	}
+}
+
+func TestDefaultParamsSane(t *testing.T) {
+	p := scenario.DefaultParams()
+	if p.PCIeLatency <= 0 || p.NFOverhead <= 0 || p.QueueCapacity <= 0 {
+		t.Errorf("params not positive: %+v", p)
+	}
+	if len(p.PacketSizes) == 0 || p.PacketSizes[0] != 64 || p.PacketSizes[len(p.PacketSizes)-1] != 1500 {
+		t.Errorf("sweep = %v, want 64..1500 per §3", p.PacketSizes)
+	}
+	if p.ProbeGbps >= p.OverloadGbps {
+		t.Error("probe load must be below overload load")
+	}
+}
+
+func TestViewWiring(t *testing.T) {
+	p := scenario.DefaultParams()
+	v := scenario.View(scenario.Figure1Chain(), p, 1.5)
+	if v.Throughput != 1.5 {
+		t.Errorf("throughput = %v", v.Throughput)
+	}
+	if v.NIC.Kind != device.KindSmartNIC || v.CPU.Kind != device.KindCPU {
+		t.Error("device kinds wrong")
+	}
+	if v.NIC.DMAEngineGbps != p.DMAEngineGbps {
+		t.Error("DMA engine capacity not wired")
+	}
+	if _, ok := v.Catalog[device.TypeLogger]; !ok {
+		t.Error("catalog missing Table 1 entries")
+	}
+	ve := scenario.ViewExtended(scenario.LongChain(), p, 1)
+	if _, ok := ve.Catalog[device.TypeDPI]; !ok {
+		t.Error("extended catalog missing DPI")
+	}
+}

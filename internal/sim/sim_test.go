@@ -1,0 +1,221 @@
+package sim_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := sim.New(1)
+	var got []int
+	e.At(30*time.Microsecond, func() { got = append(got, 3) })
+	e.At(10*time.Microsecond, func() { got = append(got, 1) })
+	e.At(20*time.Microsecond, func() { got = append(got, 2) })
+	e.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", got)
+	}
+	if e.Now() != 30*time.Microsecond {
+		t.Errorf("clock = %v, want 30µs", e.Now())
+	}
+}
+
+func TestEngineFIFOForSimultaneous(t *testing.T) {
+	e := sim.New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineRunStopsAtHorizon(t *testing.T) {
+	e := sim.New(1)
+	ran := false
+	e.At(2*time.Second, func() { ran = true })
+	n := e.Run(time.Second)
+	if n != 0 || ran {
+		t.Fatalf("event past horizon ran (n=%d ran=%v)", n, ran)
+	}
+	if e.Now() != time.Second {
+		t.Errorf("clock = %v, want 1s", e.Now())
+	}
+	e.Run(3 * time.Second)
+	if !ran {
+		t.Error("event within extended horizon did not run")
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := sim.New(1)
+	hits := 0
+	var recur func()
+	recur = func() {
+		hits++
+		if hits < 5 {
+			e.After(time.Millisecond, recur)
+		}
+	}
+	e.After(0, recur)
+	e.RunAll()
+	if hits != 5 {
+		t.Fatalf("hits = %d, want 5", hits)
+	}
+	if e.Now() != 4*time.Millisecond {
+		t.Errorf("clock = %v, want 4ms", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := sim.New(1)
+	e.At(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(500*time.Millisecond, func() {})
+	})
+	e.RunAll()
+}
+
+func TestServerSerializesJobs(t *testing.T) {
+	e := sim.New(1)
+	s := sim.NewServer(e, 0)
+	var ends []time.Duration
+	for i := 0; i < 3; i++ {
+		s.Submit(10*time.Millisecond, func(_, end time.Duration) { ends = append(ends, end) })
+	}
+	e.RunAll()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	if len(ends) != 3 {
+		t.Fatalf("ends = %v", ends)
+	}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Errorf("end[%d] = %v, want %v", i, ends[i], want[i])
+		}
+	}
+	if s.BusyTime() != 30*time.Millisecond {
+		t.Errorf("busy = %v, want 30ms", s.BusyTime())
+	}
+	if got := s.Utilization(60 * time.Millisecond); got != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+}
+
+func TestServerTailDrop(t *testing.T) {
+	e := sim.New(1)
+	s := sim.NewServer(e, 2) // one in service + one waiting
+	ok1 := s.Submit(time.Millisecond, nil)
+	ok2 := s.Submit(time.Millisecond, nil)
+	ok3 := s.Submit(time.Millisecond, nil) // must be rejected
+	if !ok1 || !ok2 || ok3 {
+		t.Fatalf("admission = %v %v %v, want true true false", ok1, ok2, ok3)
+	}
+	if s.Rejected() != 1 || s.Accepted() != 2 {
+		t.Errorf("accepted=%d rejected=%d", s.Accepted(), s.Rejected())
+	}
+	e.RunAll()
+	// After draining, capacity is available again.
+	if !s.Submit(time.Millisecond, nil) {
+		t.Error("server did not free capacity after draining")
+	}
+}
+
+func TestServerZeroServiceJobs(t *testing.T) {
+	e := sim.New(1)
+	s := sim.NewServer(e, 0)
+	done := 0
+	for i := 0; i < 100; i++ {
+		s.Submit(0, func(_, _ time.Duration) { done++ })
+	}
+	e.RunAll()
+	if done != 100 {
+		t.Fatalf("done = %d, want 100", done)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		e := sim.New(7)
+		s := sim.NewServer(e, 8)
+		var out []time.Duration
+		r := rand.New(rand.NewSource(7))
+		for i := 0; i < 200; i++ {
+			at := time.Duration(r.Intn(1000)) * time.Microsecond
+			svc := time.Duration(r.Intn(50)) * time.Microsecond
+			e.At(at, func() {
+				s.Submit(svc, func(_, end time.Duration) { out = append(out, end) })
+			})
+		}
+		e.RunAll()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: with an unbounded queue, completion times are the classic FIFO
+// recurrence end[i] = max(arrival[i], end[i-1]) + service[i].
+func TestPropertyServerFIFORecurrence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		arr := make([]time.Duration, n)
+		svc := make([]time.Duration, n)
+		var tprev time.Duration
+		for i := range arr {
+			tprev += time.Duration(r.Intn(100)) * time.Microsecond
+			arr[i] = tprev
+			svc[i] = time.Duration(r.Intn(200)) * time.Microsecond
+		}
+		e := sim.New(seed)
+		s := sim.NewServer(e, 0)
+		got := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			i := i
+			e.At(arr[i], func() {
+				s.Submit(svc[i], func(_, end time.Duration) { got = append(got, end) })
+			})
+		}
+		e.RunAll()
+		if len(got) != n {
+			return false
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		var end time.Duration
+		for i := 0; i < n; i++ {
+			start := arr[i]
+			if end > start {
+				start = end
+			}
+			end = start + svc[i]
+			if got[i] != end {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

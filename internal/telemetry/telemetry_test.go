@@ -1,0 +1,148 @@
+package telemetry_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestEWMASeedAndConverge(t *testing.T) {
+	e := telemetry.EWMA{Alpha: 0.5}
+	if e.Seeded() {
+		t.Error("zero value claims seeded")
+	}
+	if got := e.Observe(10); got != 10 {
+		t.Errorf("first observe = %v, want seed value", got)
+	}
+	e.Observe(0)
+	if got := e.Value(); got != 5 {
+		t.Errorf("value = %v, want 5", got)
+	}
+	for i := 0; i < 50; i++ {
+		e.Observe(1)
+	}
+	if math.Abs(e.Value()-1) > 1e-6 {
+		t.Errorf("did not converge: %v", e.Value())
+	}
+}
+
+func TestEWMADefaultAlpha(t *testing.T) {
+	var e telemetry.EWMA // Alpha 0 → default 0.3
+	e.Observe(0)
+	e.Observe(10)
+	if math.Abs(e.Value()-3) > 1e-9 {
+		t.Errorf("value = %v, want 3 (alpha 0.3)", e.Value())
+	}
+}
+
+func sample(at int, util, thr float64) telemetry.Sample {
+	return telemetry.Sample{At: time.Duration(at) * time.Second, NICUtil: util, DeliveredGbps: thr}
+}
+
+func TestDetectorFiresAfterConsecutiveHotWindows(t *testing.T) {
+	d := telemetry.NewDetector(telemetry.DetectorConfig{Threshold: 0.9, Consecutive: 3, Alpha: 1})
+	for i := 0; i < 2; i++ {
+		if fire, _ := d.Observe(sample(i, 0.99, 1)); fire {
+			t.Fatalf("fired after %d windows", i+1)
+		}
+	}
+	fire, thr := d.Observe(sample(3, 0.99, 1))
+	if !fire {
+		t.Fatal("did not fire after 3 hot windows")
+	}
+	if thr != 1 {
+		t.Errorf("throughput = %v", thr)
+	}
+	if d.Events() != 1 {
+		t.Errorf("events = %d", d.Events())
+	}
+}
+
+func TestDetectorColdWindowResetsStreak(t *testing.T) {
+	d := telemetry.NewDetector(telemetry.DetectorConfig{Threshold: 0.9, Consecutive: 3, Alpha: 1})
+	d.Observe(sample(0, 0.99, 1))
+	d.Observe(sample(1, 0.99, 1))
+	d.Observe(sample(2, 0.1, 1)) // streak broken
+	d.Observe(sample(3, 0.99, 1))
+	if fire, _ := d.Observe(sample(4, 0.99, 1)); fire {
+		t.Fatal("fired without 3 consecutive hot windows")
+	}
+}
+
+func TestDetectorHysteresisFiresOncePerEpisode(t *testing.T) {
+	d := telemetry.NewDetector(telemetry.DetectorConfig{Threshold: 0.9, ClearThreshold: 0.5, Consecutive: 1, Alpha: 1})
+	fire, _ := d.Observe(sample(0, 0.99, 1))
+	if !fire {
+		t.Fatal("no fire")
+	}
+	// Still hot: must not fire again.
+	for i := 1; i < 5; i++ {
+		if fire, _ := d.Observe(sample(i, 0.99, 1)); fire {
+			t.Fatal("refired while hot")
+		}
+	}
+	// Cool below the clear threshold, then heat again → second episode.
+	d.Observe(sample(6, 0.1, 1))
+	d.Observe(sample(7, 0.1, 1))
+	d.Observe(sample(8, 0.1, 1))
+	var refired bool
+	for i := 9; i < 15; i++ {
+		if f, _ := d.Observe(sample(i, 0.99, 1)); f {
+			refired = true
+		}
+	}
+	if !refired {
+		t.Fatal("did not re-arm after cooling")
+	}
+	if d.Events() != 2 {
+		t.Errorf("events = %d, want 2", d.Events())
+	}
+}
+
+func TestDetectorLossTrigger(t *testing.T) {
+	d := telemetry.NewDetector(telemetry.DetectorConfig{Threshold: 0.99, Consecutive: 1, Alpha: 1, LossTrigger: 0.05})
+	// Utilization looks moderate but loss is heavy (saturated device pins
+	// util at ~1.0 but never above — loss is the sharper signal).
+	s := telemetry.Sample{NICUtil: 0.5, DeliveredGbps: 1, LossRate: 0.2}
+	if fire, _ := d.Observe(s); !fire {
+		t.Fatal("loss trigger did not fire")
+	}
+}
+
+func TestDetectorSmoothedThroughput(t *testing.T) {
+	d := telemetry.NewDetector(telemetry.DetectorConfig{Threshold: 0.9, Consecutive: 1, Alpha: 0.5})
+	d.Observe(sample(0, 0.1, 2.0))
+	_, thr := d.Observe(sample(1, 0.1, 1.0))
+	if math.Abs(thr-1.5) > 1e-9 {
+		t.Errorf("smoothed throughput = %v, want 1.5", thr)
+	}
+}
+
+// Property: the detector fires at most once between clears, for any random
+// utilization sequence.
+func TestPropertySingleFirePerEpisode(t *testing.T) {
+	f := func(seq []byte) bool {
+		d := telemetry.NewDetector(telemetry.DetectorConfig{Threshold: 0.9, ClearThreshold: 0.5, Consecutive: 2, Alpha: 1})
+		armed := true
+		for i, b := range seq {
+			u := float64(b) / 255
+			fire, _ := d.Observe(sample(i, u, 1))
+			if fire && !armed {
+				return false // fired twice without an intervening clear
+			}
+			if fire {
+				armed = false
+			}
+			if !armed && u < 0.5 {
+				armed = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

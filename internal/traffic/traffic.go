@@ -1,0 +1,273 @@
+// Package traffic generates workloads in the style of the DPDK packet
+// sender the paper's evaluation uses (§3): configurable offered load,
+// frame-size sweeps from 64B to 1500B, and several arrival processes (CBR,
+// Poisson, on/off bursts, piecewise ramps). Sources produce timestamped
+// arrivals for the discrete-event simulator; the Synth type additionally
+// produces real serialized frames for the execution emulator and the NF
+// unit tests.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Arrival is one offered frame: its arrival time at the chain ingress, the
+// wire size in bytes, and the flow it belongs to.
+type Arrival struct {
+	At   time.Duration
+	Size int
+	Flow uint64
+}
+
+// Source yields arrivals in non-decreasing time order. Next returns ok=false
+// when the source is exhausted.
+type Source interface {
+	Next() (a Arrival, ok bool)
+}
+
+// SizeDist samples frame sizes.
+type SizeDist interface {
+	Sample(r *rand.Rand) int
+}
+
+// FixedSize always returns the same frame size.
+type FixedSize int
+
+// Sample implements SizeDist.
+func (f FixedSize) Sample(*rand.Rand) int { return int(f) }
+
+// UniformSize samples uniformly in [Min, Max].
+type UniformSize struct{ Min, Max int }
+
+// Sample implements SizeDist.
+func (u UniformSize) Sample(r *rand.Rand) int {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + r.Intn(u.Max-u.Min+1)
+}
+
+// WeightedSize samples from discrete sizes with weights.
+type WeightedSize struct {
+	Sizes   []int
+	Weights []float64
+	total   float64
+}
+
+// NewIMIX returns the classic Internet mix: 64B×7, 594B×4, 1518B×1
+// (clamped to 1500B frames to match the paper's sweep upper bound).
+func NewIMIX() *WeightedSize {
+	return &WeightedSize{Sizes: []int{64, 594, 1500}, Weights: []float64{7, 4, 1}}
+}
+
+// Sample implements SizeDist.
+func (w *WeightedSize) Sample(r *rand.Rand) int {
+	if w.total == 0 {
+		for _, x := range w.Weights {
+			w.total += x
+		}
+	}
+	if w.total <= 0 || len(w.Sizes) == 0 {
+		return 64
+	}
+	x := r.Float64() * w.total
+	for i, wt := range w.Weights {
+		if x < wt {
+			return w.Sizes[i]
+		}
+		x -= wt
+	}
+	return w.Sizes[len(w.Sizes)-1]
+}
+
+// Process selects the arrival process of a generator.
+type Process uint8
+
+// Arrival processes.
+const (
+	// ProcessCBR spaces frames deterministically at the offered rate.
+	ProcessCBR Process = iota
+	// ProcessPoisson draws exponential interarrival gaps at the offered
+	// rate (memoryless, the standard open-loop model).
+	ProcessPoisson
+)
+
+// Gen is a finite arrival source at a constant offered load.
+type Gen struct {
+	rate     float64 // bits per second
+	sizes    SizeDist
+	process  Process
+	flows    uint64
+	start    time.Duration
+	duration time.Duration
+	rng      *rand.Rand
+
+	now     time.Duration
+	started bool
+}
+
+// NewGen creates a generator offering rateGbps of load with the given size
+// distribution and arrival process over [start, start+duration). flows sets
+// how many synthetic flows the traffic is spread across (≥1).
+func NewGen(rateGbps float64, sizes SizeDist, process Process, flows uint64, start, duration time.Duration, seed int64) (*Gen, error) {
+	if rateGbps <= 0 {
+		return nil, fmt.Errorf("traffic: non-positive rate %v", rateGbps)
+	}
+	if flows == 0 {
+		flows = 1
+	}
+	if sizes == nil {
+		sizes = FixedSize(1024)
+	}
+	return &Gen{
+		rate:     rateGbps * 1e9,
+		sizes:    sizes,
+		process:  process,
+		flows:    flows,
+		start:    start,
+		duration: duration,
+		rng:      rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Next implements Source.
+func (g *Gen) Next() (Arrival, bool) {
+	size := g.sizes.Sample(g.rng)
+	bits := float64(size) * 8
+	mean := time.Duration(bits / g.rate * float64(time.Second))
+	var gap time.Duration
+	switch g.process {
+	case ProcessPoisson:
+		gap = time.Duration(g.rng.ExpFloat64() * float64(mean))
+	default:
+		gap = mean
+	}
+	if !g.started {
+		g.started = true
+		g.now = g.start
+		// First arrival lands one gap into the interval so that CBR spacing
+		// is uniform from the very start.
+		g.now += gap
+	} else {
+		g.now += gap
+	}
+	if g.now >= g.start+g.duration {
+		return Arrival{}, false
+	}
+	return Arrival{At: g.now, Size: size, Flow: g.rng.Uint64() % g.flows}, true
+}
+
+// Phase is one stage of a Ramp: offered load held for a duration.
+type Phase struct {
+	RateGbps float64
+	Duration time.Duration
+}
+
+// Ramp chains constant-rate phases back to back, modelling the traffic
+// fluctuation that creates the paper's hot spot ("as the network traffic
+// fluctuates, NFs on SmartNIC can also be overloaded", §1).
+type Ramp struct {
+	phases  []Phase
+	sizes   SizeDist
+	process Process
+	flows   uint64
+	seed    int64
+
+	idx   int
+	cur   *Gen
+	start time.Duration
+}
+
+// NewRamp builds a ramp source from phases.
+func NewRamp(phases []Phase, sizes SizeDist, process Process, flows uint64, seed int64) (*Ramp, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("traffic: empty ramp")
+	}
+	return &Ramp{phases: phases, sizes: sizes, process: process, flows: flows, seed: seed}, nil
+}
+
+// Next implements Source.
+func (r *Ramp) Next() (Arrival, bool) {
+	for {
+		if r.cur == nil {
+			if r.idx >= len(r.phases) {
+				return Arrival{}, false
+			}
+			p := r.phases[r.idx]
+			g, err := NewGen(p.RateGbps, r.sizes, r.process, r.flows, r.start, p.Duration, r.seed+int64(r.idx))
+			if err != nil {
+				// A zero-rate phase is silence: skip it.
+				r.start += p.Duration
+				r.idx++
+				continue
+			}
+			r.cur = g
+		}
+		a, ok := r.cur.Next()
+		if ok {
+			return a, true
+		}
+		r.start += r.phases[r.idx].Duration
+		r.idx++
+		r.cur = nil
+	}
+}
+
+// Merge multiplexes sources into one time-ordered stream (k-way merge).
+type Merge struct {
+	srcs []Source
+	head []*Arrival
+}
+
+// NewMerge wraps the sources.
+func NewMerge(srcs ...Source) *Merge {
+	m := &Merge{srcs: srcs, head: make([]*Arrival, len(srcs))}
+	for i, s := range srcs {
+		if a, ok := s.Next(); ok {
+			cp := a
+			m.head[i] = &cp
+		}
+	}
+	return m
+}
+
+// Next implements Source.
+func (m *Merge) Next() (Arrival, bool) {
+	best := -1
+	for i, h := range m.head {
+		if h == nil {
+			continue
+		}
+		if best == -1 || h.At < m.head[best].At {
+			best = i
+		}
+	}
+	if best == -1 {
+		return Arrival{}, false
+	}
+	out := *m.head[best]
+	if a, ok := m.srcs[best].Next(); ok {
+		cp := a
+		m.head[best] = &cp
+	} else {
+		m.head[best] = nil
+	}
+	return out, true
+}
+
+// Take caps a source at n arrivals, handy in tests.
+type Take struct {
+	Src Source
+	N   int
+}
+
+// Next implements Source.
+func (t *Take) Next() (Arrival, bool) {
+	if t.N <= 0 {
+		return Arrival{}, false
+	}
+	t.N--
+	return t.Src.Next()
+}

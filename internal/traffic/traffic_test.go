@@ -1,0 +1,220 @@
+package traffic_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/traffic"
+)
+
+func drain(src traffic.Source) []traffic.Arrival {
+	var out []traffic.Arrival
+	for {
+		a, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}
+
+func TestCBRRateAndSpacing(t *testing.T) {
+	g, err := traffic.NewGen(1.0, traffic.FixedSize(1250), traffic.ProcessCBR, 4, 0, 100*time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := drain(g)
+	// 1 Gbps at 1250B = 100 kpps → 10µs spacing → 10000 arrivals in 100ms.
+	if len(arr) < 9990 || len(arr) > 10000 {
+		t.Fatalf("arrivals = %d, want ≈10000", len(arr))
+	}
+	gap := arr[1].At - arr[0].At
+	if gap != 10*time.Microsecond {
+		t.Errorf("gap = %v, want 10µs", gap)
+	}
+	for i := 1; i < len(arr); i++ {
+		if arr[i].At < arr[i-1].At {
+			t.Fatal("arrivals not monotone")
+		}
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	g, err := traffic.NewGen(1.0, traffic.FixedSize(1250), traffic.ProcessPoisson, 4, 0, 200*time.Millisecond, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := drain(g)
+	want := 20000.0
+	if math.Abs(float64(len(arr))-want) > want*0.05 {
+		t.Errorf("arrivals = %d, want ≈%v", len(arr), want)
+	}
+}
+
+func TestGenRejectsBadRate(t *testing.T) {
+	if _, err := traffic.NewGen(0, traffic.FixedSize(64), traffic.ProcessCBR, 1, 0, time.Second, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestSizeDistributions(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if s := (traffic.FixedSize(999)).Sample(r); s != 999 {
+		t.Errorf("fixed = %d", s)
+	}
+	u := traffic.UniformSize{Min: 64, Max: 128}
+	for i := 0; i < 100; i++ {
+		s := u.Sample(r)
+		if s < 64 || s > 128 {
+			t.Fatalf("uniform out of range: %d", s)
+		}
+	}
+	im := traffic.NewIMIX()
+	counts := map[int]int{}
+	for i := 0; i < 12000; i++ {
+		counts[im.Sample(r)]++
+	}
+	// Ratios 7:4:1 within generous tolerance.
+	if counts[64] < 6000 || counts[594] < 3200 || counts[1500] < 700 {
+		t.Errorf("imix counts = %v", counts)
+	}
+}
+
+func TestRampPhases(t *testing.T) {
+	rmp, err := traffic.NewRamp([]traffic.Phase{
+		{RateGbps: 1, Duration: 50 * time.Millisecond},
+		{RateGbps: 2, Duration: 50 * time.Millisecond},
+	}, traffic.FixedSize(1250), traffic.ProcessCBR, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := drain(rmp)
+	var phase1, phase2 int
+	for _, a := range arr {
+		if a.At < 50*time.Millisecond {
+			phase1++
+		} else {
+			phase2++
+		}
+	}
+	// Phase 2 offers twice the rate → about twice the arrivals.
+	if phase2 < phase1*3/2 {
+		t.Errorf("phase1=%d phase2=%d, want ≈2x", phase1, phase2)
+	}
+	for i := 1; i < len(arr); i++ {
+		if arr[i].At < arr[i-1].At {
+			t.Fatal("ramp arrivals not monotone")
+		}
+	}
+}
+
+func TestRampSkipsZeroRatePhase(t *testing.T) {
+	rmp, err := traffic.NewRamp([]traffic.Phase{
+		{RateGbps: 0, Duration: 10 * time.Millisecond},
+		{RateGbps: 1, Duration: 10 * time.Millisecond},
+	}, traffic.FixedSize(1250), traffic.ProcessCBR, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := drain(rmp)
+	if len(arr) == 0 {
+		t.Fatal("no arrivals after silent phase")
+	}
+	if arr[0].At < 10*time.Millisecond {
+		t.Errorf("first arrival %v inside silent phase", arr[0].At)
+	}
+}
+
+func TestMergeOrders(t *testing.T) {
+	a, _ := traffic.NewGen(0.5, traffic.FixedSize(1250), traffic.ProcessCBR, 1, 0, 20*time.Millisecond, 1)
+	b, _ := traffic.NewGen(0.5, traffic.FixedSize(500), traffic.ProcessCBR, 1, 0, 20*time.Millisecond, 2)
+	m := traffic.NewMerge(a, b)
+	arr := drain(m)
+	if len(arr) == 0 {
+		t.Fatal("merge empty")
+	}
+	for i := 1; i < len(arr); i++ {
+		if arr[i].At < arr[i-1].At {
+			t.Fatalf("merge not ordered at %d", i)
+		}
+	}
+}
+
+func TestTake(t *testing.T) {
+	g, _ := traffic.NewGen(1, traffic.FixedSize(1250), traffic.ProcessCBR, 1, 0, time.Second, 1)
+	tk := &traffic.Take{Src: g, N: 5}
+	if got := len(drain(tk)); got != 5 {
+		t.Errorf("take = %d", got)
+	}
+}
+
+func TestSynthFramesDecode(t *testing.T) {
+	s := traffic.NewSynth(8, 42)
+	d := packet.NewDecoder()
+	for fl := uint64(0); fl < 8; fl++ {
+		for _, size := range []int{64, 512, 1500} {
+			frame := s.Frame(fl, size)
+			if len(frame) != size && len(frame) != packet.MinFrameSize {
+				t.Fatalf("frame size = %d, want %d", len(frame), size)
+			}
+			if _, err := d.Decode(frame); err != nil {
+				t.Fatalf("frame does not decode: %v", err)
+			}
+			if !d.Has(packet.LayerIPv4) {
+				t.Fatal("frame missing IPv4")
+			}
+			if !d.Has(packet.LayerTCP) && !d.Has(packet.LayerUDP) {
+				t.Fatal("frame missing transport")
+			}
+			if !packet.VerifyIPv4Checksum(frame[packet.EthernetHeaderLen:]) {
+				t.Fatal("bad IP checksum")
+			}
+		}
+	}
+}
+
+func TestSynthStableTuples(t *testing.T) {
+	s := traffic.NewSynth(4, 1)
+	d := packet.NewDecoder()
+	f1 := s.Frame(2, 256)
+	if _, err := d.Decode(f1); err != nil {
+		t.Fatal(err)
+	}
+	src1 := d.IP4.Src
+	f2 := s.Frame(2, 1024)
+	if _, err := d.Decode(f2); err != nil {
+		t.Fatal(err)
+	}
+	if d.IP4.Src != src1 {
+		t.Error("same flow produced different 5-tuple")
+	}
+}
+
+// Property: offered bytes over the interval match the configured rate
+// within 2% for CBR at any size.
+func TestPropertyCBRRate(t *testing.T) {
+	f := func(seed int64, sz uint16) bool {
+		size := 64 + int(sz%1436)
+		g, err := traffic.NewGen(2.0, traffic.FixedSize(size), traffic.ProcessCBR, 1, 0, 50*time.Millisecond, seed)
+		if err != nil {
+			return false
+		}
+		var bytes int
+		for {
+			a, ok := g.Next()
+			if !ok {
+				break
+			}
+			bytes += a.Size
+		}
+		gbps := float64(bytes) * 8 / 0.05 / 1e9
+		return math.Abs(gbps-2.0) < 0.04
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
