@@ -15,12 +15,15 @@
 package repro_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/chainsim"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/emul"
 	"repro/internal/experiments"
 	"repro/internal/flow"
 	"repro/internal/metrics"
@@ -198,6 +201,53 @@ func BenchmarkMultiStepMigration(b *testing.B) {
 }
 
 // --- microbenchmarks of the hot paths ---------------------------------------
+
+// BenchmarkDataplane measures the execution emulator's packet path end to
+// end — 512-byte frames through the four-element Figure-1 chain — across
+// batch sizes. Batch 1 is the old per-frame dataplane (one gate
+// transaction, one decode context, one meter update per frame); larger
+// batches amortize those costs per burst. Reports frames/s as a custom
+// metric; run with -benchmem to see the allocs/op contrast.
+func BenchmarkDataplane(b *testing.B) {
+	for _, bs := range []int{1, 8, 32, 64} {
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) {
+			rt, err := emul.New(emul.Config{
+				Chain:      scenario.Figure1Chain(),
+				Catalog:    device.Table1(),
+				Link:       pcie.DefaultLink(),
+				Scale:      1, // full Table-1 rates: the gate never throttles
+				QueueDepth: 4096,
+				BatchSize:  bs,
+				Workers:    2,
+				PoolFrames: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rt.Start()
+			synth := traffic.NewSynth(16, 1)
+			tmpls := make([][]byte, 16)
+			for i := range tmpls {
+				tmpls[i] = synth.Frame(uint64(i), 512)
+			}
+			b.SetBytes(512)
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				tmpl := tmpls[i%16]
+				f := rt.AcquireFrame(len(tmpl))
+				copy(f, tmpl)
+				for !rt.Send(f) {
+					runtime.Gosched() // ingress full: pipeline backpressure
+				}
+			}
+			rt.Drain()
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "frames/s")
+			b.StopTimer()
+			rt.Close()
+		})
+	}
+}
 
 // BenchmarkPAMSelect measures one full PAM decision on the Figure-1 chain.
 func BenchmarkPAMSelect(b *testing.B) {

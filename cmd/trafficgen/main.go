@@ -1,15 +1,22 @@
 // Command trafficgen synthesizes workloads in the style of the paper's DPDK
 // packet sender: it prints arrival schedules (for inspection or external
-// consumption as CSV) or raw frame hex dumps.
+// consumption as CSV), raw frame hex dumps, tcpdump-compatible captures —
+// or blasts the frames straight into the execution emulator's batched
+// dataplane.
 //
 // Usage:
 //
 //	trafficgen [-rate 1.0] [-size 1024 | -imix] [-process cbr|poisson]
-//	           [-dur 10ms] [-flows 16] [-mode schedule|frames|pcap] [-n 10]
-//	           [-o out.pcap]
+//	           [-dur 10ms] [-flows 16] [-mode schedule|frames|pcap|emulate]
+//	           [-n 10] [-o out.pcap]
+//	           [-batch 32] [-workers 1] [-scale 200]
 //
 // -mode pcap materializes the schedule into real frames and writes a
-// tcpdump-compatible capture.
+// tcpdump-compatible capture. -mode emulate pushes the schedule through the
+// Figure-1 chain on the live emulator: -batch sets the dataplane burst
+// size, -workers the shard count per concurrency-safe NF, and -scale the
+// Table-1 capacity divisor; delivered throughput, loss and the latency
+// summary are printed at the end.
 package main
 
 import (
@@ -20,7 +27,11 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/device"
+	"repro/internal/emul"
 	"repro/internal/pcap"
+	"repro/internal/pcie"
+	"repro/internal/scenario"
 	"repro/internal/traffic"
 )
 
@@ -31,19 +42,22 @@ func main() {
 	process := flag.String("process", "cbr", "arrival process: cbr or poisson")
 	dur := flag.Duration("dur", 10*time.Millisecond, "schedule duration")
 	flows := flag.Uint64("flows", 16, "synthetic flow population")
-	mode := flag.String("mode", "schedule", "output: schedule (CSV), frames (hex) or pcap")
+	mode := flag.String("mode", "schedule", "output: schedule (CSV), frames (hex), pcap or emulate")
 	n := flag.Int("n", 10, "frame count in -mode frames")
 	out := flag.String("o", "", "output file for -mode pcap (default stdout)")
 	seed := flag.Int64("seed", 42, "deterministic seed")
+	batch := flag.Int("batch", 32, "emulate: dataplane burst size (frames per wakeup)")
+	workers := flag.Int("workers", 1, "emulate: worker shards per concurrency-safe NF")
+	scale := flag.Float64("scale", 200, "emulate: divisor applied to Table-1 device rates")
 	flag.Parse()
 
-	if err := run(*rate, *size, *imix, *process, *dur, *flows, *mode, *n, *out, *seed); err != nil {
+	if err := run(*rate, *size, *imix, *process, *dur, *flows, *mode, *n, *out, *seed, *batch, *workers, *scale); err != nil {
 		fmt.Fprintf(os.Stderr, "trafficgen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(rate float64, size int, imix bool, process string, dur time.Duration, flows uint64, mode string, n int, out string, seed int64) error {
+func run(rate float64, size int, imix bool, process string, dur time.Duration, flows uint64, mode string, n int, out string, seed int64, batch, workers int, scale float64) error {
 	var dist traffic.SizeDist = traffic.FixedSize(size)
 	if imix {
 		dist = traffic.NewIMIX()
@@ -107,6 +121,53 @@ func run(rate float64, size int, imix bool, process string, dur time.Duration, f
 			}
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d packets\n", w.Count())
+	case "emulate":
+		src, err := traffic.NewGen(rate, dist, proc, flows, 0, dur, seed)
+		if err != nil {
+			return err
+		}
+		rt, err := emul.New(emul.Config{
+			Chain:      scenario.Figure1Chain(),
+			Catalog:    device.Table1(),
+			Link:       pcie.DefaultLink(),
+			Scale:      scale,
+			BatchSize:  batch,
+			Workers:    workers,
+			PoolFrames: true,
+		})
+		if err != nil {
+			return err
+		}
+		rt.Start()
+		synth := traffic.NewSynth(int(flows), seed)
+		start := time.Now()
+		for {
+			a, ok := src.Next()
+			if !ok {
+				break
+			}
+			tmpl := synth.Frame(a.Flow, a.Size)
+			frame := rt.AcquireFrame(len(tmpl))
+			copy(frame, tmpl)
+			// Pace arrivals against the wall clock so offered load matches
+			// the schedule (the emulator throttles in real time).
+			if ahead := a.At - time.Since(start); ahead > time.Millisecond {
+				time.Sleep(ahead)
+			}
+			rt.Send(frame)
+		}
+		rt.Drain()
+		res := rt.Results()
+		rt.Close()
+		elapsed := time.Since(start)
+		fmt.Printf("emulated %v of traffic in %v (batch=%d workers=%d scale=%.0f)\n",
+			dur, elapsed.Round(time.Millisecond), batch, workers, scale)
+		fmt.Printf("offered %d frames, delivered %d (%.3f Gbps emulated), ingress drops %d\n",
+			res.Offered, res.Delivered, res.DeliveredGbps, res.IngressDrops)
+		fmt.Printf("latency %v\n", res.Latency)
+		for name, st := range rt.NFStats() {
+			fmt.Printf("  %-10s %v\n", name, st)
+		}
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}

@@ -20,10 +20,13 @@ import (
 
 func main() {
 	rt, err := emul.New(emul.Config{
-		Chain:   scenario.Figure1Chain(),
-		Catalog: device.Table1(),
-		Link:    pcie.DefaultLink(),
-		Scale:   200, // Table-1 rates scaled down 200x for a dev machine
+		Chain:      scenario.Figure1Chain(),
+		Catalog:    device.Table1(),
+		Link:       pcie.DefaultLink(),
+		Scale:      200, // Table-1 rates scaled down 200x for a dev machine
+		BatchSize:  32,  // burst-granular dataplane: 32 frames per wakeup
+		Workers:    2,   // concurrency-safe NFs sharded across 2 goroutines
+		PoolFrames: true,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -34,7 +37,10 @@ func main() {
 	synth := traffic.NewSynth(32, 7)
 	send := func(n int) {
 		for i := 0; i < n; i++ {
-			rt.Send(synth.Frame(uint64(i%32), 512))
+			tmpl := synth.Frame(uint64(i%32), 512)
+			frame := rt.AcquireFrame(len(tmpl)) // recycled at egress (PoolFrames)
+			copy(frame, tmpl)
+			rt.Send(frame)
 		}
 		rt.Drain()
 	}

@@ -5,6 +5,19 @@
 // emulated as latency, and live UNO-style migration (freeze → state
 // transfer → restore → replay) while traffic flows.
 //
+// The dataplane is batch-granular, in the style of a DPDK burst loop: each
+// worker drains up to Config.BatchSize frames per wakeup, admits the whole
+// burst through the element's token gate in one transaction, charges one
+// PCIe propagation delay per burst (serialization stays per frame), decodes
+// each entry into a reused per-slot decoder, and hands the burst to the NF
+// as a single ProcessBatch call. Elements whose NF is ConcurrencySafe can
+// additionally be sharded across Config.Workers goroutines; frames are
+// distributed by an RSS-style flow hash so per-flow FIFO order is
+// preserved, and migration freezes every shard before moving state. With
+// Config.PoolFrames, delivered and dropped frame buffers are recycled
+// through an internal pool (AcquireFrame), making steady-state emulation
+// nearly allocation-free.
+//
 // The emulator complements the discrete-event simulator: chainsim produces
 // the paper's figures with virtual-clock precision; emul demonstrates that
 // the same control decisions work against actual packet-processing code
@@ -39,8 +52,23 @@ type Config struct {
 	// θ = 2 Gbps and Scale = 1000 is throttled to 2 Mbps. Default 1000.
 	Scale float64
 	// QueueDepth bounds each NF's input queue in frames (default 256); the
-	// queue doubles as the migration freeze buffer.
+	// queue doubles as the migration freeze buffer. Sharded elements split
+	// the depth across their shards.
 	QueueDepth int
+	// BatchSize caps how many frames a worker drains and processes per
+	// wakeup (default 32, clamped to QueueDepth). The burst shares one
+	// token-bucket transaction, one PCIe propagation charge and one
+	// ProcessBatch call.
+	BatchSize int
+	// Workers shards each element whose NF reports ConcurrencySafe across
+	// this many goroutines (default 1, i.e. no sharding). Frames are
+	// assigned to shards by flow-key hash, preserving per-flow FIFO order.
+	Workers int
+	// PoolFrames recycles every delivered or dropped frame's buffer into
+	// the runtime's frame pool. Callers should then obtain frames with
+	// AcquireFrame and must not retain frames in an egress tap beyond the
+	// call. Off by default: frames are left to the GC.
+	PoolFrames bool
 	// SleepPCIe enables real sleeps for PCIe crossings. Off, crossings are
 	// only accounted (useful for fast tests).
 	SleepPCIe bool
@@ -62,18 +90,28 @@ func (c Config) withDefaults() (Config, error) {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
 	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.BatchSize > c.QueueDepth {
+		c.BatchSize = c.QueueDepth
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
 	return c, nil
 }
 
 // job is one frame in flight.
 type job struct {
 	frame    []byte
+	hash     uint64 // RSS-style flow hash, computed once at ingress
 	ingress  time.Duration
 	crossing bool // the frame crossed PCIe to reach this element
 }
 
-// element is one chain position: its NF instance, current placement, input
-// queue and throttle.
+// element is one chain position: its NF instance, current placement, worker
+// shards and throttle.
 type element struct {
 	name string
 	typ  string
@@ -82,23 +120,38 @@ type element struct {
 	inst nf.NF
 	loc  atomic.Int32 // device.Kind
 
-	in     chan job
+	shards []*shard
 	gate   gate
 	drops  atomic.Uint64
 	parent *Runtime
 	pos    int
 
-	ctrl chan migrateReq
+	migMu sync.Mutex // serializes migrations of this element
 }
 
-type migrateReq struct {
-	to   device.Kind
-	resp chan migrateResp
+// shard is one worker of an element: its own input queue (which doubles as
+// the migration freeze buffer) and a control channel that preempts packet
+// work.
+type shard struct {
+	el   *element
+	in   chan job
+	ctrl chan pauseReq
 }
 
-type migrateResp struct {
-	rep migrate.Report
-	err error
+// pauseReq quiesces a shard worker: the worker signals acked once it is
+// between bursts, then blocks until resume is closed.
+type pauseReq struct {
+	acked  chan struct{}
+	resume chan struct{}
+}
+
+// shardFor maps a flow hash to the element's shard, pinning each flow to
+// one worker.
+func (el *element) shardFor(h uint64) *shard {
+	if len(el.shards) == 1 {
+		return el.shards[0]
+	}
+	return el.shards[h%uint64(len(el.shards))]
 }
 
 // Runtime is a running emulated chain.
@@ -109,6 +162,10 @@ type Runtime struct {
 	start   time.Time
 	started atomic.Bool
 	closed  atomic.Bool
+	closeMu sync.RWMutex // excludes Send against Close's channel close
+
+	frames   *packet.FramePool
+	decoders *packet.DecoderPool
 
 	latency      *metrics.Histogram
 	meter        *metrics.Meter
@@ -126,9 +183,11 @@ func New(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	r := &Runtime{
-		cfg:     cfg,
-		latency: metrics.NewHistogram(),
-		meter:   metrics.NewMeter(0),
+		cfg:      cfg,
+		latency:  metrics.NewHistogram(),
+		meter:    metrics.NewMeter(0),
+		frames:   packet.NewFramePool(),
+		decoders: packet.NewDecoderPool(),
 	}
 	for i, e := range cfg.Chain.Elems {
 		inst, err := nf.New(e.Name, e.Type)
@@ -143,13 +202,23 @@ func New(cfg Config) (*Runtime, error) {
 			name:   e.Name,
 			typ:    e.Type,
 			inst:   inst,
-			in:     make(chan job, cfg.QueueDepth),
-			ctrl:   make(chan migrateReq),
 			parent: r,
 			pos:    i,
 		}
 		el.loc.Store(int32(e.Loc))
 		el.gate.setRate(bytesPerSec(rate, cfg.Scale))
+		nshards := 1
+		if inst.ConcurrencySafe() {
+			nshards = cfg.Workers
+		}
+		depth := (cfg.QueueDepth + nshards - 1) / nshards
+		for s := 0; s < nshards; s++ {
+			el.shards = append(el.shards, &shard{
+				el:   el,
+				in:   make(chan job, depth),
+				ctrl: make(chan pauseReq),
+			})
+		}
 		r.elems = append(r.elems, el)
 	}
 	return r, nil
@@ -167,17 +236,37 @@ func (r *Runtime) Start() {
 	}
 	r.start = time.Now()
 	for _, el := range r.elems {
-		go el.run()
+		for _, s := range el.shards {
+			go s.run()
+		}
 	}
 }
 
 // now returns emulation time (wall-clock since Start).
 func (r *Runtime) now() time.Duration { return time.Since(r.start) }
 
+// AcquireFrame returns a frame buffer of length n from the runtime's pool.
+// With Config.PoolFrames set, every delivered or dropped frame's buffer is
+// recycled into the same pool, so steady-state traffic generated through
+// AcquireFrame allocates nothing.
+func (r *Runtime) AcquireFrame(n int) []byte { return r.frames.Get(n) }
+
+// recycle returns a finished frame's buffer to the pool when pooling is on.
+func (r *Runtime) recycle(frame []byte) {
+	if r.cfg.PoolFrames {
+		r.frames.Put(frame)
+	}
+}
+
 // Send offers one frame to the chain ingress. It reports false when the
 // first element's queue is full (ingress drop). The frame is owned by the
-// runtime afterwards.
+// runtime once accepted; a rejected frame stays with the caller.
 func (r *Runtime) Send(frame []byte) bool {
+	// The read lock excludes Close's channel close: once closed is set
+	// under the write lock, no Send can be past the check below, so
+	// closing the shard channels cannot race a send.
+	r.closeMu.RLock()
+	defer r.closeMu.RUnlock()
 	if !r.started.Load() || r.closed.Load() {
 		return false
 	}
@@ -185,12 +274,13 @@ func (r *Runtime) Send(frame []byte) bool {
 	first := r.elems[0]
 	j := job{
 		frame:    frame,
+		hash:     packet.FlowHash(frame),
 		ingress:  r.now(),
 		crossing: device.Kind(first.loc.Load()) == device.KindCPU, // NIC ingress → CPU
 	}
 	r.inFlight.Add(1)
 	select {
-	case first.in <- j:
+	case first.shardFor(j.hash).in <- j:
 		return true
 	default:
 		r.inFlight.Done()
@@ -204,129 +294,246 @@ func (r *Runtime) Send(frame []byte) bool {
 func (r *Runtime) Drain() { r.inFlight.Wait() }
 
 // Close shuts the pipeline down after draining. The runtime cannot be
-// restarted.
+// restarted. Safe to call concurrently with Send: late Sends are rejected.
 func (r *Runtime) Close() {
+	r.closeMu.Lock()
 	if !r.closed.CompareAndSwap(false, true) {
+		r.closeMu.Unlock()
 		return
 	}
+	r.closeMu.Unlock()
 	r.Drain()
 	for _, el := range r.elems {
-		close(el.in)
+		for _, s := range el.shards {
+			close(s.in)
+		}
 	}
 }
 
 // SetEgressTap installs fn to receive every delivered frame (tests).
-// Must be set before Start.
+// Must be set before Start. With Config.Workers > 1 the tail element may be
+// sharded, in which case fn is called concurrently from several goroutines
+// and must synchronize internally. With Config.PoolFrames the frame buffer
+// is recycled when fn returns, so fn must copy anything it keeps.
 func (r *Runtime) SetEgressTap(fn func(frame []byte)) { r.egress = fn }
 
-// run is the per-element worker: control messages (migration) preempt
-// packet work; the bounded input channel doubles as the freeze buffer while
-// a migration is in progress.
-func (el *element) run() {
-	dec := packet.NewDecoder()
+// run is the per-shard worker: a burst loop in the DPDK style. Control
+// messages (migration freeze) preempt packet work; the bounded input
+// channel doubles as the freeze buffer while a migration is in progress.
+func (s *shard) run() {
+	r := s.el.parent
+	batch := r.cfg.BatchSize
+	decs := make([]*packet.Decoder, batch)
+	for i := range decs {
+		decs[i] = r.decoders.Get()
+	}
+	defer func() {
+		for _, d := range decs {
+			r.decoders.Put(d)
+		}
+	}()
+	jobs := make([]job, 0, batch)
+	ctxs := make([]nf.Ctx, batch)
+	ptrs := make([]*nf.Ctx, batch)
+	lats := make([]int64, 0, batch)
+
 	for {
 		select {
-		case req := <-el.ctrl:
-			req.resp <- el.doMigrate(req.to)
+		case req := <-s.ctrl:
+			s.pause(req)
 			continue
 		default:
 		}
 		select {
-		case req := <-el.ctrl:
-			req.resp <- el.doMigrate(req.to)
-		case j, ok := <-el.in:
+		case req := <-s.ctrl:
+			s.pause(req)
+		case j, ok := <-s.in:
 			if !ok {
 				return
 			}
-			el.process(j, dec)
+			jobs = append(jobs[:0], j)
+			closed := false
+		drain:
+			for len(jobs) < batch {
+				select {
+				case j2, ok2 := <-s.in:
+					if !ok2 {
+						closed = true
+						break drain
+					}
+					jobs = append(jobs, j2)
+				default:
+					break drain
+				}
+			}
+			s.processBatch(jobs, decs, ctxs, ptrs, &lats)
+			if closed {
+				return
+			}
 		}
 	}
 }
 
-// process runs one frame through this element's NF and forwards it.
-func (el *element) process(j job, dec *packet.Decoder) {
+// pause acknowledges a freeze and blocks until the migration coordinator
+// resumes the shard.
+func (s *shard) pause(req pauseReq) {
+	req.acked <- struct{}{}
+	<-req.resume
+}
+
+// processBatch runs one burst through this element's NF and forwards it:
+// one gate transaction, one PCIe propagation charge, one ProcessBatch call
+// and batched metering for the whole burst.
+func (s *shard) processBatch(jobs []job, decs []*packet.Decoder, ctxs []nf.Ctx, ptrs []*nf.Ctx, lats *[]int64) {
+	el := s.el
 	r := el.parent
+	n := len(jobs)
 
-	// Emulate the device capacity: the gate admits len(frame) bytes at the
-	// element's current rate.
-	el.gate.take(len(j.frame))
+	// Emulate the device capacity: the gate admits the burst's total bytes
+	// at the element's current rate in a single transaction.
+	total := 0
+	crossBytes, crossed := 0, false
+	for i := range jobs {
+		total += len(jobs[i].frame)
+		if jobs[i].crossing {
+			crossed = true
+			crossBytes += len(jobs[i].frame)
+		}
+	}
+	el.gate.take(total)
 
-	// PCIe crossing latency to reach this element, if any.
-	if j.crossing && r.cfg.SleepPCIe {
-		time.Sleep(r.cfg.Link.CrossingTime(len(j.frame)))
+	// PCIe crossing latency to reach this element: propagation is paid
+	// once per burst (descriptors are posted back-to-back), serialization
+	// per crossing frame.
+	if crossed && r.cfg.SleepPCIe {
+		time.Sleep(r.cfg.Link.PropDelay + r.cfg.Link.SerializationTime(crossBytes))
 	}
 
-	_, _ = dec.Decode(j.frame) // NFs tolerate partial decodes
-	ctx := nf.Ctx{
-		Frame:   j.frame,
-		Decoder: dec,
-		Now:     r.now(),
-	}
-	if k, ok := flow.FromDecoder(dec); ok {
-		ctx.FlowKey, ctx.HasFlow = k, true
+	now := r.now()
+	for i := range jobs {
+		dec := decs[i]
+		_, _ = dec.Decode(jobs[i].frame) // NFs tolerate partial decodes
+		c := &ctxs[i]
+		*c = nf.Ctx{Frame: jobs[i].frame, Decoder: dec, Now: now}
+		if k, ok := flow.FromDecoder(dec); ok {
+			c.FlowKey, c.HasFlow = k, true
+		}
+		ptrs[i] = c
 	}
 	el.mu.Lock()
 	inst := el.inst
 	el.mu.Unlock()
-	verdict, _ := inst.Process(&ctx)
-	if verdict == nf.VerdictDrop {
-		r.inFlight.Done()
+	verdicts := inst.ProcessBatch(ptrs[:n])
+
+	if el.pos == len(r.elems)-1 {
+		s.egressBatch(jobs, verdicts, lats)
 		return
 	}
 
-	// Forward to the next element or egress.
-	if el.pos == len(r.elems)-1 {
-		// Egress: crossing back to the NIC when the tail is on the CPU.
-		if device.Kind(el.loc.Load()) == device.KindCPU && r.cfg.SleepPCIe {
-			time.Sleep(r.cfg.Link.CrossingTime(len(j.frame)))
-		}
-		now := r.now()
-		r.latency.Record(int64(now - j.ingress))
-		r.meter.Observe(len(j.frame), now)
-		if r.egress != nil {
-			r.egress(j.frame)
-		}
-		r.inFlight.Done()
-		return
-	}
+	// Forward survivors to the next element's shard for their flow.
 	next := r.elems[el.pos+1]
-	j.crossing = el.loc.Load() != next.loc.Load()
-	select {
-	case next.in <- j:
-	default:
-		next.drops.Add(1)
-		r.meter.Drop(r.now())
-		r.inFlight.Done()
+	crossingNext := el.loc.Load() != next.loc.Load()
+	finished, qdrops := 0, 0
+	for i := range jobs {
+		if i < len(verdicts) && verdicts[i] == nf.VerdictPass {
+			j := jobs[i]
+			j.crossing = crossingNext
+			select {
+			case next.shardFor(j.hash).in <- j:
+				continue
+			default:
+				next.drops.Add(1)
+				qdrops++
+			}
+		}
+		finished++
+		r.recycle(jobs[i].frame)
+	}
+	if qdrops > 0 {
+		r.meter.DropN(uint64(qdrops), r.now())
+	}
+	if finished > 0 {
+		r.inFlight.Add(-finished)
 	}
 }
 
-// doMigrate performs the UNO sequence on the worker goroutine: the element
-// is implicitly frozen (no packets consumed) for the duration; arriving
-// frames accumulate in the bounded input queue and are replayed by virtue
-// of FIFO consumption after the swap.
-func (el *element) doMigrate(to device.Kind) migrateResp {
+// egressBatch completes a burst at the chain tail: one PCIe charge back to
+// the NIC when the tail runs on the CPU, one histogram critical section for
+// the burst's latencies, one meter update for its packets and bytes.
+func (s *shard) egressBatch(jobs []job, verdicts []nf.Verdict, lats *[]int64) {
+	el := s.el
+	r := el.parent
+	if device.Kind(el.loc.Load()) == device.KindCPU && r.cfg.SleepPCIe {
+		bytes := 0
+		for i := range jobs {
+			if i < len(verdicts) && verdicts[i] == nf.VerdictPass {
+				bytes += len(jobs[i].frame)
+			}
+		}
+		if bytes > 0 {
+			time.Sleep(r.cfg.Link.PropDelay + r.cfg.Link.SerializationTime(bytes))
+		}
+	}
+	now := r.now()
+	var delivered, deliveredBytes uint64
+	*lats = (*lats)[:0]
+	for i := range jobs {
+		if i < len(verdicts) && verdicts[i] == nf.VerdictPass {
+			*lats = append(*lats, int64(now-jobs[i].ingress))
+			delivered++
+			deliveredBytes += uint64(len(jobs[i].frame))
+			if r.egress != nil {
+				r.egress(jobs[i].frame)
+			}
+		}
+		r.recycle(jobs[i].frame)
+	}
+	r.latency.RecordBatch(*lats)
+	r.meter.ObserveN(delivered, deliveredBytes, now)
+	r.inFlight.Add(-len(jobs))
+}
+
+// doMigrate performs the UNO sequence. The element is frozen by quiescing
+// every shard worker (no packets consumed); arriving frames accumulate in
+// the bounded shard queues and are replayed by virtue of FIFO consumption
+// after the swap. Callers hold el.migMu.
+func (el *element) doMigrate(to device.Kind) (migrate.Report, error) {
 	r := el.parent
 	from := device.Kind(el.loc.Load())
 	if from == to {
-		return migrateResp{rep: migrate.Report{Element: el.name}}
+		return migrate.Report{Element: el.name}, nil
 	}
 	rate, err := r.cfg.Catalog.Lookup(el.typ, to)
 	if err != nil {
-		return migrateResp{err: err}
+		return migrate.Report{}, err
 	}
 	fresh, err := nf.New(el.name, el.typ)
 	if err != nil {
-		return migrateResp{err: err}
+		return migrate.Report{}, err
 	}
+
+	// Freeze: every shard must be between bursts before state is copied.
+	acked := make(chan struct{}, len(el.shards))
+	resume := make(chan struct{})
+	for _, s := range el.shards {
+		s.ctrl <- pauseReq{acked: acked, resume: resume}
+	}
+	for range el.shards {
+		<-acked
+	}
+	defer close(resume)
+
 	tr := migrate.PCIeTransport{Link: r.cfg.Link, Setup: time.Millisecond}
 	el.mu.Lock()
 	old := el.inst
 	el.mu.Unlock()
 	rep, err := migrate.Move(old, fresh, tr)
 	if err != nil {
-		return migrateResp{err: err}
+		return migrate.Report{}, err
 	}
-	rep.Buffered = len(el.in)
+	for _, s := range el.shards {
+		rep.Buffered += len(s.in)
+	}
 	if r.cfg.SleepPCIe {
 		time.Sleep(rep.Transfer)
 	}
@@ -335,22 +542,32 @@ func (el *element) doMigrate(to device.Kind) migrateResp {
 	el.mu.Unlock()
 	el.loc.Store(int32(to))
 	el.gate.setRate(bytesPerSec(rate, r.cfg.Scale))
-	rep.Replayed = rep.Buffered // FIFO consumption replays the queue
-	return migrateResp{rep: rep}
+	rep.Replayed = rep.Buffered // FIFO consumption replays the queues
+	return rep, nil
 }
 
 // Migrate live-moves the named element to the device, returning the
 // migration report. Loss-free: frames arriving during the move wait in the
-// element's queue (up to QueueDepth).
+// element's shard queues (up to QueueDepth in aggregate).
 func (r *Runtime) Migrate(name string, to device.Kind) (migrate.Report, error) {
+	// The read lock holds Close off for the duration: the pause handshake
+	// with the shard workers requires them alive, so the closed check and
+	// the handshake must be atomic with respect to Close.
+	r.closeMu.RLock()
+	defer r.closeMu.RUnlock()
+	if !r.started.Load() {
+		return migrate.Report{}, errors.New("emul: not started")
+	}
+	if r.closed.Load() {
+		return migrate.Report{}, errors.New("emul: closed")
+	}
 	for _, el := range r.elems {
 		if el.name != name {
 			continue
 		}
-		req := migrateReq{to: to, resp: make(chan migrateResp, 1)}
-		el.ctrl <- req
-		resp := <-req.resp
-		return resp.rep, resp.err
+		el.migMu.Lock()
+		defer el.migMu.Unlock()
+		return el.doMigrate(to)
 	}
 	return migrate.Report{}, fmt.Errorf("emul: no element %q", name)
 }
@@ -422,7 +639,7 @@ func (r *Runtime) Results() Result {
 
 // gate is a token bucket throttling a worker to a byte rate. take blocks
 // (sleeps) until the requested bytes are available. Rate changes take
-// effect immediately (migration changes the device).
+// effect within maxGateSleep (migration changes the device).
 type gate struct {
 	mu     sync.Mutex
 	rate   float64 // bytes/s
@@ -445,23 +662,38 @@ func (g *gate) setRate(bps float64) {
 	g.mu.Unlock()
 }
 
-// take blocks until n bytes of budget are available.
+// maxGateSleep bounds one throttling sleep so that a rate raised mid-wait
+// (a live migration to a faster device) takes effect within milliseconds
+// instead of after the full deficit computed at the old rate.
+const maxGateSleep = 5 * time.Millisecond
+
+// take blocks until n bytes of budget are available. Requests larger than
+// the configured burst (a big batch at a slow device) are still admissible:
+// tokens may accumulate up to the request size.
 func (g *gate) take(n int) {
+	need := float64(n)
 	for {
 		g.mu.Lock()
 		now := time.Now()
 		g.tokens += g.rate * now.Sub(g.last).Seconds()
 		g.last = now
-		if g.tokens > g.burst {
-			g.tokens = g.burst
+		limit := g.burst
+		if need > limit {
+			limit = need
 		}
-		if g.tokens >= float64(n) {
-			g.tokens -= float64(n)
+		if g.tokens > limit {
+			g.tokens = limit
+		}
+		if g.tokens >= need {
+			g.tokens -= need
 			g.mu.Unlock()
 			return
 		}
-		need := (float64(n) - g.tokens) / g.rate
+		wait := time.Duration((need - g.tokens) / g.rate * float64(time.Second))
 		g.mu.Unlock()
-		time.Sleep(time.Duration(need * float64(time.Second)))
+		if wait > maxGateSleep {
+			wait = maxGateSleep
+		}
+		time.Sleep(wait)
 	}
 }

@@ -1,0 +1,63 @@
+package emul
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// TestGateRateIncreaseMidWait: a rate raised while take is sleeping (what a
+// migration to a faster device does) must shorten the wait. The old gate
+// slept the full deficit computed at the old rate.
+func TestGateRateIncreaseMidWait(t *testing.T) {
+	var g gate
+	g.setRate(1000) // 1 kB/s: 5000 B needs ~3.5 s beyond the initial burst
+	done := make(chan time.Duration, 1)
+	start := time.Now()
+	go func() {
+		g.take(5000)
+		done <- time.Since(start)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	g.setRate(50e6) // migration to a much faster device
+	select {
+	case elapsed := <-done:
+		if elapsed > time.Second {
+			t.Errorf("take took %v after the rate increase; the old-rate deficit was ~3.5s", elapsed)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("take still blocked 3s after the rate increase")
+	}
+}
+
+// TestGateAdmitsOversizedBurst: a burst larger than the configured bucket
+// must be admitted after a proportional wait, not spin forever (the bucket
+// clamp would otherwise keep tokens below the request).
+func TestGateAdmitsOversizedBurst(t *testing.T) {
+	var g gate
+	g.setRate(1e6) // burst = max(10 kB, MaxFrameSize) = 10 kB
+	n := 4 * packet.MaxFrameSize * 16
+	if float64(n) <= g.burst {
+		t.Fatalf("test burst %d not larger than bucket %.0f", n, g.burst)
+	}
+	start := time.Now()
+	g.take(n) // ~97 kB at 1 MB/s ≈ 90 ms
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("oversized take took %v", elapsed)
+	}
+}
+
+// TestGateEnforcesRate: batched admission must still meter the configured
+// byte rate over time.
+func TestGateEnforcesRate(t *testing.T) {
+	var g gate
+	g.setRate(100_000) // 100 kB/s, burst 1514
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		g.take(2000) // 20 kB total, ≈185 ms after the initial burst
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Errorf("20 kB at 100 kB/s admitted in %v; throttle ineffective", elapsed)
+	}
+}

@@ -84,43 +84,12 @@ func bucketHigh(i int) int64 {
 	return next - 1
 }
 
-// Record adds one sample. Negative samples are clamped to zero.
-func (h *Histogram) Record(v int64) {
+// recordLocked adds n identical samples; callers hold h.mu.
+func (h *Histogram) recordLocked(v int64, n uint64) {
 	if v < 0 {
 		v = 0
 	}
 	idx := bucketIndex(v)
-	h.mu.Lock()
-	if h.counts == nil {
-		h.min = math.MaxInt64
-	}
-	if idx >= len(h.counts) {
-		grown := make([]uint64, idx+1)
-		copy(grown, h.counts)
-		h.counts = grown
-	}
-	h.counts[idx]++
-	h.count++
-	h.sum += v
-	if v < h.min {
-		h.min = v
-	}
-	if v > h.max {
-		h.max = v
-	}
-	h.mu.Unlock()
-}
-
-// RecordN adds n identical samples.
-func (h *Histogram) RecordN(v int64, n uint64) {
-	if n == 0 {
-		return
-	}
-	if v < 0 {
-		v = 0
-	}
-	idx := bucketIndex(v)
-	h.mu.Lock()
 	if h.counts == nil {
 		h.min = math.MaxInt64
 	}
@@ -137,6 +106,36 @@ func (h *Histogram) RecordN(v int64, n uint64) {
 	}
 	if v > h.max {
 		h.max = v
+	}
+}
+
+// Record adds one sample. Negative samples are clamped to zero.
+func (h *Histogram) Record(v int64) {
+	h.mu.Lock()
+	h.recordLocked(v, 1)
+	h.mu.Unlock()
+}
+
+// RecordN adds n identical samples.
+func (h *Histogram) RecordN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.recordLocked(v, n)
+	h.mu.Unlock()
+}
+
+// RecordBatch adds a burst of distinct samples under one lock acquisition,
+// the batched hot-path variant Record used per-frame: the burst dataplane
+// records a whole egress batch of latencies in one critical section.
+func (h *Histogram) RecordBatch(vs []int64) {
+	if len(vs) == 0 {
+		return
+	}
+	h.mu.Lock()
+	for _, v := range vs {
+		h.recordLocked(v, 1)
 	}
 	h.mu.Unlock()
 }

@@ -37,9 +37,38 @@ func (m *Meter) Observe(bytes int, now time.Duration) {
 	m.mu.Unlock()
 }
 
+// ObserveN records a burst of packets delivered together at virtual time
+// now: one atomic add per counter for the whole burst, the batched hot-path
+// variant of Observe used by the burst dataplane.
+func (m *Meter) ObserveN(packets, bytes uint64, now time.Duration) {
+	if packets == 0 {
+		return
+	}
+	m.packets.Add(packets)
+	m.bytes.Add(bytes)
+	m.mu.Lock()
+	if now > m.end {
+		m.end = now
+	}
+	m.mu.Unlock()
+}
+
 // Drop records a dropped packet at virtual time now.
 func (m *Meter) Drop(now time.Duration) {
 	m.drops.Add(1)
+	m.mu.Lock()
+	if now > m.end {
+		m.end = now
+	}
+	m.mu.Unlock()
+}
+
+// DropN records a burst of n packets dropped together at virtual time now.
+func (m *Meter) DropN(n uint64, now time.Duration) {
+	if n == 0 {
+		return
+	}
+	m.drops.Add(n)
 	m.mu.Lock()
 	if now > m.end {
 		m.end = now

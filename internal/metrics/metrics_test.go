@@ -223,3 +223,65 @@ func TestFormatBars(t *testing.T) {
 		t.Error("mismatched lengths must return empty")
 	}
 }
+
+func TestHistogramRecordBatch(t *testing.T) {
+	a := metrics.NewHistogram()
+	b := metrics.NewHistogram()
+	vs := []int64{0, 1, 17, 1000, 99999, 1 << 40, -5}
+	a.RecordBatch(vs)
+	for _, v := range vs {
+		b.Record(v)
+	}
+	if a.Count() != b.Count() || a.Sum() != b.Sum() || a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Errorf("RecordBatch diverges from Record: %+v vs %+v", a.Snapshot(), b.Snapshot())
+	}
+	for _, p := range []float64{50, 90, 99} {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Errorf("p%.0f: batch %d vs serial %d", p, a.Percentile(p), b.Percentile(p))
+		}
+	}
+	a.RecordBatch(nil) // no-op
+	if a.Count() != uint64(len(vs)) {
+		t.Errorf("empty batch changed count: %d", a.Count())
+	}
+}
+
+func TestMeterObserveNDropN(t *testing.T) {
+	m := metrics.NewMeter(0)
+	m.ObserveN(32, 32*512, time.Second)
+	m.DropN(8, 2*time.Second)
+	m.ObserveN(0, 0, 5*time.Second) // no-op, must not move the interval
+	m.DropN(0, 9*time.Second)       // no-op
+	if m.Packets() != 32 || m.Bytes() != 32*512 || m.Drops() != 8 {
+		t.Errorf("counters: pkts=%d bytes=%d drops=%d", m.Packets(), m.Bytes(), m.Drops())
+	}
+	if m.Elapsed() != 2*time.Second {
+		t.Errorf("elapsed = %v, want 2s", m.Elapsed())
+	}
+	wantGbps := float64(32*512) * 8 / 2 / 1e9
+	if math.Abs(m.Gbps()-wantGbps) > 1e-12 {
+		t.Errorf("gbps = %v, want %v", m.Gbps(), wantGbps)
+	}
+	if got := m.LossRate(); math.Abs(got-8.0/40.0) > 1e-12 {
+		t.Errorf("loss = %v", got)
+	}
+}
+
+func TestMeterObserveNConcurrent(t *testing.T) {
+	m := metrics.NewMeter(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.ObserveN(4, 4*100, time.Duration(i))
+				m.DropN(1, time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Packets() != 8*1000*4 || m.Drops() != 8*1000 {
+		t.Errorf("lost updates: pkts=%d drops=%d", m.Packets(), m.Drops())
+	}
+}

@@ -1,0 +1,186 @@
+package nf_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/nf"
+	"repro/internal/packet"
+	"repro/internal/traffic"
+)
+
+// mkBatch builds a burst of contexts from synthetic frames, one private
+// decoder per slot, the way the emulator's shard workers do.
+func mkBatch(t *testing.T, synth *traffic.Synth, flows uint64, n, size int) []*nf.Ctx {
+	t.Helper()
+	ctxs := make([]*nf.Ctx, n)
+	for i := 0; i < n; i++ {
+		fr := synth.Frame(uint64(i)%flows, size)
+		ctx, _ := mkCtx(t, fr, time.Duration(i)*time.Microsecond)
+		ctxs[i] = ctx
+	}
+	return ctxs
+}
+
+// TestProcessBatchMatchesSerial feeds the same burst to two fresh instances
+// of every catalog type — one per-packet, one batched — and requires
+// identical verdicts and identical statistics. This pins the hand-written
+// fast paths (Firewall, Monitor, RateLimiter) to the serial semantics and
+// exercises the base adapter for the rest.
+func TestProcessBatchMatchesSerial(t *testing.T) {
+	types := []string{
+		device.TypeFirewall, device.TypeLogger, device.TypeMonitor,
+		device.TypeLoadBalancer, device.TypeNAT, device.TypeDPI,
+		device.TypeRateLimiter, device.TypeIDS,
+	}
+	for _, typ := range types {
+		t.Run(typ, func(t *testing.T) {
+			serial, err := nf.New("s-"+typ, typ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := nf.New("b-"+typ, typ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n, size = 96, 512
+			synth := traffic.NewSynth(8, 7)
+			sctxs := mkBatch(t, synth, 8, n, size)
+			synth2 := traffic.NewSynth(8, 7) // identical frame sequence
+			bctxs := mkBatch(t, synth2, 8, n, size)
+
+			want := make([]nf.Verdict, n)
+			for i, ctx := range sctxs {
+				want[i], _ = serial.Process(ctx)
+			}
+			got := batched.ProcessBatch(bctxs)
+			if len(got) != n {
+				t.Fatalf("ProcessBatch returned %d verdicts, want %d", len(got), n)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("packet %d: batch %v, serial %v", i, got[i], want[i])
+				}
+			}
+			if serial.Stats() != batched.Stats() {
+				t.Errorf("stats diverge: serial %v, batch %v", serial.Stats(), batched.Stats())
+			}
+		})
+	}
+}
+
+// TestConcurrencySafeCapability: every built-in NF locks internally and
+// advertises it, so the emulator may shard all of them.
+func TestConcurrencySafeCapability(t *testing.T) {
+	types := []string{
+		device.TypeFirewall, device.TypeLogger, device.TypeMonitor,
+		device.TypeLoadBalancer, device.TypeNAT, device.TypeDPI,
+		device.TypeRateLimiter, device.TypeIDS,
+	}
+	for _, typ := range types {
+		inst, err := nf.New("c-"+typ, typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inst.ConcurrencySafe() {
+			t.Errorf("%s: ConcurrencySafe() = false, want true", typ)
+		}
+	}
+}
+
+// TestFirewallBatchDeniesWithinBurst: a deny rule must hit mid-burst, and
+// allowed flows must land in the connection cache exactly as with the
+// serial path.
+func TestFirewallBatchDeniesWithinBurst(t *testing.T) {
+	bad := packet.IPv4Addr{10, 0, 0, 66}
+	rules := []nf.Rule{
+		{Priority: 1, AnyProto: true, SrcIP: bad, SrcBits: 32, Action: nf.ActionDeny},
+		{Priority: 9, AnyProto: true, Action: nf.ActionAllow},
+	}
+	fw := nf.NewFirewall("fw", rules, false)
+	good := udpFrame(t, packet.IPv4Addr{10, 0, 0, 1}, packet.IPv4Addr{10, 0, 1, 1}, 1000, 80, []byte("ok"))
+	evil := udpFrame(t, bad, packet.IPv4Addr{10, 0, 1, 1}, 1000, 80, []byte("no"))
+	var ctxs []*nf.Ctx
+	for i := 0; i < 6; i++ {
+		fr := good
+		if i%2 == 1 {
+			fr = evil
+		}
+		ctx, _ := mkCtx(t, fr, time.Duration(i))
+		ctxs = append(ctxs, ctx)
+	}
+	verdicts := fw.ProcessBatch(ctxs)
+	for i, v := range verdicts {
+		want := nf.VerdictPass
+		if i%2 == 1 {
+			want = nf.VerdictDrop
+		}
+		if v != want {
+			t.Errorf("packet %d: %v, want %v", i, v, want)
+		}
+	}
+	if fw.ConnCount() != 1 {
+		t.Errorf("conn cache has %d entries, want 1", fw.ConnCount())
+	}
+	st := fw.Stats()
+	if st.Processed != 6 || st.Passed != 3 || st.Dropped != 3 {
+		t.Errorf("stats: %v", st)
+	}
+}
+
+// TestRateLimiterBatchSplitsBurst: the global bucket can run dry mid-burst;
+// the tail of the burst must be dropped packet-by-packet, not all-or-nothing.
+func TestRateLimiterBatchSplitsBurst(t *testing.T) {
+	// 1 Gbps global → 125e6 B/s; burst bucket = 125 kB. 512-byte frames at
+	// the same virtual instant: ~244 pass, the rest must drop.
+	rl := nf.NewRateLimiter("rl", 1, 0)
+	synth := traffic.NewSynth(4, 3)
+	ctxs := make([]*nf.Ctx, 300)
+	for i := range ctxs {
+		ctx, _ := mkCtx(t, synth.Frame(uint64(i%4), 512), 0)
+		ctxs[i] = ctx
+	}
+	verdicts := rl.ProcessBatch(ctxs)
+	var passed, dropped int
+	for i, v := range verdicts {
+		if v == nf.VerdictPass {
+			passed++
+			if dropped > 0 {
+				t.Errorf("packet %d passed after a drop: bucket cannot refill at constant Now", i)
+			}
+		} else {
+			dropped++
+		}
+	}
+	if passed == 0 || dropped == 0 {
+		t.Fatalf("burst not split: passed=%d dropped=%d", passed, dropped)
+	}
+	st := rl.Stats()
+	if st.Passed != uint64(passed) || st.Dropped != uint64(dropped) {
+		t.Errorf("stats %v disagree with verdicts pass=%d drop=%d", st, passed, dropped)
+	}
+}
+
+// TestBatchFastPathAllocs: the hand-written fast paths may allocate only
+// the returned verdict slice (1 alloc per burst), nothing per packet.
+func TestBatchFastPathAllocs(t *testing.T) {
+	synth := traffic.NewSynth(8, 5)
+	ctxs := mkBatch(t, synth, 8, 64, 512)
+
+	fw := nf.NewFirewall("fw", nf.DefaultFirewallRules(), false)
+	fw.ProcessBatch(ctxs) // warm the connection cache
+	if n := testing.AllocsPerRun(200, func() { fw.ProcessBatch(ctxs) }); n > 1 {
+		t.Errorf("Firewall.ProcessBatch: %.2f allocs/burst, want ≤1", n)
+	}
+	mon := nf.NewMonitor("mon", 0, 1<<16)
+	mon.ProcessBatch(ctxs)
+	if n := testing.AllocsPerRun(200, func() { mon.ProcessBatch(ctxs) }); n > 1 {
+		t.Errorf("Monitor.ProcessBatch: %.2f allocs/burst, want ≤1", n)
+	}
+	rl := nf.NewRateLimiter("rl", 1000, 0) // high rate: all pass, no map growth
+	rl.ProcessBatch(ctxs)
+	if n := testing.AllocsPerRun(200, func() { rl.ProcessBatch(ctxs) }); n > 1 {
+		t.Errorf("RateLimiter.ProcessBatch: %.2f allocs/burst, want ≤1", n)
+	}
+}

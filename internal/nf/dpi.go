@@ -32,6 +32,7 @@ func NewDPI(name string, patterns []string, blockOnMatch bool) *DPI {
 		blockOnMatch: blockOnMatch,
 		hits:         make(map[string]uint64),
 	}
+	d.attach(d, true) // automaton behind RWMutex, hit counters locked
 	d.setPatterns(patterns)
 	return d
 }

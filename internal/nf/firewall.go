@@ -102,6 +102,7 @@ func NewFirewall(name string, rules []Rule, defaultDrop bool) *Firewall {
 		defaultDrop: defaultDrop,
 		conns:       flow.NewTable(0, 1<<16),
 	}
+	f.attach(f, true) // rule table under RWMutex, conn cache sharded
 	f.setRules(rules)
 	return f
 }
@@ -159,6 +160,56 @@ func (f *Firewall) Process(ctx *Ctx) (Verdict, error) {
 		f.conns.Touch(ctx.FlowKey.Canonical(), len(ctx.Frame), ctx.Now)
 	}
 	return f.account(verdict, nil)
+}
+
+// ProcessBatch implements the batch fast path: the rule table is read once
+// per burst instead of once per packet (setRules replaces the slice
+// wholesale, so holding the header outside the lock is safe), and the four
+// outcome counters are updated once per burst.
+func (f *Firewall) ProcessBatch(ctxs []*Ctx) []Verdict {
+	out := make([]Verdict, len(ctxs))
+	f.mu.RLock()
+	rules := f.rules
+	defaultDrop := f.defaultDrop
+	f.mu.RUnlock()
+	var passed, dropped uint64
+	for i, ctx := range ctxs {
+		if !ctx.HasFlow {
+			out[i] = VerdictPass
+			passed++
+			continue
+		}
+		k := ctx.FlowKey.Canonical()
+		if _, ok := f.conns.Lookup(k, ctx.Now); ok {
+			f.conns.Touch(k, len(ctx.Frame), ctx.Now)
+			out[i] = VerdictPass
+			passed++
+			continue
+		}
+		verdict := VerdictPass
+		if defaultDrop {
+			verdict = VerdictDrop
+		}
+		for _, r := range rules {
+			if r.Matches(ctx.FlowKey) {
+				if r.Action == ActionDeny {
+					verdict = VerdictDrop
+				} else {
+					verdict = VerdictPass
+				}
+				break
+			}
+		}
+		if verdict == VerdictPass {
+			f.conns.Touch(k, len(ctx.Frame), ctx.Now)
+			passed++
+		} else {
+			dropped++
+		}
+		out[i] = verdict
+	}
+	f.accountN(passed, dropped, 0)
+	return out
 }
 
 // ConnCount returns the number of cached established connections.

@@ -49,7 +49,7 @@ func NewIDS(name string, synThreshold, scanThreshold int) *IDS {
 	if scanThreshold < 1 {
 		scanThreshold = 50
 	}
-	return &IDS{
+	ids := &IDS{
 		base:          newBase(name, device.TypeIDS),
 		synThreshold:  synThreshold,
 		scanThreshold: scanThreshold,
@@ -57,6 +57,8 @@ func NewIDS(name string, synThreshold, scanThreshold int) *IDS {
 		ports:         make(map[packet.IPv4Addr]map[uint16]bool),
 		flagged:       make(map[packet.IPv4Addr]string),
 	}
+	ids.attach(ids, true) // all detector state under one mutex
+	return ids
 }
 
 // Process implements NF.

@@ -44,11 +44,14 @@ func NewLoadBalancer(name string, backends []Backend) (*LoadBalancer, error) {
 			cp[i].Weight = 1
 		}
 	}
-	return &LoadBalancer{
+	lb := &LoadBalancer{
 		base:     newBase(name, device.TypeLoadBalancer),
 		backends: cp,
 		bindings: flow.NewTable(0, 1<<16),
-	}, nil
+	}
+	// Binding entries are only mutated by the shard owning the flow.
+	lb.attach(lb, true)
+	return lb, nil
 }
 
 // Backends returns a copy of the backend set.

@@ -41,10 +41,12 @@ func NewLogger(name string, capacity int) *Logger {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Logger{
+	l := &Logger{
 		base: newBase(name, device.TypeLogger),
 		ring: make([]LogRecord, 0, capacity),
 	}
+	l.attach(l, true) // ring fully mutex-protected
+	return l
 }
 
 // NewLoggerCapture builds a logger that additionally captures frame bytes

@@ -27,10 +27,12 @@ type Monitor struct {
 // NewMonitor builds a monitor; ttl evicts idle flows (0 keeps them forever),
 // maxFlows bounds the table.
 func NewMonitor(name string, ttl time.Duration, maxFlows int) *Monitor {
-	return &Monitor{
+	m := &Monitor{
 		base:  newBase(name, device.TypeMonitor),
 		flows: flow.NewTable(ttl, maxFlows),
 	}
+	m.attach(m, true) // totals under mutex, flow table sharded
+	return m
 }
 
 // Process implements NF: account and pass.
@@ -43,6 +45,28 @@ func (m *Monitor) Process(ctx *Ctx) (Verdict, error) {
 		m.flows.Touch(ctx.FlowKey, len(ctx.Frame), ctx.Now)
 	}
 	return m.account(VerdictPass, nil)
+}
+
+// ProcessBatch implements the batch fast path: the aggregate totals are
+// updated under one lock acquisition for the whole burst and the outcome
+// counters once per burst; only the sharded flow-table touch stays
+// per-packet.
+func (m *Monitor) ProcessBatch(ctxs []*Ctx) []Verdict {
+	out := make([]Verdict, len(ctxs))
+	var burstBytes uint64
+	for i, ctx := range ctxs {
+		burstBytes += uint64(len(ctx.Frame))
+		if ctx.HasFlow {
+			m.flows.Touch(ctx.FlowKey, len(ctx.Frame), ctx.Now)
+		}
+		out[i] = VerdictPass
+	}
+	m.mu.Lock()
+	m.totalPkts += uint64(len(ctxs))
+	m.totalBytes += burstBytes
+	m.mu.Unlock()
+	m.accountN(uint64(len(ctxs)), 0, 0)
+	return out
 }
 
 // FlowCount returns the number of tracked flows.

@@ -34,7 +34,7 @@ func NewNAT(name string, externalIP packet.IPv4Addr, portMin, portMax uint16) (*
 	if portMax < portMin {
 		return nil, fmt.Errorf("nat %s: empty port range [%d,%d]", name, portMin, portMax)
 	}
-	return &NAT{
+	n := &NAT{
 		base:       newBase(name, device.TypeNAT),
 		externalIP: externalIP,
 		portMin:    portMin,
@@ -42,7 +42,9 @@ func NewNAT(name string, externalIP packet.IPv4Addr, portMin, portMax uint16) (*
 		nextPort:   portMin,
 		bindings:   make(map[flow.Key]uint16),
 		inUse:      make(map[uint16]bool),
-	}, nil
+	}
+	n.attach(n, true) // binding allocation under one mutex
+	return n, nil
 }
 
 // Process implements NF: allocate or reuse a binding, rewrite source

@@ -9,6 +9,16 @@
 // functionally real — the Firewall matches rules, the NAT rewrites headers
 // and fixes checksums, the DPI scans payloads with Aho–Corasick — because
 // migration must move real state between devices.
+//
+// The dataplane contract is batch-granular: the emulator hands each NF a
+// burst of contexts via ProcessBatch, which every NF supports (the embedded
+// base adapter falls back to per-packet Process; Firewall, Monitor and
+// RateLimiter implement hand-written fast paths that amortize locking and
+// accounting across the burst). ConcurrencySafe advertises whether an
+// instance tolerates concurrent ProcessBatch calls from multiple worker
+// shards — true for all built-in NFs, which lock internally — under the
+// proviso that packets of one flow are never processed concurrently (the
+// emulator guarantees this by flow-hash sharding).
 package nf
 
 import (
@@ -53,10 +63,11 @@ type Ctx struct {
 	HasFlow bool
 }
 
-// NF is a network function instance. Process must be safe for concurrent
-// calls only if the NF is marked Concurrent; the emulator serializes calls
-// otherwise. Implementations must not retain ctx or its frame beyond the
-// call.
+// NF is a network function instance. Process and ProcessBatch must be safe
+// for concurrent calls only if ConcurrencySafe reports true; the emulator
+// serializes calls onto a single worker otherwise. Implementations must not
+// retain ctx (or its frame or decoder) beyond the call — the runtime reuses
+// context and layer structs across bursts.
 type NF interface {
 	// Name returns the instance name (unique within a chain).
 	Name() string
@@ -65,6 +76,18 @@ type NF interface {
 	// Process handles one packet and returns the verdict and an error for
 	// malformed input the NF refuses to handle (counted, packet dropped).
 	Process(ctx *Ctx) (Verdict, error)
+	// ProcessBatch handles a burst of packets and returns one verdict per
+	// context, in order. It is the hot path of the batched dataplane:
+	// implementations amortize locks and counters across the burst where
+	// they can, and fall back to per-packet Process (via the base adapter)
+	// where they can't. The returned slice is owned by the caller.
+	ProcessBatch(ctxs []*Ctx) []Verdict
+	// ConcurrencySafe reports whether the instance tolerates concurrent
+	// Process/ProcessBatch calls from multiple dataplane shards, provided
+	// no two shards carry packets of the same flow (the emulator's
+	// flow-hash sharding guarantees that). NFs return false unless they
+	// opt in; the emulator then pins them to one worker.
+	ConcurrencySafe() bool
 	// Stats returns a snapshot of the NF's counters.
 	Stats() Stats
 }
@@ -94,17 +117,30 @@ func (s Stats) String() string {
 		s.Processed, s.Passed, s.Dropped, s.Errors)
 }
 
-// base carries the bookkeeping shared by all NF implementations.
+// base carries the bookkeeping shared by all NF implementations and adapts
+// them to the batch contract: it supplies a correct (serial) ProcessBatch
+// default and the ConcurrencySafe capability flag, so an NF only writes a
+// batch fast path when one is worth having.
 type base struct {
-	name      string
-	typ       string
-	processed metrics.Counter
-	passed    metrics.Counter
-	dropped   metrics.Counter
-	errors    metrics.Counter
+	name       string
+	typ        string
+	self       NF // the embedding NF, for the serial batch fallback
+	concurrent bool
+	processed  metrics.Counter
+	passed     metrics.Counter
+	dropped    metrics.Counter
+	errors     metrics.Counter
 }
 
 func newBase(name, typ string) base { return base{name: name, typ: typ} }
+
+// bind registers the embedding NF (so the default ProcessBatch can dispatch
+// to its Process) and its concurrency capability. Every constructor calls
+// it once before the instance escapes.
+func (b *base) attach(self NF, concurrent bool) {
+	b.self = self
+	b.concurrent = concurrent
+}
 
 // Name implements NF.
 func (b *base) Name() string { return b.name }
@@ -122,6 +158,21 @@ func (b *base) Stats() Stats {
 	}
 }
 
+// ProcessBatch implements NF with the serial fallback: one Process call per
+// context. NFs with a profitable amortization (batched locking, batched
+// accounting) shadow this method.
+func (b *base) ProcessBatch(ctxs []*Ctx) []Verdict {
+	out := make([]Verdict, len(ctxs))
+	for i, ctx := range ctxs {
+		out[i], _ = b.self.Process(ctx)
+	}
+	return out
+}
+
+// ConcurrencySafe implements NF. The default is false — a new NF must opt
+// in (via bind) after auditing its locking.
+func (b *base) ConcurrencySafe() bool { return b.concurrent }
+
 // account records the outcome of one Process call.
 func (b *base) account(v Verdict, err error) (Verdict, error) {
 	b.processed.Inc()
@@ -135,4 +186,13 @@ func (b *base) account(v Verdict, err error) (Verdict, error) {
 		b.passed.Inc()
 	}
 	return v, nil
+}
+
+// accountN records the aggregate outcome of one batch in four atomic adds,
+// the batched counterpart of account used by the ProcessBatch fast paths.
+func (b *base) accountN(passed, dropped, errs uint64) {
+	b.processed.Add(passed + dropped + errs)
+	b.passed.Add(passed)
+	b.dropped.Add(dropped)
+	b.errors.Add(errs)
 }

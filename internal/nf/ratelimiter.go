@@ -66,6 +66,7 @@ func NewRateLimiter(name string, globalGbps, perFlowGbps float64) *RateLimiter {
 		base:  newBase(name, device.TypeRateLimiter),
 		flows: make(map[flow.Key]*bucket),
 	}
+	rl.attach(rl, true) // all bucket state under one mutex
 	if globalGbps > 0 {
 		rl.globalRate = toBps(globalGbps)
 		rl.globalBurst = burst(rl.globalRate)
@@ -97,6 +98,42 @@ func (rl *RateLimiter) Process(ctx *Ctx) (Verdict, error) {
 		}
 	}
 	return rl.account(VerdictPass, nil)
+}
+
+// ProcessBatch implements the batch fast path: the bucket mutex is taken
+// once for the whole burst (per-packet Process pays a lock/unlock round
+// trip per frame) and accounting is batched. Verdicts stay per-packet —
+// each frame spends its own tokens, so a burst can be split mid-way when
+// the bucket runs dry.
+func (rl *RateLimiter) ProcessBatch(ctxs []*Ctx) []Verdict {
+	out := make([]Verdict, len(ctxs))
+	var passed, dropped uint64
+	rl.mu.Lock()
+	for i, ctx := range ctxs {
+		n := len(ctx.Frame)
+		if rl.globalRate > 0 && !rl.global.take(n, ctx.Now, rl.globalRate, rl.globalBurst) {
+			out[i] = VerdictDrop
+			dropped++
+			continue
+		}
+		if rl.perFlowRate > 0 && ctx.HasFlow {
+			b := rl.flows[ctx.FlowKey]
+			if b == nil {
+				b = &bucket{Tokens: rl.perFlowBurst, Last: ctx.Now}
+				rl.flows[ctx.FlowKey] = b
+			}
+			if !b.take(n, ctx.Now, rl.perFlowRate, rl.perFlowBurst) {
+				out[i] = VerdictDrop
+				dropped++
+				continue
+			}
+		}
+		out[i] = VerdictPass
+		passed++
+	}
+	rl.mu.Unlock()
+	rl.accountN(passed, dropped, 0)
+	return out
 }
 
 type rlState struct {

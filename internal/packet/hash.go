@@ -1,0 +1,72 @@
+package packet
+
+import "encoding/binary"
+
+// fnv-1a constants (64-bit), duplicated from internal/flow because flow
+// imports packet; only self-consistency matters for sharding, not equality
+// with flow.Key.Hash.
+const (
+	flowHashOffset = 14695981039346656037
+	flowHashPrime  = 1099511628211
+)
+
+// FlowHash computes a symmetric 5-tuple hash straight from the wire bytes
+// of an Ethernet frame, without a full decode — the RSS-style receive hash
+// a NIC would compute to spread frames across queues. Both directions of a
+// connection produce the same value (endpoints are ordered canonically
+// before hashing, as in flow.Key.SymmetricHash), which the dataplane
+// relies on: NFs that key state on the canonical flow (LoadBalancer,
+// Firewall) must see a whole connection on one worker shard, and per-flow
+// FIFO order must survive parallel processing.
+//
+// Non-IPv4 and truncated frames hash to 0, collapsing them onto a single
+// shard, which keeps their relative order too. Fragmented or portless
+// protocols hash the 2-tuple plus protocol.
+func FlowHash(frame []byte) uint64 {
+	if len(frame) < EthernetHeaderLen+IPv4MinHeaderLen {
+		return 0
+	}
+	if EtherType(binary.BigEndian.Uint16(frame[12:14])) != EtherTypeIPv4 {
+		return 0
+	}
+	ip := frame[EthernetHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return 0
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < IPv4MinHeaderLen || len(ip) < ihl {
+		return 0
+	}
+	proto := ip[9]
+	src := binary.BigEndian.Uint32(ip[12:16])
+	dst := binary.BigEndian.Uint32(ip[16:20])
+	var sport, dport uint16
+	if (proto == uint8(ProtoTCP) || proto == uint8(ProtoUDP)) && len(ip) >= ihl+4 {
+		sport = binary.BigEndian.Uint16(ip[ihl : ihl+2])
+		dport = binary.BigEndian.Uint16(ip[ihl+2 : ihl+4])
+	}
+	// Canonical endpoint order: lower (IP, port) pair first, so A→B and
+	// B→A hash identically.
+	if dst < src || (dst == src && dport < sport) {
+		src, dst = dst, src
+		sport, dport = dport, sport
+	}
+	h := uint64(flowHashOffset)
+	h = flowHashU32(h, src)
+	h = flowHashU16(h, sport)
+	h = flowHashU32(h, dst)
+	h = flowHashU16(h, dport)
+	return (h ^ uint64(proto)) * flowHashPrime
+}
+
+func flowHashU32(h uint64, v uint32) uint64 {
+	h = (h ^ uint64(v>>24&0xff)) * flowHashPrime
+	h = (h ^ uint64(v>>16&0xff)) * flowHashPrime
+	h = (h ^ uint64(v>>8&0xff)) * flowHashPrime
+	return (h ^ uint64(v&0xff)) * flowHashPrime
+}
+
+func flowHashU16(h uint64, v uint16) uint64 {
+	h = (h ^ uint64(v>>8)) * flowHashPrime
+	return (h ^ uint64(v&0xff)) * flowHashPrime
+}

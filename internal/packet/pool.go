@@ -1,0 +1,70 @@
+package packet
+
+import "sync"
+
+// DecoderPool recycles Decoders across dataplane workers so that spinning a
+// worker (or a burst slot) up and down does not allocate. Decoders keep
+// their preallocated layer structs between uses; Get hands out a Decoder
+// whose previous decode state is stale but harmless (Decode overwrites it).
+type DecoderPool struct {
+	p sync.Pool
+}
+
+// NewDecoderPool returns an empty pool.
+func NewDecoderPool() *DecoderPool {
+	dp := &DecoderPool{}
+	dp.p.New = func() any { return NewDecoder() }
+	return dp
+}
+
+// Get returns a ready Decoder, reusing a pooled one when available.
+func (dp *DecoderPool) Get() *Decoder {
+	return dp.p.Get().(*Decoder)
+}
+
+// Put returns a Decoder to the pool. The caller must not use it afterwards.
+func (dp *DecoderPool) Put(d *Decoder) {
+	if d == nil {
+		return
+	}
+	dp.p.Put(d)
+}
+
+// FramePool recycles max-size frame buffers, the emulator's stand-in for a
+// DPDK mbuf pool: steady-state frame traffic allocates nothing because
+// every delivered or dropped frame's buffer is returned for reuse. Only
+// full-capacity buffers (cap ≥ MaxFrameSize) are retained, so recycling a
+// foreign, smaller slice quietly degrades to the GC instead of poisoning
+// the pool with undersized buffers.
+type FramePool struct {
+	p sync.Pool
+}
+
+// NewFramePool returns an empty pool.
+func NewFramePool() *FramePool {
+	fp := &FramePool{}
+	fp.p.New = func() any { return new([MaxFrameSize]byte) }
+	return fp
+}
+
+// Get returns a frame buffer of length n (n ≤ MaxFrameSize is the expected
+// case; larger n falls back to a dedicated allocation). Contents are
+// arbitrary — callers overwrite the frame.
+func (fp *FramePool) Get(n int) []byte {
+	if n > MaxFrameSize {
+		return make([]byte, n)
+	}
+	arr := fp.p.Get().(*[MaxFrameSize]byte)
+	return arr[:n]
+}
+
+// Put recycles a frame buffer obtained from Get (or any slice with
+// full-frame capacity). The caller must not use the slice afterwards.
+// Pooling array pointers rather than slice headers keeps Put itself
+// allocation-free.
+func (fp *FramePool) Put(b []byte) {
+	if cap(b) < MaxFrameSize {
+		return
+	}
+	fp.p.Put((*[MaxFrameSize]byte)(b[:MaxFrameSize]))
+}

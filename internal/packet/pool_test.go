@@ -1,0 +1,116 @@
+package packet_test
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/traffic"
+)
+
+func TestDecoderPoolReuse(t *testing.T) {
+	dp := packet.NewDecoderPool()
+	frame := traffic.NewSynth(4, 1).Frame(0, 256)
+	d := dp.Get()
+	if _, err := d.Decode(frame); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !d.Has(packet.LayerIPv4) {
+		t.Fatal("pooled decoder did not decode IPv4")
+	}
+	dp.Put(d)
+	d2 := dp.Get()
+	if _, err := d2.Decode(frame); err != nil {
+		t.Fatalf("Decode after reuse: %v", err)
+	}
+	dp.Put(nil) // must not panic
+}
+
+func TestFramePoolSizes(t *testing.T) {
+	fp := packet.NewFramePool()
+	b := fp.Get(512)
+	if len(b) != 512 || cap(b) < packet.MaxFrameSize {
+		t.Fatalf("Get(512): len=%d cap=%d", len(b), cap(b))
+	}
+	fp.Put(b)
+
+	big := fp.Get(packet.MaxFrameSize + 100)
+	if len(big) != packet.MaxFrameSize+100 {
+		t.Fatalf("oversize Get: len=%d", len(big))
+	}
+	fp.Put(make([]byte, 10)) // undersized: silently not pooled
+	got := fp.Get(packet.MaxFrameSize)
+	if cap(got) < packet.MaxFrameSize {
+		t.Fatalf("undersized buffer leaked into pool: cap=%d", cap(got))
+	}
+}
+
+func TestFlowHashConsistency(t *testing.T) {
+	synth := traffic.NewSynth(8, 42)
+	// Same flow, different sizes → same hash (headers determine it).
+	h1 := packet.FlowHash(synth.Frame(3, 128))
+	h2 := packet.FlowHash(synth.Frame(3, 1400))
+	if h1 != h2 {
+		t.Errorf("same flow hashed differently: %x vs %x", h1, h2)
+	}
+	// Distinct flows should spread: at least two distinct hashes over 8 flows.
+	seen := map[uint64]bool{}
+	for f := uint64(0); f < 8; f++ {
+		seen[packet.FlowHash(synth.Frame(f, 256))] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("flow hash does not spread: %d distinct values over 8 flows", len(seen))
+	}
+	// Both directions of a connection must hash identically (symmetric,
+	// like flow.Key.SymmetricHash): canonical-key NFs require the whole
+	// connection on one shard.
+	b := packet.NewBuilder()
+	fwd := b.BuildUDP4(
+		packet.Ethernet{Type: packet.EtherTypeIPv4},
+		packet.IPv4{Version: 4, TTL: 64, Src: packet.IPv4Addr{10, 0, 0, 1}, Dst: packet.IPv4Addr{10, 0, 0, 2}},
+		packet.UDP{SrcPort: 5555, DstPort: 80}, []byte("fwd"))
+	hf := packet.FlowHash(fwd)
+	rev := b.BuildUDP4(
+		packet.Ethernet{Type: packet.EtherTypeIPv4},
+		packet.IPv4{Version: 4, TTL: 64, Src: packet.IPv4Addr{10, 0, 0, 2}, Dst: packet.IPv4Addr{10, 0, 0, 1}},
+		packet.UDP{SrcPort: 80, DstPort: 5555}, []byte("rev"))
+	if hr := packet.FlowHash(rev); hf != hr {
+		t.Errorf("hash not symmetric: fwd %x, rev %x", hf, hr)
+	}
+	// Junk input collapses to shard 0, never panics.
+	if packet.FlowHash(nil) != 0 || packet.FlowHash(make([]byte, 20)) != 0 {
+		t.Error("short frames must hash to 0")
+	}
+	arp := make([]byte, 64)
+	arp[12], arp[13] = 0x08, 0x06 // EtherType ARP
+	if packet.FlowHash(arp) != 0 {
+		t.Error("non-IPv4 must hash to 0")
+	}
+}
+
+// TestHotPathAllocs guards the batched dataplane's per-frame building
+// blocks: decode into a reused decoder, frame pool round trips, and the
+// shard hash must all be allocation-free in steady state.
+func TestHotPathAllocs(t *testing.T) {
+	frame := traffic.NewSynth(4, 1).Frame(1, 1024)
+	d := packet.NewDecoder()
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, err := d.Decode(frame); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Errorf("Decode allocates %.1f/op, want 0", n)
+	}
+	fp := packet.NewFramePool()
+	fp.Put(fp.Get(1024)) // warm the pool
+	if n := testing.AllocsPerRun(1000, func() {
+		b := fp.Get(1024)
+		fp.Put(b)
+	}); n > 0 {
+		t.Errorf("FramePool Get+Put allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = packet.FlowHash(frame)
+	}); n > 0 {
+		t.Errorf("FlowHash allocates %.1f/op, want 0", n)
+	}
+}
