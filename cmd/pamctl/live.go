@@ -1,0 +1,137 @@
+package main
+
+// The live command: one control loop, two engines. The chainsim backend
+// replays the hotspot scenario in deterministic virtual time; the emul
+// backend closes the same loop on wall-clock time over the batched
+// execution emulator, with overload detected from measured meter windows
+// and a real UNO-style migration.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chainsim"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/migrate"
+	"repro/internal/orchestrator"
+	"repro/internal/pcie"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/telemetry"
+	"repro/internal/traffic"
+)
+
+func runLive(engine string, p scenario.Params) error {
+	switch engine {
+	case "chainsim":
+		return liveDES(p)
+	case "emul":
+		return liveEmul(p)
+	}
+	return fmt.Errorf("unknown engine %q (try: chainsim, emul)", engine)
+}
+
+// liveDES runs the closed loop in virtual time on the discrete-event
+// simulator: deterministic, instant, figure-precision.
+func liveDES(p scenario.Params) error {
+	link := pcie.Link{PropDelay: p.PCIeLatency, BandwidthGbps: p.PCIeBandwidthGbps}
+	sim, err := chainsim.New(chainsim.Config{
+		Chain:         scenario.Figure1Chain(),
+		Catalog:       device.Table1(),
+		NFOverhead:    p.NFOverhead,
+		Link:          link,
+		DMAEngineGbps: float64(p.DMAEngineGbps),
+		QueueCapacity: p.QueueCapacity,
+		Seed:          p.Seed,
+		SampleEvery:   10 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	orch, err := orchestrator.New(sim, orchestrator.Config{
+		PollEvery: 10 * time.Millisecond,
+		Selector:  core.PAM{},
+		Detector:  telemetry.DetectorConfig{Consecutive: 3, Alpha: 0.5},
+		Transport: migrate.PCIeTransport{Link: link, Setup: time.Millisecond},
+	}, scenario.View(scenario.Figure1Chain(), p, 0))
+	if err != nil {
+		return err
+	}
+	orch.Start()
+
+	src, err := traffic.NewRamp([]traffic.Phase{
+		{RateGbps: p.ProbeGbps, Duration: 150 * time.Millisecond},
+		{RateGbps: 3.0, Duration: 450 * time.Millisecond},
+	}, traffic.FixedSize(1024), traffic.ProcessCBR, 16, p.Seed)
+	if err != nil {
+		return err
+	}
+	sim.Inject(src)
+	res := sim.Run(600 * time.Millisecond)
+
+	fmt.Println("engine: chainsim (virtual time)")
+	fmt.Println("control-plane events:")
+	fmt.Print(orch.Describe())
+	tbl := report.NewTable("telemetry (per sampling window)",
+		"t", "nic util", "cpu util", "delivered Gbps", "event")
+	thr := make([]float64, 0, len(res.ThrSeries))
+	for i := range res.NICSeries {
+		marker := ""
+		for _, e := range orch.Events() {
+			if e.Kind == orchestrator.EventMigrated &&
+				e.At > res.NICSeries[i].T-10*time.Millisecond && e.At <= res.NICSeries[i].T {
+				marker = "<- PAM migrates " + e.Plan.Steps[0].Element
+			}
+		}
+		tbl.AddRowf(res.NICSeries[i].T, res.NICSeries[i].V, res.CPUSeries[i].V, res.ThrSeries[i].V, marker)
+		thr = append(thr, res.ThrSeries[i].V)
+	}
+	fmt.Println(tbl)
+	fmt.Printf("delivered Gbps over time: %s\n", report.Spark(thr))
+	fmt.Printf("final placement: %v\n", sim.Placement())
+	fmt.Printf("delivered %.2f Gbps overall, loss %.1f%%, migrations: %d\n",
+		res.DeliveredGbps, res.LossRate*100, res.Migrations)
+	return nil
+}
+
+// liveEmul runs the same loop on wall-clock time over the batched emulator.
+func liveEmul(p scenario.Params) error {
+	lp := scenario.DefaultLiveParams()
+	fmt.Printf("engine: emul (wall clock, scale %.0fx, batch %d, %d workers)\n",
+		lp.Scale, lp.BatchSize, lp.Workers)
+	fmt.Printf("ramping %.1f -> %.1f Gbps through %v...\n\n",
+		p.ProbeGbps, p.OverloadGbps, scenario.Figure1Chain())
+
+	res, err := scenario.RunLiveHotspot(p, lp, core.PAM{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("control-plane events (downtime = measured transfer):")
+	for _, e := range res.Events {
+		fmt.Println("  " + e.Format(time.Millisecond))
+	}
+
+	tbl := report.NewTable("\nmeasured telemetry (per sampling window, catalog units)",
+		"t", "nic util", "cpu util", "delivered Gbps", "loss", "event")
+	thr := make([]float64, 0, len(res.Samples))
+	for _, s := range res.Samples {
+		marker := ""
+		for _, e := range res.Events {
+			if e.Kind == orchestrator.EventMigrated && e.At > s.At-s.Window && e.At <= s.At {
+				marker = "<- PAM migrates " + e.Plan.Steps[0].Element
+			}
+		}
+		tbl.AddRowf(s.At.Round(time.Millisecond), s.NIC.Utilization, s.CPU.Utilization,
+			s.DeliveredGbps, s.LossRate, marker)
+		thr = append(thr, s.DeliveredGbps)
+	}
+	fmt.Println(tbl)
+	fmt.Printf("delivered Gbps over time: %s\n", report.Spark(thr))
+	fmt.Printf("final placement: %v\n", res.Placement)
+	fmt.Printf("recovery: %.2f Gbps before migration -> %.2f Gbps after\n", res.PreGbps, res.PostGbps)
+	fmt.Printf("frames: offered %d, delivered %d, dropped %d (run %v)\n",
+		res.Final.Offered, res.Final.Delivered, res.Final.Dropped, res.Elapsed.Round(time.Millisecond))
+	return nil
+}

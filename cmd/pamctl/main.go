@@ -15,6 +15,14 @@
 //	pamctl future-fpga          # §4 future work: FPGA SmartNIC profile
 //	pamctl multistep            # A4: sliding-border multi-migration
 //	pamctl plan                 # print the PAM plan for the Figure-1 chain
+//	pamctl live                 # closed loop: detect → select → migrate
+//
+// The live command runs the full control plane on the engine selected with
+// -engine: "chainsim" replays the hotspot scenario in deterministic virtual
+// time on the discrete-event simulator, "emul" runs it on wall-clock time
+// against the batched execution emulator, where overload is detected from
+// measured meter windows and the migration is a real UNO-style state move
+// (DESIGN.md §4).
 //
 // Flags:
 //
@@ -22,6 +30,7 @@
 //	-probe     latency probe load in Gbps (default 0.8)
 //	-overload  overload offered load in Gbps (default 4.0)
 //	-pcie      per-crossing PCIe latency (default 43µs)
+//	-engine    live-loop backend: chainsim or emul (default chainsim)
 package main
 
 import (
@@ -41,6 +50,7 @@ func main() {
 	probe := flag.Float64("probe", 0, "latency probe load (Gbps)")
 	overload := flag.Float64("overload", 0, "overload offered load (Gbps)")
 	pcieLat := flag.Duration("pcie", 0, "per-crossing PCIe latency")
+	engine := flag.String("engine", "chainsim", "live-loop backend: chainsim or emul")
 	flag.Parse()
 
 	p := scenario.DefaultParams()
@@ -58,7 +68,13 @@ func main() {
 	if cmd == "" {
 		cmd = "all"
 	}
-	if err := run(cmd, p, *csv); err != nil {
+	var err error
+	if cmd == "live" {
+		err = runLive(*engine, p)
+	} else {
+		err = run(cmd, p, *csv)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "pamctl: %v\n", err)
 		os.Exit(1)
 	}
@@ -154,7 +170,7 @@ func run(cmd string, p scenario.Params, csv bool) error {
 			fmt.Printf("%-18s %v\n", sel.Name()+":", plan)
 		}
 	default:
-		return fmt.Errorf("unknown command %q (try: all, table1, figure1, figure2a, figure2b, pcie, headline, ablation-pcie, ablation-naive, future-fpga, multistep, plan)", cmd)
+		return fmt.Errorf("unknown command %q (try: all, table1, figure1, figure2a, figure2b, pcie, headline, ablation-pcie, ablation-naive, future-fpga, multistep, plan, live)", cmd)
 	}
 	return nil
 }

@@ -1,9 +1,15 @@
-// Hotspot mitigation: the full closed loop of the paper in one run.
-// Traffic ramps up until the SmartNIC overloads; the orchestrator polls
-// device load (telemetry), fires the PAM selection, models the UNO-style
-// state-transfer downtime, and installs the new placement — all in
-// deterministic virtual time on the discrete-event simulator. The printed
-// telemetry shows the hot spot forming and being relieved.
+// Hotspot mitigation: the full closed loop of the paper, end to end on the
+// batched execution emulator. Real serialized frames ramp up through the
+// Figure-1 chain until the SmartNIC overloads; the control plane samples
+// per-device load from the dataplane's meters, the detector fires on the
+// measured hot spot, PAM selects the border vNF, and the runtime executes a
+// real UNO-style migration (freeze every shard, snapshot, transfer over the
+// emulated PCIe link, replay) while traffic keeps flowing. The printed
+// telemetry shows the hot spot forming, the migration, and served
+// throughput recovering.
+//
+// The same loop in deterministic virtual time on the discrete-event
+// simulator: `go run ./cmd/pamctl live` (and `-engine emul` for this run).
 package main
 
 import (
@@ -11,74 +17,52 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/chainsim"
 	"repro/internal/core"
-	"repro/internal/device"
-	"repro/internal/migrate"
 	"repro/internal/orchestrator"
-	"repro/internal/pcie"
+	"repro/internal/report"
 	"repro/internal/scenario"
-	"repro/internal/telemetry"
-	"repro/internal/traffic"
 )
 
 func main() {
 	p := scenario.DefaultParams()
-	link := pcie.Link{PropDelay: p.PCIeLatency, BandwidthGbps: p.PCIeBandwidthGbps}
-
-	sim, err := chainsim.New(chainsim.Config{
-		Chain:         scenario.Figure1Chain(),
-		Catalog:       device.Table1(),
-		NFOverhead:    p.NFOverhead,
-		Link:          link,
-		DMAEngineGbps: float64(p.DMAEngineGbps),
-		QueueCapacity: p.QueueCapacity,
-		Seed:          p.Seed,
-		SampleEvery:   10 * time.Millisecond,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	orch, err := orchestrator.New(sim, orchestrator.Config{
-		PollEvery: 10 * time.Millisecond,
-		Selector:  core.PAM{},
-		Detector:  telemetry.DetectorConfig{Consecutive: 3, Alpha: 0.5},
-		Transport: migrate.PCIeTransport{Link: link, Setup: time.Millisecond},
-	}, scenario.View(scenario.Figure1Chain(), p, 0))
-	if err != nil {
-		log.Fatal(err)
-	}
-	orch.Start()
+	lp := scenario.DefaultLiveParams()
+	fmt.Printf("chain: %v\n", scenario.Figure1Chain())
+	fmt.Printf("ramp: %.1f Gbps calm, then %.1f Gbps overload (scale %.0fx, batch %d, %d workers)\n\n",
+		p.ProbeGbps, p.OverloadGbps, lp.Scale, lp.BatchSize, lp.Workers)
 
 	// The paper's motivation: "as the network traffic fluctuates, NFs on
-	// SmartNIC can also be overloaded" — ramp 0.5 → 3 Gbps.
-	src, err := traffic.NewRamp([]traffic.Phase{
-		{RateGbps: 0.5, Duration: 150 * time.Millisecond},
-		{RateGbps: 3.0, Duration: 450 * time.Millisecond},
-	}, traffic.FixedSize(1024), traffic.ProcessCBR, 16, p.Seed)
+	// SmartNIC can also be overloaded". RunLiveHotspot paces the ramp into
+	// the emulator while polling the live control plane every 25 ms.
+	res, err := scenario.RunLiveHotspot(p, lp, core.PAM{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim.Inject(src)
 
-	res := sim.Run(600 * time.Millisecond)
+	fmt.Println("control-plane events (downtime = measured transfer):")
+	for _, e := range res.Events {
+		fmt.Println("  " + e.Format(time.Millisecond))
+	}
 
-	fmt.Println("control-plane events:")
-	fmt.Print(orch.Describe())
-	fmt.Println("\ntelemetry (virtual time, NIC util, CPU util, delivered Gbps):")
-	for i := range res.NICSeries {
+	fmt.Println("\nmeasured telemetry (emulation time, catalog units):")
+	thr := make([]float64, 0, len(res.Samples))
+	for _, s := range res.Samples {
 		marker := ""
-		for _, e := range orch.Events() {
-			if e.Kind == orchestrator.EventMigrated &&
-				e.At > res.NICSeries[i].T-10*time.Millisecond && e.At <= res.NICSeries[i].T {
-				marker = "   <-- PAM migrates " + e.Plan.Steps[0].Element
+		for _, e := range res.Events {
+			if e.Kind == orchestrator.EventMigrated && e.At > s.At-s.Window && e.At <= s.At {
+				marker = "   <-- PAM pushes " + e.Plan.Steps[0].Element + " aside"
 			}
 		}
-		fmt.Printf("  %8v  nic=%.2f  cpu=%.2f  thr=%.2f%s\n",
-			res.NICSeries[i].T, res.NICSeries[i].V, res.CPUSeries[i].V, res.ThrSeries[i].V, marker)
+		fmt.Printf("  %8v  nic=%.2f  cpu=%.2f  thr=%.2f  loss=%.2f%s\n",
+			s.At.Round(time.Millisecond), s.NIC.Utilization, s.CPU.Utilization,
+			s.DeliveredGbps, s.LossRate, marker)
+		thr = append(thr, s.DeliveredGbps)
 	}
-	fmt.Printf("\nfinal placement: %v\n", sim.Placement())
-	fmt.Printf("delivered %.2f Gbps overall, loss %.1f%%, migrations: %d\n",
-		res.DeliveredGbps, res.LossRate*100, res.Migrations)
+
+	fmt.Printf("\ndelivered Gbps over time: %s\n", report.Spark(thr))
+	fmt.Printf("final placement: %v\n", res.Placement)
+	fmt.Printf("recovery: %.2f Gbps (logger-capped hot spot) -> %.2f Gbps after push-aside\n",
+		res.PreGbps, res.PostGbps)
+	fmt.Printf("frames: offered %d, delivered %d, dropped %d; %d migration(s) in %v\n",
+		res.Final.Offered, res.Final.Delivered, res.Final.Dropped, res.Migrations,
+		res.Elapsed.Round(time.Millisecond))
 }

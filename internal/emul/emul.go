@@ -126,6 +126,12 @@ type element struct {
 	parent *Runtime
 	pos    int
 
+	// meter measures this element's own load: ObserveN counts every burst
+	// the element actually processed (its served rate), Drop/DropN every
+	// frame lost entering its queues. The control plane's LoadSampler turns
+	// window deltas of these meters into per-device utilization.
+	meter *metrics.Meter
+
 	migMu sync.Mutex // serializes migrations of this element
 }
 
@@ -204,6 +210,7 @@ func New(cfg Config) (*Runtime, error) {
 			inst:   inst,
 			parent: r,
 			pos:    i,
+			meter:  metrics.NewMeter(0),
 		}
 		el.loc.Store(int32(e.Loc))
 		el.gate.setRate(bytesPerSec(rate, cfg.Scale))
@@ -285,7 +292,9 @@ func (r *Runtime) Send(frame []byte) bool {
 	default:
 		r.inFlight.Done()
 		r.ingressDrops.Add(1)
-		r.meter.Drop(r.now())
+		now := r.now()
+		r.meter.Drop(now)
+		first.meter.Drop(now)
 		return false
 	}
 }
@@ -410,6 +419,7 @@ func (s *shard) processBatch(jobs []job, decs []*packet.Decoder, ctxs []nf.Ctx, 
 	}
 
 	now := r.now()
+	el.meter.ObserveN(uint64(n), uint64(total), now)
 	for i := range jobs {
 		dec := decs[i]
 		_, _ = dec.Decode(jobs[i].frame) // NFs tolerate partial decodes
@@ -450,7 +460,9 @@ func (s *shard) processBatch(jobs []job, decs []*packet.Decoder, ctxs []nf.Ctx, 
 		r.recycle(jobs[i].frame)
 	}
 	if qdrops > 0 {
-		r.meter.DropN(uint64(qdrops), r.now())
+		dropNow := r.now()
+		r.meter.DropN(uint64(qdrops), dropNow)
+		next.meter.DropN(uint64(qdrops), dropNow)
 	}
 	if finished > 0 {
 		r.inFlight.Add(-finished)
@@ -570,6 +582,19 @@ func (r *Runtime) Migrate(name string, to device.Kind) (migrate.Report, error) {
 		return el.doMigrate(to)
 	}
 	return migrate.Report{}, fmt.Errorf("emul: no element %q", name)
+}
+
+// Scale returns the effective rate divisor the runtime was built with;
+// multiplying a measured wall-clock rate by it recovers catalog (Table-1)
+// units.
+func (r *Runtime) Scale() float64 { return r.cfg.Scale }
+
+// Elapsed returns emulation time: wall-clock since Start, or zero before it.
+func (r *Runtime) Elapsed() time.Duration {
+	if !r.started.Load() {
+		return 0
+	}
+	return r.now()
 }
 
 // Placement returns the current placement as a chain.

@@ -1,0 +1,169 @@
+package emul
+
+// This file is the emulator-native telemetry source of the live control
+// plane: LoadSampler turns window deltas of the runtime's per-element and
+// egress meters into the per-device load picture the overload detector
+// consumes ("periodically query the load of SmartNIC and CPU", §2 of the
+// paper). Where the discrete-event simulator reports a server's busy
+// fraction, the emulator reports fluid-model demand — Σ θ̂_i/θd_i with θ̂_i
+// the element's *measured* served rate — which, unlike a busy fraction, can
+// exceed 1 under overload. The detector's threshold semantics are unchanged
+// either way; loss rate remains the sharper saturation signal.
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/telemetry"
+)
+
+// ElementLoad is one element's measured load over a sampling window.
+type ElementLoad struct {
+	Name string
+	Type string
+	Loc  device.Kind // placement at sample time
+	// ServedGbps is the rate the element actually processed during the
+	// window, rescaled by Config.Scale into catalog (Table-1) units.
+	ServedGbps float64
+	// ServedPkts counts frames processed in the window.
+	ServedPkts uint64
+	// Drops counts frames lost entering this element's queues in the window
+	// (queue-full rejections, plus ingress rejections for the head element).
+	Drops uint64
+	// Utilization is ServedGbps over the element's catalog capacity on its
+	// current device: the measured form of the paper's θcur/θd_i term.
+	Utilization float64
+}
+
+// DeviceLoad aggregates the elements resident on one device.
+type DeviceLoad struct {
+	ServedGbps  float64 // Σ per-element served rate, catalog units
+	Utilization float64 // Σ per-element utilization (fluid-model demand)
+	Drops       uint64  // frames lost entering resident elements' queues
+}
+
+// LoadSample is one polling window's measured load, in catalog units.
+type LoadSample struct {
+	At     time.Duration // emulation time at the end of the window
+	Window time.Duration
+	NIC    DeviceLoad
+	CPU    DeviceLoad
+	// DeliveredGbps is the chain's egress rate over the window (θcur).
+	DeliveredGbps float64
+	DeliveredPkts uint64
+	// Drops counts every frame lost in the window (ingress + queue drops).
+	Drops uint64
+	// LossRate is Drops/(Drops+DeliveredPkts) for the window.
+	LossRate float64
+	Elements []ElementLoad
+}
+
+// Telemetry converts the sample into the detector's input form.
+func (s LoadSample) Telemetry() telemetry.Sample {
+	return telemetry.Sample{
+		At:            s.At,
+		NICUtil:       s.NIC.Utilization,
+		CPUUtil:       s.CPU.Utilization,
+		DeliveredGbps: s.DeliveredGbps,
+		LossRate:      s.LossRate,
+	}
+}
+
+// LoadSampler produces LoadSamples from a runtime by differencing its meters
+// between calls: each Sample covers exactly the window since the previous
+// one. Safe for concurrent use, though samples are typically taken by a
+// single control loop.
+type LoadSampler struct {
+	rt *Runtime
+
+	mu        sync.Mutex
+	last      time.Duration
+	served    []uint64 // per-element bytes at last sample
+	pkts      []uint64
+	drops     []uint64
+	delivered uint64 // egress meter packets at last sample
+	bytes     uint64
+	allDrops  uint64
+}
+
+// NewLoadSampler attaches a sampler to the runtime. The first Sample call
+// measures from Start (or from sampler creation if the runtime was already
+// running).
+func NewLoadSampler(rt *Runtime) *LoadSampler {
+	s := &LoadSampler{
+		rt:     rt,
+		served: make([]uint64, len(rt.elems)),
+		pkts:   make([]uint64, len(rt.elems)),
+		drops:  make([]uint64, len(rt.elems)),
+		last:   rt.Elapsed(),
+	}
+	for i, el := range rt.elems {
+		s.served[i] = el.meter.Bytes()
+		s.pkts[i] = el.meter.Packets()
+		s.drops[i] = el.meter.Drops()
+	}
+	s.delivered = rt.meter.Packets()
+	s.bytes = rt.meter.Bytes()
+	s.allDrops = rt.meter.Drops()
+	return s
+}
+
+// Sample closes the current window and returns its measurements. A window
+// shorter than 1 ms (or a runtime that has not started) yields a zero-load
+// sample so callers never divide by a degenerate interval.
+func (s *LoadSampler) Sample() LoadSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	r := s.rt
+	now := r.Elapsed()
+	win := now - s.last
+	out := LoadSample{At: now, Window: win}
+	if win < time.Millisecond {
+		return out
+	}
+	scale := r.cfg.Scale
+	sec := win.Seconds()
+	toGbps := func(bytes uint64) float64 {
+		return float64(bytes) * 8 * scale / sec / 1e9
+	}
+
+	out.Elements = make([]ElementLoad, len(r.elems))
+	for i, el := range r.elems {
+		bytes, pkts, drops := el.meter.Bytes(), el.meter.Packets(), el.meter.Drops()
+		loc := device.Kind(el.loc.Load())
+		load := ElementLoad{
+			Name:       el.name,
+			Type:       el.typ,
+			Loc:        loc,
+			ServedGbps: toGbps(bytes - s.served[i]),
+			ServedPkts: pkts - s.pkts[i],
+			Drops:      drops - s.drops[i],
+		}
+		if cap, err := r.cfg.Catalog.Lookup(el.typ, loc); err == nil && cap > 0 {
+			load.Utilization = load.ServedGbps / float64(cap)
+		}
+		s.served[i], s.pkts[i], s.drops[i] = bytes, pkts, drops
+		out.Elements[i] = load
+
+		dev := &out.NIC
+		if loc == device.KindCPU {
+			dev = &out.CPU
+		}
+		dev.ServedGbps += load.ServedGbps
+		dev.Utilization += load.Utilization
+		dev.Drops += load.Drops
+	}
+
+	delivered, bytes, drops := r.meter.Packets(), r.meter.Bytes(), r.meter.Drops()
+	out.DeliveredPkts = delivered - s.delivered
+	out.DeliveredGbps = toGbps(bytes - s.bytes)
+	out.Drops = drops - s.allDrops
+	if t := out.Drops + out.DeliveredPkts; t > 0 {
+		out.LossRate = float64(out.Drops) / float64(t)
+	}
+	s.delivered, s.bytes, s.allDrops = delivered, bytes, drops
+	s.last = now
+	return out
+}

@@ -1,0 +1,133 @@
+package emul_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/emul"
+	"repro/internal/scenario"
+	"repro/internal/traffic"
+)
+
+func TestLoadSamplerMeasuresWindow(t *testing.T) {
+	r := newRuntime(t, 1) // Scale 1: gates effectively never throttle
+	r.Start()
+	defer r.Close()
+	ls := emul.NewLoadSampler(r)
+
+	synth := traffic.NewSynth(8, 1)
+	const n, size = 400, 512
+	sent := 0
+	for i := 0; i < n; i++ {
+		if r.Send(synth.Frame(uint64(i%8), size)) {
+			sent++
+		}
+	}
+	r.Drain()
+	time.Sleep(2 * time.Millisecond) // ensure a non-degenerate window
+	s := ls.Sample()
+
+	if s.Window < time.Millisecond {
+		t.Fatalf("window = %v, want >= 1ms", s.Window)
+	}
+	if len(s.Elements) != 4 {
+		t.Fatalf("elements = %d, want 4", len(s.Elements))
+	}
+	// Every element upstream of a verdict drop processes all accepted
+	// frames; the head element must have seen exactly the accepted count.
+	if got := s.Elements[0].ServedPkts; got != uint64(sent) {
+		t.Errorf("head served %d pkts, want %d", got, sent)
+	}
+	// Device aggregation: Figure 1 places LB on the CPU and the rest on the
+	// NIC, and utilization must be the sum of served/θ per resident element.
+	var nicU, cpuU float64
+	for _, el := range s.Elements {
+		cap, err := device.Table1().Lookup(el.Type, el.Loc)
+		if err != nil {
+			t.Fatalf("lookup %s on %v: %v", el.Type, el.Loc, err)
+		}
+		if el.ServedPkts == 0 {
+			t.Errorf("element %s served nothing", el.Name)
+		}
+		want := el.ServedGbps / float64(cap)
+		if math.Abs(el.Utilization-want) > 1e-9 {
+			t.Errorf("%s utilization = %v, want %v", el.Name, el.Utilization, want)
+		}
+		if el.Loc == device.KindCPU {
+			cpuU += el.Utilization
+		} else {
+			nicU += el.Utilization
+		}
+	}
+	if math.Abs(s.NIC.Utilization-nicU) > 1e-9 || math.Abs(s.CPU.Utilization-cpuU) > 1e-9 {
+		t.Errorf("device utilization NIC=%v CPU=%v, want %v / %v",
+			s.NIC.Utilization, s.CPU.Utilization, nicU, cpuU)
+	}
+	if s.CPU.ServedGbps <= 0 {
+		t.Error("LB on the CPU served nothing")
+	}
+	// Scale mapping: the sample reports catalog units. At Scale 1 the
+	// wall-clock rate is the catalog rate.
+	wantGbps := float64(sent) * size * 8 * r.Scale() / s.Window.Seconds() / 1e9
+	if math.Abs(s.Elements[0].ServedGbps-wantGbps)/wantGbps > 0.01 {
+		t.Errorf("head served %v Gbps, want ~%v", s.Elements[0].ServedGbps, wantGbps)
+	}
+	// Loss accounting: window loss must match the runtime's meters.
+	res := r.Results()
+	if s.Drops != res.Dropped {
+		t.Errorf("window drops = %d, runtime drops = %d", s.Drops, res.Dropped)
+	}
+	if s.DeliveredPkts != res.Delivered {
+		t.Errorf("window delivered = %d, runtime delivered = %d", s.DeliveredPkts, res.Delivered)
+	}
+
+	// Telemetry conversion carries the same numbers.
+	ts := s.Telemetry()
+	if ts.NICUtil != s.NIC.Utilization || ts.CPUUtil != s.CPU.Utilization ||
+		ts.DeliveredGbps != s.DeliveredGbps || ts.LossRate != s.LossRate || ts.At != s.At {
+		t.Errorf("telemetry conversion mismatch: %+v vs %+v", ts, s)
+	}
+
+	// A quiet follow-up window measures zero load.
+	time.Sleep(2 * time.Millisecond)
+	q := ls.Sample()
+	if q.DeliveredPkts != 0 || q.Drops != 0 || q.NIC.Utilization != 0 {
+		t.Errorf("quiet window not zero: %+v", q)
+	}
+	if q.At <= s.At {
+		t.Errorf("sample time did not advance: %v then %v", s.At, q.At)
+	}
+}
+
+func TestLoadSamplerSeesQueueDrops(t *testing.T) {
+	// Throttle hard (huge Scale) with a tiny queue so the logger's queue
+	// overflows and the window's loss rate reflects it.
+	// Shallow queues and tiny frames keep Close's drain of the throttled
+	// pipeline to a couple of seconds.
+	r, err := emul.New(emul.Config{
+		Chain:      scenario.Figure1Chain(),
+		Catalog:    device.Table1(),
+		Scale:      5e5,
+		QueueDepth: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	defer r.Close()
+	ls := emul.NewLoadSampler(r)
+	synth := traffic.NewSynth(4, 2)
+	for i := 0; i < 150; i++ {
+		r.Send(synth.Frame(uint64(i%4), 64))
+	}
+	time.Sleep(50 * time.Millisecond)
+	s := ls.Sample()
+	if s.Drops == 0 {
+		t.Fatalf("no drops measured under saturation: %+v", s)
+	}
+	if s.LossRate <= 0 {
+		t.Errorf("loss rate = %v, want > 0", s.LossRate)
+	}
+}

@@ -1,0 +1,138 @@
+package orchestrator
+
+// The wall-clock backend: the same control loop as the DES Orchestrator,
+// closed over the execution emulator. Telemetry comes from measured meter
+// windows (emul.LoadSampler), selection runs over a view built from the
+// runtime's live placement and the smoothed *measured* delivered throughput,
+// and plans execute as real UNO-style migrations (emul.Runtime.Migrate):
+// every shard frozen, state snapshot transferred over the emulated link,
+// queues replayed. This is the first place all layers of the repository run
+// in one process.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/emul"
+)
+
+// Live drives the control loop over an execution-emulator runtime on
+// wall-clock time.
+type Live struct {
+	*loop
+	rt      *emul.Runtime
+	sampler *emul.LoadSampler
+
+	smu     sync.Mutex
+	samples []emul.LoadSample
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewLive attaches a control loop to a started (or about-to-start) runtime.
+// viewTemplate supplies the device models and catalog; its Chain and
+// Throughput fields are replaced at each decision with the runtime's live
+// placement and the detector's smoothed measured throughput. Config.Transport
+// and Config.StateBytes are ignored: the emulator measures real snapshot
+// sizes and reports real transfer times.
+func NewLive(rt *emul.Runtime, cfg Config, viewTemplate core.View) (*Live, error) {
+	o := &Live{rt: rt, sampler: emul.NewLoadSampler(rt)}
+	view := func() core.View {
+		v := viewTemplate
+		v.Chain = rt.Placement()
+		return v
+	}
+	l, err := newLoop(cfg, view, o.execute)
+	if err != nil {
+		return nil, err
+	}
+	o.loop = l
+	return o, nil
+}
+
+// execute applies the plan step by step via live migration. The returned
+// downtime is the sum of measured state-transfer times. A failing step
+// aborts the remainder; earlier steps stay applied (each is individually
+// loss-free).
+func (o *Live) execute(plan core.Plan) (time.Duration, error) {
+	var downtime time.Duration
+	for _, st := range plan.Steps {
+		rep, err := o.rt.Migrate(st.Element, st.To)
+		if err != nil {
+			return downtime, fmt.Errorf("live migrate %s: %w", st.Element, err)
+		}
+		downtime += rep.Transfer
+	}
+	return downtime, nil
+}
+
+// Poll closes the current sampling window and runs one control decision on
+// it. The background ticker calls it every Config.PollEvery; tests and
+// single-threaded drivers (scenario.RunLiveHotspot) call it directly for
+// deterministic window boundaries.
+func (o *Live) Poll() {
+	ls := o.sampler.Sample()
+	if ls.Window < time.Millisecond {
+		// Degenerate window (back-to-back catch-up polls after a stall,
+		// e.g. a migration freeze): the sampler measured nothing and left
+		// its cursor in place, so feeding the zero-load sample onward would
+		// dilute the EWMA and reset the detector's hot streak for free.
+		return
+	}
+	o.smu.Lock()
+	o.samples = append(o.samples, ls)
+	o.smu.Unlock()
+	o.observe(ls.At, ls.Telemetry())
+}
+
+// Samples returns a copy of every sampling window taken so far, the measured
+// telemetry timeline reports render.
+func (o *Live) Samples() []emul.LoadSample {
+	o.smu.Lock()
+	defer o.smu.Unlock()
+	return append([]emul.LoadSample(nil), o.samples...)
+}
+
+// Start launches the background poller. Stop (or abandoning the runtime)
+// ends it; Start after Stop restarts it.
+func (o *Live) Start() {
+	o.smu.Lock()
+	defer o.smu.Unlock()
+	if o.stop != nil {
+		return
+	}
+	o.stop = make(chan struct{})
+	o.done = make(chan struct{})
+	go o.run(o.stop, o.done)
+}
+
+func (o *Live) run(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(o.cfg.PollEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			o.Poll()
+		}
+	}
+}
+
+// Stop halts the background poller and waits for it to exit. Safe to call
+// when the poller was never started.
+func (o *Live) Stop() {
+	o.smu.Lock()
+	stop, done := o.stop, o.done
+	o.stop, o.done = nil, nil
+	o.smu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

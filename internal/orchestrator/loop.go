@@ -1,0 +1,246 @@
+package orchestrator
+
+// The engine-agnostic core of the control plane. Both backends — the
+// discrete-event simulator (virtual time, orchestrator.go) and the execution
+// emulator (wall-clock, live.go) — drive the same loop: feed one telemetry
+// window to the overload detector, and when an episode fires, run the
+// selector over a freshly built view and hand the plan to the backend's
+// executor. Policy (detector hysteresis, cooldown, migration budget, event
+// logging) lives here exactly once, so a control decision reproduced in
+// virtual time is the same decision the emulator executes against real
+// packet-processing code.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/migrate"
+	"repro/internal/telemetry"
+)
+
+// Config parameterizes the control loop; it is shared by both backends.
+type Config struct {
+	// PollEvery is the telemetry query period (the paper's "periodically
+	// query the load"). In the DES backend it must match or exceed the
+	// simulation's SampleEvery; in the live backend it is the wall-clock
+	// sampling period.
+	PollEvery time.Duration
+	// Selector decides what to migrate on overload.
+	Selector core.Selector
+	// Detector tunes overload detection; zero value uses defaults.
+	Detector telemetry.DetectorConfig
+	// Transport models state-transfer cost; nil disables migration delay.
+	// Only the DES backend uses it — the emulator measures real snapshot
+	// sizes and reports real transfer times.
+	Transport migrate.Transport
+	// StateBytes approximates the per-vNF snapshot size for the transfer
+	// model (the DES has no materialized NF state; the emulator measures
+	// real sizes). Default 64 KiB.
+	StateBytes int
+	// MaxMigrations bounds how many plans get executed (0 = unbounded).
+	MaxMigrations int
+	// Cooldown suppresses new plans for this long after one executes
+	// (default 2×PollEvery).
+	Cooldown time.Duration
+}
+
+// Event records one control-loop action for reports and tests.
+type Event struct {
+	At       time.Duration
+	Kind     EventKind
+	Plan     core.Plan
+	Err      error
+	Downtime time.Duration
+}
+
+// EventKind classifies control-loop events.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EventMigrated records an executed plan.
+	EventMigrated EventKind = iota
+	// EventSkipped records an overload with no executable plan (e.g. the
+	// paper's both-overloaded terminal case) or a plan whose execution
+	// failed.
+	EventSkipped
+	// EventCooldown records an overload episode suppressed because the
+	// previous migration is still within Config.Cooldown.
+	EventCooldown
+	// EventLimited records an overload episode suppressed by
+	// Config.MaxMigrations.
+	EventLimited
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventSkipped:
+		return "skipped"
+	case EventCooldown:
+		return "cooldown"
+	case EventLimited:
+		return "limit-reached"
+	}
+	return "migrated"
+}
+
+// loop is the shared poll/detect/select/execute state machine. exec applies
+// a plan to the backend's dataplane and returns the migration downtime it
+// incurred (modelled for the DES, measured for the emulator).
+type loop struct {
+	cfg      Config
+	detector *telemetry.Detector
+	view     func() core.View
+	exec     func(plan core.Plan) (time.Duration, error)
+
+	// decideMu serializes whole decisions (detect → select → execute), so
+	// concurrent polls — the live backend's background ticker plus a manual
+	// Poll — cannot both slip past the cooldown/budget checks and execute
+	// overlapping plans. mu guards only the fields below and is safe to
+	// take from exec callbacks while decideMu is held.
+	decideMu sync.Mutex
+
+	mu       sync.Mutex
+	events   []Event
+	lastMove time.Duration
+	moved    bool // a plan (possibly partial) has executed; lastMove is set
+	migrated int
+}
+
+func newLoop(cfg Config, view func() core.View, exec func(core.Plan) (time.Duration, error)) (*loop, error) {
+	if cfg.PollEvery <= 0 {
+		return nil, errors.New("orchestrator: PollEvery must be positive")
+	}
+	if cfg.Selector == nil {
+		return nil, errors.New("orchestrator: nil selector")
+	}
+	if cfg.StateBytes <= 0 {
+		cfg.StateBytes = 64 << 10
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 2 * cfg.PollEvery
+	}
+	return &loop{
+		cfg:      cfg,
+		detector: telemetry.NewDetector(cfg.Detector),
+		view:     view,
+		exec:     exec,
+	}, nil
+}
+
+// observe feeds one telemetry window to the detector and, when an overload
+// episode fires, runs selection and execution. now is the backend's clock
+// (virtual or wall) and timestamps any resulting event.
+func (l *loop) observe(now time.Duration, s telemetry.Sample) {
+	l.decideMu.Lock()
+	defer l.decideMu.Unlock()
+
+	fire, throughput := l.detector.Observe(s)
+	if !fire {
+		return
+	}
+	l.mu.Lock()
+	if l.cfg.MaxMigrations > 0 && l.migrated >= l.cfg.MaxMigrations {
+		l.events = append(l.events, Event{At: now, Kind: EventLimited})
+		l.mu.Unlock()
+		return
+	}
+	if l.moved && now-l.lastMove < l.cfg.Cooldown {
+		l.events = append(l.events, Event{At: now, Kind: EventCooldown})
+		l.mu.Unlock()
+		return
+	}
+	l.mu.Unlock()
+
+	v := l.view()
+	v.Throughput = device.Gbps(throughput)
+	plan, err := l.cfg.Selector.Select(v)
+	if err != nil {
+		// The episode produced no executable plan. Re-arm the detector so
+		// the decision is retried after another Consecutive hot windows:
+		// measured throughput moves, so a terminal verdict now (e.g.
+		// both-overloaded at this θcur) need not be terminal next window.
+		l.detector.Rearm()
+		l.appendEvent(Event{At: now, Kind: EventSkipped, Err: err})
+		return
+	}
+	downtime, err := l.exec(plan)
+	if err != nil {
+		// Execution failed; re-arm for a retry like the no-plan case. A
+		// non-zero downtime means some steps did apply (a partial
+		// migration), so the cooldown still starts — the dataplane just
+		// moved and must settle before the next attempt.
+		l.detector.Rearm()
+		l.mu.Lock()
+		if downtime > 0 {
+			l.moved = true
+			l.lastMove = now
+		}
+		l.events = append(l.events, Event{At: now, Kind: EventSkipped, Plan: plan, Err: err})
+		l.mu.Unlock()
+		return
+	}
+	l.mu.Lock()
+	l.moved = true
+	l.migrated++
+	l.lastMove = now
+	l.events = append(l.events, Event{At: now, Kind: EventMigrated, Plan: plan, Downtime: downtime})
+	l.mu.Unlock()
+}
+
+func (l *loop) appendEvent(e Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// Events returns a copy of the control-loop event log.
+func (l *loop) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Migrations returns how many plans were executed.
+func (l *loop) Migrations() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.migrated
+}
+
+// Detector exposes the loop's overload detector (reports inspect its
+// smoothed view; tests assert episode counts and re-arming).
+func (l *loop) Detector() *telemetry.Detector { return l.detector }
+
+// Format renders the event as one log line, rounding timestamps to round
+// (0 keeps full precision). Every surface printing the event log — Describe,
+// pamctl live, the hotspot example — goes through it, so a new EventKind
+// renders everywhere at once.
+func (e Event) Format(round time.Duration) string {
+	at := e.At
+	if round > 0 {
+		at = at.Round(round)
+	}
+	switch {
+	case e.Err != nil:
+		return fmt.Sprintf("[%8v] %v: %v", at, e.Kind, e.Err)
+	case e.Kind == EventMigrated:
+		return fmt.Sprintf("[%8v] %v: %v (downtime %v)", at, e.Kind, e.Plan, e.Downtime)
+	default:
+		return fmt.Sprintf("[%8v] %v: overload episode suppressed", at, e.Kind)
+	}
+}
+
+// Describe renders the event log for reports.
+func (l *loop) Describe() string {
+	s := ""
+	for _, e := range l.Events() {
+		s += e.Format(0) + "\n"
+	}
+	return s
+}

@@ -1,114 +1,70 @@
-// Package orchestrator closes the paper's control loop over a running chain
-// simulation: periodically poll device load (telemetry), detect SmartNIC
-// hot spots, run a selection policy (PAM or a naive baseline), model the
+// Package orchestrator closes the paper's control loop over a running
+// dataplane: periodically poll device load (telemetry), detect SmartNIC hot
+// spots, run a selection policy (PAM or a naive baseline), account the
 // migration's state-transfer cost, and install the new placement.
 //
-// The orchestrator operates entirely in virtual time on the simulation's
-// event engine, so control-plane behaviour is as deterministic and
-// reproducible as the dataplane.
+// One loop, two backends. The poll/detect/select/execute core (loop.go) is
+// engine-agnostic; Orchestrator drives it in virtual time on the
+// discrete-event simulator's event engine, so control-plane behaviour is as
+// deterministic and reproducible as that dataplane, while Live (live.go)
+// drives the same core on wall-clock time over the execution emulator,
+// where overload is detected from measured meter windows and migrations run
+// the real UNO freeze/transfer/restore sequence. See DESIGN.md §4.
 package orchestrator
 
 import (
-	"errors"
-	"fmt"
 	"time"
 
 	"repro/internal/chainsim"
 	"repro/internal/core"
-	"repro/internal/device"
-	"repro/internal/migrate"
 	"repro/internal/telemetry"
 )
 
-// Config parameterizes the control loop.
-type Config struct {
-	// PollEvery is the telemetry query period (the paper's "periodically
-	// query the load"). Must match or exceed the simulation's SampleEvery.
-	PollEvery time.Duration
-	// Selector decides what to migrate on overload.
-	Selector core.Selector
-	// Detector tunes overload detection; zero value uses defaults.
-	Detector telemetry.DetectorConfig
-	// Transport models state-transfer cost; nil disables migration delay.
-	Transport migrate.Transport
-	// StateBytes approximates the per-vNF snapshot size for the transfer
-	// model (the DES has no materialized NF state; the emulator measures
-	// real sizes). Default 64 KiB.
-	StateBytes int
-	// MaxMigrations bounds how many plans get executed (0 = unbounded).
-	MaxMigrations int
-	// Cooldown suppresses new plans for this long after one executes
-	// (default 2×PollEvery).
-	Cooldown time.Duration
-}
-
-// Event records one control-loop action for reports and tests.
-type Event struct {
-	At       time.Duration
-	Kind     EventKind
-	Plan     core.Plan
-	Err      error
-	Downtime time.Duration
-}
-
-// EventKind classifies control-loop events.
-type EventKind uint8
-
-// Event kinds.
-const (
-	// EventMigrated records an executed plan.
-	EventMigrated EventKind = iota
-	// EventSkipped records an overload with no executable plan (e.g. the
-	// paper's both-overloaded terminal case).
-	EventSkipped
-)
-
-// String names the kind.
-func (k EventKind) String() string {
-	if k == EventSkipped {
-		return "skipped"
-	}
-	return "migrated"
-}
-
-// Orchestrator drives one simulation's control loop.
+// Orchestrator drives one simulation's control loop in virtual time.
 type Orchestrator struct {
-	cfg      Config
-	sim      *chainsim.Sim
-	view     func() core.View // rebuilt each decision on the live placement
-	detector *telemetry.Detector
-	events   []Event
-	lastMove time.Duration
-	moved    int
+	*loop
+	sim *chainsim.Sim
 }
 
 // New attaches a control loop to a simulation. viewTemplate supplies the
 // device models and catalog; its Chain and Throughput fields are replaced
 // with live values at each decision.
 func New(sim *chainsim.Sim, cfg Config, viewTemplate core.View) (*Orchestrator, error) {
-	if cfg.PollEvery <= 0 {
-		return nil, errors.New("orchestrator: PollEvery must be positive")
-	}
-	if cfg.Selector == nil {
-		return nil, errors.New("orchestrator: nil selector")
-	}
-	if cfg.StateBytes <= 0 {
-		cfg.StateBytes = 64 << 10
-	}
-	if cfg.Cooldown <= 0 {
-		cfg.Cooldown = 2 * cfg.PollEvery
-	}
-	o := &Orchestrator{
-		cfg:      cfg,
-		sim:      sim,
-		detector: telemetry.NewDetector(cfg.Detector),
-	}
-	o.view = func() core.View {
+	o := &Orchestrator{sim: sim}
+	view := func() core.View {
 		v := viewTemplate
 		v.Chain = sim.Placement()
 		return v
 	}
+	l, err := newLoop(cfg, view, o.execute)
+	if err != nil {
+		return nil, err
+	}
+	o.loop = l
 	return o, nil
+}
+
+// execute models the migration downtime — one state transfer per step,
+// applied as a virtual-time delay before the new placement takes effect —
+// and schedules the placement swap.
+func (o *Orchestrator) execute(plan core.Plan) (time.Duration, error) {
+	var downtime time.Duration
+	if o.cfg.Transport != nil {
+		for range plan.Steps {
+			downtime += o.cfg.Transport.TransferTime(o.cfg.StateBytes)
+		}
+	}
+	apply := func() {
+		if err := o.sim.SetPlacement(plan.Result); err != nil {
+			o.appendEvent(Event{At: o.sim.Engine().Now(), Kind: EventSkipped, Err: err})
+		}
+	}
+	if downtime > 0 {
+		o.sim.Engine().After(downtime, apply)
+	} else {
+		apply()
+	}
+	return downtime, nil
 }
 
 // Start schedules the first poll; subsequent polls self-schedule. Call
@@ -119,73 +75,11 @@ func (o *Orchestrator) Start() {
 
 func (o *Orchestrator) poll() {
 	defer o.sim.Engine().After(o.cfg.PollEvery, o.poll)
-
 	nicU, cpuU, delivered := o.sim.WindowStats()
-	now := o.sim.Engine().Now()
-	fire, throughput := o.detector.Observe(telemetry.Sample{
-		At:            now,
+	o.observe(o.sim.Engine().Now(), telemetry.Sample{
+		At:            o.sim.Engine().Now(),
 		NICUtil:       nicU,
 		CPUUtil:       cpuU,
 		DeliveredGbps: delivered,
 	})
-	if !fire {
-		return
-	}
-	if o.cfg.MaxMigrations > 0 && o.moved >= o.cfg.MaxMigrations {
-		return
-	}
-	if o.lastMove > 0 && now-o.lastMove < o.cfg.Cooldown {
-		return
-	}
-
-	v := o.view()
-	v.Throughput = device.Gbps(throughput)
-	plan, err := o.cfg.Selector.Select(v)
-	if err != nil {
-		o.events = append(o.events, Event{At: now, Kind: EventSkipped, Err: err})
-		return
-	}
-	// Model the migration downtime: one state transfer per step, applied
-	// as a delay before the new placement takes effect.
-	var downtime time.Duration
-	if o.cfg.Transport != nil {
-		for range plan.Steps {
-			downtime += o.cfg.Transport.TransferTime(o.cfg.StateBytes)
-		}
-	}
-	o.moved++
-	o.lastMove = now
-	apply := func() {
-		if err := o.sim.SetPlacement(plan.Result); err != nil {
-			o.events = append(o.events, Event{At: o.sim.Engine().Now(), Kind: EventSkipped, Err: err})
-			return
-		}
-	}
-	if downtime > 0 {
-		o.sim.Engine().After(downtime, apply)
-	} else {
-		apply()
-	}
-	o.events = append(o.events, Event{At: now, Kind: EventMigrated, Plan: plan, Downtime: downtime})
-}
-
-// Events returns a copy of the control-loop event log.
-func (o *Orchestrator) Events() []Event {
-	return append([]Event(nil), o.events...)
-}
-
-// Migrations returns how many plans were executed.
-func (o *Orchestrator) Migrations() int { return o.moved }
-
-// Describe renders the event log for reports.
-func (o *Orchestrator) Describe() string {
-	s := ""
-	for _, e := range o.events {
-		if e.Err != nil {
-			s += fmt.Sprintf("[%8v] %v: %v\n", e.At, e.Kind, e.Err)
-			continue
-		}
-		s += fmt.Sprintf("[%8v] %v: %v (downtime %v)\n", e.At, e.Kind, e.Plan, e.Downtime)
-	}
-	return s
 }

@@ -111,6 +111,36 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
+// sparks are the eight block glyphs Spark quantizes into.
+var sparks = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a one-line unicode sparkline scaled to the series
+// maximum — the terminal form of a telemetry time series (the control-plane
+// reports use it for delivered throughput around a migration).
+func Spark(values []float64) string {
+	maxv := 0.0
+	for _, v := range values {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := make([]rune, 0, len(values))
+	for _, v := range values {
+		i := 0
+		if maxv > 0 && v > 0 {
+			i = int(v / maxv * float64(len(sparks)-1))
+			if i < 0 {
+				i = 0
+			}
+			if i >= len(sparks) {
+				i = len(sparks) - 1
+			}
+		}
+		out = append(out, sparks[i])
+	}
+	return string(out)
+}
+
 // Bars renders a labelled horizontal bar chart (terminal "figure").
 func Bars(title string, labels []string, values []float64, unit string) string {
 	var b strings.Builder

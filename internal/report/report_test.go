@@ -72,3 +72,23 @@ func TestBarsZeroValues(t *testing.T) {
 		t.Error("zero bars must still render")
 	}
 }
+
+func TestSpark(t *testing.T) {
+	s := report.Spark([]float64{0, 1, 2, 4})
+	if got, want := len([]rune(s)), 4; got != want {
+		t.Fatalf("spark runes = %d, want %d", got, want)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("spark extremes wrong: %q", s)
+	}
+	if runes[1] == runes[3] {
+		t.Errorf("spark does not scale: %q", s)
+	}
+	if report.Spark(nil) != "" {
+		t.Error("empty series must render empty")
+	}
+	if got := report.Spark([]float64{0, 0}); []rune(got)[0] != '▁' {
+		t.Errorf("all-zero series = %q, want low blocks", got)
+	}
+}

@@ -1,0 +1,279 @@
+package scenario
+
+// The live-hotspot scenario: the paper's closed loop run end to end on the
+// batched execution emulator instead of the discrete-event simulator. Real
+// frames ramp from a calm rate to Params.OverloadGbps, the control plane
+// detects the SmartNIC hot spot from measured meter windows, PAM pushes a
+// border vNF aside via a real UNO-style migration, and served throughput
+// recovers. The one runner backs the hotspot_mitigation example,
+// `pamctl -engine emul live`, and the -race control-loop tests, so they all
+// exercise an identical configuration (see DESIGN.md §4).
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/emul"
+	"repro/internal/orchestrator"
+	"repro/internal/pcie"
+	"repro/internal/telemetry"
+	"repro/internal/traffic"
+)
+
+// LiveParams parameterizes the wall-clock closed loop. Rates everywhere are
+// in catalog (Table-1) units; Scale maps them onto what a development
+// machine can actually push.
+type LiveParams struct {
+	// Scale divides catalog rates (and multiplies measurements back) so the
+	// emulated devices saturate at development-machine rates. Default 1000.
+	Scale float64
+	// BatchSize and Workers configure the burst dataplane (defaults 8, 2).
+	// The default batch is smaller than the emulator's usual 32: a burst is
+	// admitted through an element's token gate in one transaction, so its
+	// bytes must fit the gate's 10 ms burst budget or the worker stalls for
+	// tens of milliseconds per burst. At Scale 1000 the slowest Figure-1
+	// gates hold ~4-5 KB of budget — 8 frames of 512 B, not 32 (at the
+	// benchmarks' Scale 200 the budget is 5× larger and batch 32 is fine).
+	BatchSize int
+	Workers   int
+	// QueueDepth bounds each element's input queue (default 128 — shallow
+	// enough that overload surfaces as loss within a few windows).
+	QueueDepth int
+	// FrameSize is the synthesized frame size in bytes (default 512).
+	FrameSize int
+	// Flows spreads traffic across this many synthetic flows (default 32),
+	// exercising the flow-hash sharding of the dataplane.
+	Flows int
+	// PollEvery is the control loop's sampling period (default 25 ms).
+	PollEvery time.Duration
+	// Detector tunes overload detection. The zero value uses Consecutive 3
+	// and Alpha 0.5: fast enough to catch a ramp within ~3 windows, smoothed
+	// enough that the measured θcur at decision time is meaningful.
+	Detector telemetry.DetectorConfig
+	// MaxMigrations bounds executed plans (0 = unbounded).
+	MaxMigrations int
+	// Cooldown suppresses plans after a migration (default 2×PollEvery).
+	Cooldown time.Duration
+	// Phases is the offered-load schedule in catalog Gbps. Nil selects the
+	// default hotspot ramp: calm at Params.ProbeGbps, then overload at
+	// Params.OverloadGbps.
+	Phases []traffic.Phase
+	// SleepPCIe makes the emulator really sleep PCIe crossings and state
+	// transfers. Off by default: at Scale ≫ 1 real microsecond sleeps would
+	// be out of proportion to the slowed-down dataplane.
+	SleepPCIe bool
+}
+
+// DefaultLiveParams returns the calibrated live-loop defaults (DESIGN.md §4).
+func DefaultLiveParams() LiveParams {
+	return LiveParams{
+		Scale:      1000,
+		BatchSize:  8,
+		Workers:    2,
+		QueueDepth: 128,
+		FrameSize:  512,
+		Flows:      32,
+		PollEvery:  25 * time.Millisecond,
+		Detector:   telemetry.DetectorConfig{Consecutive: 3, Alpha: 0.5},
+	}
+}
+
+func (lp LiveParams) withDefaults(p Params) LiveParams {
+	d := DefaultLiveParams()
+	if lp.Scale <= 0 {
+		lp.Scale = d.Scale
+	}
+	if lp.BatchSize <= 0 {
+		lp.BatchSize = d.BatchSize
+	}
+	if lp.Workers <= 0 {
+		lp.Workers = d.Workers
+	}
+	if lp.QueueDepth <= 0 {
+		lp.QueueDepth = d.QueueDepth
+	}
+	if lp.FrameSize <= 0 {
+		lp.FrameSize = d.FrameSize
+	}
+	if lp.Flows <= 0 {
+		lp.Flows = d.Flows
+	}
+	if lp.PollEvery <= 0 {
+		lp.PollEvery = d.PollEvery
+	}
+	if lp.Detector == (telemetry.DetectorConfig{}) {
+		lp.Detector = d.Detector
+	}
+	if lp.Phases == nil {
+		lp.Phases = []traffic.Phase{
+			{RateGbps: p.ProbeGbps, Duration: 300 * time.Millisecond},
+			{RateGbps: p.OverloadGbps, Duration: 1200 * time.Millisecond},
+		}
+	}
+	return lp
+}
+
+// LiveRuntime builds the Figure-1 chain on the batched emulator under the
+// live parameters.
+func LiveRuntime(p Params, lp LiveParams) (*emul.Runtime, error) {
+	lp = lp.withDefaults(p)
+	return emul.New(emul.Config{
+		Chain:      Figure1Chain(),
+		Catalog:    device.Table1(),
+		Link:       pcie.Link{PropDelay: p.PCIeLatency, BandwidthGbps: p.PCIeBandwidthGbps},
+		Scale:      lp.Scale,
+		QueueDepth: lp.QueueDepth,
+		BatchSize:  lp.BatchSize,
+		Workers:    lp.Workers,
+		PoolFrames: true,
+		SleepPCIe:  lp.SleepPCIe,
+	})
+}
+
+// LiveHotspotResult is one closed-loop run's outcome.
+type LiveHotspotResult struct {
+	// Events is the control plane's log (migrations, skips, cooldowns).
+	Events []orchestrator.Event
+	// Samples is the measured telemetry timeline, one entry per poll.
+	Samples []emul.LoadSample
+	// Final is the runtime's end-of-run accounting.
+	Final emul.Result
+	// Placement is the chain after the run.
+	Placement *chain.Chain
+	// Migrations counts executed plans.
+	Migrations int
+	// PreGbps is the delivered throughput in the last full window before the
+	// first migration (the hot spot's ceiling); zero when nothing migrated.
+	PreGbps float64
+	// PostGbps is the mean delivered throughput over the final windows (the
+	// recovered ceiling under the same offered load for the default phases).
+	PostGbps float64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// RunLiveHotspot drives the closed loop: it paces the phase schedule against
+// the wall clock into the emulator while polling the live control plane
+// every PollEvery, single-threaded, so window boundaries are deterministic
+// relative to the schedule even though the dataplane itself is concurrent.
+func RunLiveHotspot(p Params, lp LiveParams, sel core.Selector) (*LiveHotspotResult, error) {
+	lp = lp.withDefaults(p)
+	rt, err := LiveRuntime(p, lp)
+	if err != nil {
+		return nil, err
+	}
+	rt.Start()
+	defer rt.Close()
+
+	live, err := orchestrator.NewLive(rt, orchestrator.Config{
+		PollEvery:     lp.PollEvery,
+		Selector:      sel,
+		Detector:      lp.Detector,
+		MaxMigrations: lp.MaxMigrations,
+		Cooldown:      lp.Cooldown,
+	}, View(Figure1Chain(), p, 0))
+	if err != nil {
+		return nil, err
+	}
+
+	// The wall-clock schedule is the catalog-unit schedule slowed by Scale.
+	scaled := make([]traffic.Phase, len(lp.Phases))
+	var total time.Duration
+	for i, ph := range lp.Phases {
+		scaled[i] = traffic.Phase{RateGbps: ph.RateGbps / lp.Scale, Duration: ph.Duration}
+		total += ph.Duration
+	}
+	src, err := traffic.NewRamp(scaled, traffic.FixedSize(lp.FrameSize), traffic.ProcessCBR, uint64(lp.Flows), p.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: live ramp: %w", err)
+	}
+
+	synth := traffic.NewSynth(lp.Flows, p.Seed)
+	const slack = 500 * time.Microsecond
+	start := time.Now()
+	nextPoll := lp.PollEvery
+	a, ok := src.Next()
+	for {
+		now := time.Since(start)
+		if now >= nextPoll {
+			live.Poll()
+			nextPoll += lp.PollEvery
+			continue
+		}
+		if !ok && now >= total {
+			break
+		}
+		if ok && a.At <= now+slack {
+			tmpl := synth.Frame(a.Flow, a.Size)
+			frame := rt.AcquireFrame(len(tmpl))
+			copy(frame, tmpl)
+			rt.Send(frame) // a false return is an ingress drop, already metered
+			a, ok = src.Next()
+			continue
+		}
+		wake := nextPoll
+		if ok && a.At < wake {
+			wake = a.At
+		}
+		if !ok && total < wake {
+			wake = total
+		}
+		if d := wake - now; d > 0 {
+			time.Sleep(d)
+		}
+	}
+	rt.Drain()
+
+	res := &LiveHotspotResult{
+		Events:     live.Events(),
+		Samples:    live.Samples(),
+		Final:      rt.Results(),
+		Placement:  rt.Placement(),
+		Migrations: live.Migrations(),
+		Elapsed:    time.Since(start),
+	}
+	res.PreGbps, res.PostGbps = recovery(res.Events, res.Samples)
+	return res, nil
+}
+
+// recovery extracts the before/after delivered throughput around the first
+// migration: the last full window before it, and the mean of the final
+// quarter of windows after it (at most 4).
+func recovery(events []orchestrator.Event, samples []emul.LoadSample) (pre, post float64) {
+	var migAt time.Duration = -1
+	for _, e := range events {
+		if e.Kind == orchestrator.EventMigrated {
+			migAt = e.At
+			break
+		}
+	}
+	if migAt < 0 || len(samples) == 0 {
+		return 0, 0
+	}
+	for _, s := range samples {
+		if s.At < migAt {
+			pre = s.DeliveredGbps
+		}
+	}
+	tail := len(samples) / 4
+	if tail > 4 {
+		tail = 4
+	}
+	if tail < 1 {
+		tail = 1
+	}
+	n := 0
+	for _, s := range samples[len(samples)-tail:] {
+		if s.At > migAt {
+			post += s.DeliveredGbps
+			n++
+		}
+	}
+	if n > 0 {
+		post /= float64(n)
+	}
+	return pre, post
+}

@@ -1,0 +1,94 @@
+package scenario_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/orchestrator"
+	"repro/internal/scenario"
+	"repro/internal/traffic"
+)
+
+// TestLiveHotspotClosedLoop is the acceptance run of the live control plane:
+// measured meter windows ramp into overload on the batched emulator, PAM
+// fires exactly once and pushes the Figure-1 border vNF (logger0) aside via
+// a real migration, a second overload episode inside the cooldown is
+// suppressed, and served throughput recovers past the pre-migration
+// ceiling. Wall-clock (about 1.7 s) and concurrent, so it doubles as a
+// race-detector workout for the whole stack.
+func TestLiveHotspotClosedLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock closed-loop run")
+	}
+	p := scenario.DefaultParams()
+	lp := scenario.DefaultLiveParams()
+	lp.Cooldown = time.Hour // any later episode must be suppressed
+	lp.Phases = []traffic.Phase{
+		{RateGbps: p.ProbeGbps, Duration: 250 * time.Millisecond},
+		{RateGbps: p.OverloadGbps, Duration: 700 * time.Millisecond},
+		{RateGbps: 0.3, Duration: 300 * time.Millisecond}, // clears the detector
+		{RateGbps: p.OverloadGbps, Duration: 400 * time.Millisecond},
+	}
+
+	res, err := scenario.RunLiveHotspot(p, lp, core.PAM{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var migrated, cooldowns int
+	var mig orchestrator.Event
+	for _, e := range res.Events {
+		switch e.Kind {
+		case orchestrator.EventMigrated:
+			if migrated == 0 {
+				mig = e
+			}
+			migrated++
+		case orchestrator.EventCooldown:
+			cooldowns++
+		}
+	}
+	if migrated != 1 {
+		t.Fatalf("migrations = %d, want exactly 1\nevents:\n%+v", migrated, res.Events)
+	}
+	if res.Migrations != 1 {
+		t.Errorf("result.Migrations = %d, want 1", res.Migrations)
+	}
+	// The plan must be PAM pushing the Figure-1 border vNF aside.
+	if mig.Plan.Selector != "PAM" || len(mig.Plan.Steps) != 1 ||
+		mig.Plan.Steps[0].Element != scenario.NameLogger ||
+		mig.Plan.Steps[0].To != device.KindCPU {
+		t.Errorf("plan = %v, want PAM migrating %s to the CPU", mig.Plan, scenario.NameLogger)
+	}
+	if mig.Downtime <= 0 {
+		t.Error("no measured state-transfer downtime")
+	}
+	// And it must be applied to the running dataplane.
+	i := res.Placement.Index(scenario.NameLogger)
+	if i < 0 || res.Placement.At(i).Loc != device.KindCPU {
+		t.Errorf("final placement %v does not have %s on the CPU", res.Placement, scenario.NameLogger)
+	}
+	// The second overload episode (after the calm phase re-arms the
+	// detector) must be suppressed by the cooldown, not executed.
+	if cooldowns == 0 {
+		t.Errorf("no cooldown suppression recorded\nevents:\n%+v", res.Events)
+	}
+
+	// Recovery: pre-migration delivery is capped by the Logger's 2 Gbps NIC
+	// capacity; with the Logger pushed aside the Monitor's 3.2 Gbps is the
+	// new ceiling. Generous margins keep a loaded CI machine from flaking.
+	if res.PreGbps <= 0 || res.PreGbps > 2.5 {
+		t.Errorf("pre-migration delivered %.2f Gbps, want (0, 2.5] (logger-capped)", res.PreGbps)
+	}
+	if res.PostGbps < 2.4 {
+		t.Errorf("post-migration delivered %.2f Gbps, want >= 2.4 (recovered)", res.PostGbps)
+	}
+	if res.PostGbps < res.PreGbps*1.15 {
+		t.Errorf("throughput did not recover: %.2f -> %.2f Gbps", res.PreGbps, res.PostGbps)
+	}
+	if len(res.Samples) < 10 {
+		t.Errorf("telemetry timeline too short: %d windows", len(res.Samples))
+	}
+}

@@ -137,11 +137,31 @@ func (d *Detector) Observe(s Sample) (fire bool, throughput float64) {
 	return false, throughput
 }
 
+// Rearm resets the episode state so a persistent overload can fire again
+// without first clearing. The control loop re-arms after an episode whose
+// plan could not be computed (e.g. the both-overloaded terminal case):
+// measured conditions change, so the decision deserves a retry once another
+// Consecutive hot windows accumulate.
+func (d *Detector) Rearm() {
+	d.mu.Lock()
+	d.fired = false
+	d.hot = 0
+	d.mu.Unlock()
+}
+
 // Events returns how many overload episodes have fired.
 func (d *Detector) Events() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.events
+}
+
+// Fired reports whether the detector is inside an overload episode (fired
+// and not yet re-armed by utilization falling below ClearThreshold).
+func (d *Detector) Fired() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fired
 }
 
 // SmoothedUtil returns the current smoothed NIC utilization.
