@@ -3,8 +3,10 @@
 //
 //   - a markdown file contains an intra-repo link whose target does not
 //     exist (links into DESIGN.md and between the top-level docs are load
-//     bearing: several packages cite DESIGN.md sections from godoc), or
-//   - an internal package has no package-level godoc comment.
+//     bearing: several packages cite DESIGN.md sections from godoc),
+//   - an internal package has no package-level godoc comment, or
+//   - a directory under examples/ is missing from README.md's example
+//     table (every runnable walkthrough must stay discoverable).
 //
 // External links (http/https/mailto) and pure-anchor links are not checked.
 // CI runs it as the docs job; run it locally with `go run ./cmd/docscheck`.
@@ -30,6 +32,7 @@ func main() {
 
 	problems = append(problems, checkMarkdownLinks(".")...)
 	problems = append(problems, checkPackageDocs("./internal")...)
+	problems = append(problems, checkExamplesIndexed("examples", "README.md")...)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -38,7 +41,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
 		os.Exit(1)
 	}
-	fmt.Println("docscheck: markdown links and package godoc OK")
+	fmt.Println("docscheck: markdown links, package godoc and example table OK")
 }
 
 // checkMarkdownLinks verifies every relative link target in every tracked
@@ -84,6 +87,30 @@ func checkMarkdownLinks(root string) []string {
 	})
 	if err != nil {
 		problems = append(problems, fmt.Sprintf("walking %s: %v", root, err))
+	}
+	return problems
+}
+
+// checkExamplesIndexed verifies every example directory is mentioned in the
+// README (as "examples/<name>"), keeping the example table complete.
+func checkExamplesIndexed(examplesDir, readme string) []string {
+	entries, err := os.ReadDir(examplesDir)
+	if err != nil {
+		return []string{fmt.Sprintf("reading %s: %v", examplesDir, err)}
+	}
+	data, err := os.ReadFile(readme)
+	if err != nil {
+		return []string{fmt.Sprintf("reading %s: %v", readme, err)}
+	}
+	var problems []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		ref := examplesDir + "/" + e.Name()
+		if !strings.Contains(string(data), ref) {
+			problems = append(problems, fmt.Sprintf("%s: %q missing from the example table", readme, ref))
+		}
 	}
 	return problems
 }

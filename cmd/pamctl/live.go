@@ -81,7 +81,7 @@ func liveDES(p scenario.Params) error {
 		for _, e := range orch.Events() {
 			if e.Kind == orchestrator.EventMigrated &&
 				e.At > res.NICSeries[i].T-10*time.Millisecond && e.At <= res.NICSeries[i].T {
-				marker = "<- PAM migrates " + e.Plan.Steps[0].Element
+				marker = "<- PAM migrates " + e.Plan.Steps[0].Step.Element
 			}
 		}
 		tbl.AddRowf(res.NICSeries[i].T, res.NICSeries[i].V, res.CPUSeries[i].V, res.ThrSeries[i].V, marker)
@@ -120,7 +120,7 @@ func liveEmul(p scenario.Params) error {
 		marker := ""
 		for _, e := range res.Events {
 			if e.Kind == orchestrator.EventMigrated && e.At > s.At-s.Window && e.At <= s.At {
-				marker = "<- PAM migrates " + e.Plan.Steps[0].Element
+				marker = "<- PAM migrates " + e.Plan.Steps[0].Step.Element
 			}
 		}
 		tbl.AddRowf(s.At.Round(time.Millisecond), s.NIC.Utilization, s.CPU.Utilization,

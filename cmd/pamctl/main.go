@@ -16,6 +16,7 @@
 //	pamctl multistep            # A4: sliding-border multi-migration
 //	pamctl plan                 # print the PAM plan for the Figure-1 chain
 //	pamctl live                 # closed loop: detect → select → migrate
+//	pamctl multi                # multi-tenant: N chains share one NIC+CPU
 //
 // The live command runs the full control plane on the engine selected with
 // -engine: "chainsim" replays the hotspot scenario in deterministic virtual
@@ -23,6 +24,14 @@
 // against the batched execution emulator, where overload is detected from
 // measured meter windows and the migration is a real UNO-style state move
 // (DESIGN.md §4).
+//
+// The multi command hosts several tenants' chains on one SmartNIC+CPU pair:
+// every chain is individually feasible, but the summed NIC utilization
+// overloads the device, and Multi-PAM pushes the globally cheapest border
+// vNF aside. With -engine chainsim the decision is evaluated on the fluid
+// model (deterministic, instant); with -engine emul the whole episode runs
+// live on the multi-chain emulator, with a real chain-scoped migration that
+// leaves background tenants forwarding undisturbed (DESIGN.md §4).
 //
 // Flags:
 //
@@ -69,9 +78,12 @@ func main() {
 		cmd = "all"
 	}
 	var err error
-	if cmd == "live" {
+	switch cmd {
+	case "live":
 		err = runLive(*engine, p)
-	} else {
+	case "multi":
+		err = runMulti(*engine, p)
+	default:
 		err = run(cmd, p, *csv)
 	}
 	if err != nil {
@@ -170,7 +182,7 @@ func run(cmd string, p scenario.Params, csv bool) error {
 			fmt.Printf("%-18s %v\n", sel.Name()+":", plan)
 		}
 	default:
-		return fmt.Errorf("unknown command %q (try: all, table1, figure1, figure2a, figure2b, pcie, headline, ablation-pcie, ablation-naive, future-fpga, multistep, plan, live)", cmd)
+		return fmt.Errorf("unknown command %q (try: all, table1, figure1, figure2a, figure2b, pcie, headline, ablation-pcie, ablation-naive, future-fpga, multistep, plan, live, multi)", cmd)
 	}
 	return nil
 }

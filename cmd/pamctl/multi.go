@@ -1,0 +1,160 @@
+package main
+
+// The multi command: N tenants' service chains share one SmartNIC+CPU
+// pair. The chainsim engine evaluates the fluid model deterministically —
+// per-tenant and aggregate utilizations, then the Multi-PAM plan for the
+// overloaded aggregate; the emul engine runs the full live episode on the
+// multi-chain emulator, with a summed-utilization hot spot detected from
+// measured meter windows and relieved by a real chain-scoped migration
+// while background tenants keep forwarding.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/orchestrator"
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+func runMulti(engine string, p scenario.Params) error {
+	switch engine {
+	case "chainsim":
+		return multiModel(p)
+	case "emul":
+		return multiEmul(p)
+	}
+	return fmt.Errorf("unknown engine %q (try: chainsim, emul)", engine)
+}
+
+// aggregateNICUtil sums SmartNIC utilization across the chains at the given
+// per-chain throughputs.
+func aggregateNICUtil(chains []*chain.Chain, thr []float64) (float64, error) {
+	nic := device.Device{Kind: device.KindSmartNIC}
+	cat := device.Table1()
+	var u float64
+	for i, c := range chains {
+		ui, err := nic.Utilization(cat, c.TypesOn(device.KindSmartNIC), device.Gbps(thr[i]))
+		if err != nil {
+			return 0, err
+		}
+		u += ui
+	}
+	return u, nil
+}
+
+// multiModel walks the multi-tenant decision through the fluid model:
+// deterministic, instant, no dataplane.
+func multiModel(p scenario.Params) error {
+	tenants := scenario.DefaultTenants(p)
+	fmt.Println("engine: chainsim (fluid model, deterministic decision)")
+	fmt.Println("tenants sharing one SmartNIC+CPU:")
+
+	chains := make([]*chain.Chain, len(tenants))
+	calm := make([]float64, len(tenants))
+	hot := make([]float64, len(tenants))
+	loads := make([]core.Load, len(tenants))
+	for i, t := range tenants {
+		chains[i] = t.Chain
+		calm[i] = t.Phases[0].RateGbps
+		hot[i] = t.Phases[len(t.Phases)-1].RateGbps
+		loads[i] = core.Load{Chain: t.Chain, Throughput: device.Gbps(hot[i])}
+		fmt.Printf("  %-12s %v  (%.1f Gbps calm, %.1f Gbps peak)\n", t.Chain.Name+":", t.Chain, calm[i], hot[i])
+	}
+
+	uCalm, err := aggregateNICUtil(chains, calm)
+	if err != nil {
+		return err
+	}
+	uHot, err := aggregateNICUtil(chains, hot)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\naggregate NIC utilization: %.2f calm -> %.2f at peak (threshold %.2f)\n",
+		uCalm, uHot, core.DefaultOverloadThreshold)
+	fmt.Println("every tenant is individually feasible; only the sum overloads the NIC")
+
+	nicDev, cpuDev := scenario.Devices(p)
+	plan, err := core.MultiPAM{}.SelectMulti(core.MultiView{
+		Loads: loads, Catalog: device.Table1(), NIC: nicDev, CPU: cpuDev,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%v\n", plan)
+	uAfter, err := aggregateNICUtil(plan.Results, hot)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("aggregate NIC utilization after plan: %.2f\n", uAfter)
+	for i, res := range plan.Results {
+		fmt.Printf("  %-12s %v\n", tenants[i].Chain.Name+":", res)
+	}
+	fmt.Println("\n(the same decision against the live dataplane: pamctl -engine emul multi)")
+	return nil
+}
+
+// multiEmul runs the live multi-tenant episode on the multi-chain emulator.
+func multiEmul(p scenario.Params) error {
+	lp := scenario.DefaultLiveParams()
+	tenants := scenario.DefaultTenants(p)
+	fmt.Printf("engine: emul (wall clock, scale %.0fx, batch %d, %d workers)\n",
+		lp.Scale, lp.BatchSize, lp.Workers)
+	fmt.Println("tenants sharing one SmartNIC+CPU:")
+	for _, t := range tenants {
+		fmt.Printf("  %-12s %v\n", t.Chain.Name+":", t.Chain)
+	}
+	fmt.Printf("background tenants steady at %.1f Gbps; %q ramps %.1f -> %.1f Gbps...\n\n",
+		scenario.MultiBackgroundGbps, tenants[len(tenants)-1].Chain.Name,
+		scenario.MultiCalmGbps, scenario.MultiOverloadGbps)
+
+	res, err := scenario.RunLiveMultiTenant(p, lp, tenants, core.MultiPAM{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("control-plane events (downtime = measured transfer):")
+	for _, e := range res.Events {
+		fmt.Println("  " + e.Format(time.Millisecond))
+	}
+
+	cols := []string{"t", "nic util", "cpu util"}
+	for _, name := range res.Tenants {
+		cols = append(cols, name+" Gbps")
+	}
+	cols = append(cols, "event")
+	tbl := report.NewTable("\nmeasured telemetry (per sampling window, catalog units)", cols...)
+	nicU := make([]float64, 0, len(res.Samples))
+	for _, s := range res.Samples {
+		marker := ""
+		for _, e := range res.Events {
+			if e.Kind == orchestrator.EventMigrated && e.At > s.At-s.Window && e.At <= s.At {
+				marker = "<- Multi-PAM migrates " + e.Plan.Steps[0].Step.Element
+			}
+		}
+		row := []any{s.At.Round(time.Millisecond), s.NIC.Utilization, s.CPU.Utilization}
+		for _, cl := range s.Chains {
+			row = append(row, cl.DeliveredGbps)
+		}
+		row = append(row, marker)
+		tbl.AddRowf(row...)
+		nicU = append(nicU, s.NIC.Utilization)
+	}
+	fmt.Println(tbl)
+	fmt.Printf("aggregate NIC utilization over time: %s\n", report.Spark(nicU))
+	fmt.Println("final placements:")
+	for i, pl := range res.Placements {
+		fmt.Printf("  %-12s %v\n", res.Tenants[i]+":", pl)
+	}
+	fmt.Println("per-tenant delivered around the migration:")
+	for i, name := range res.Tenants {
+		fmt.Printf("  %-12s %.2f -> %.2f Gbps\n", name+":", res.PreGbps[i], res.PostGbps[i])
+	}
+	fmt.Printf("frames: offered %d, delivered %d, dropped %d; %d migration(s) in %v\n",
+		res.Final.Offered, res.Final.Delivered, res.Final.Dropped, res.Migrations,
+		res.Elapsed.Round(time.Millisecond))
+	return nil
+}

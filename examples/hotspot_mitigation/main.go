@@ -49,7 +49,7 @@ func main() {
 		marker := ""
 		for _, e := range res.Events {
 			if e.Kind == orchestrator.EventMigrated && e.At > s.At-s.Window && e.At <= s.At {
-				marker = "   <-- PAM pushes " + e.Plan.Steps[0].Element + " aside"
+				marker = "   <-- PAM pushes " + e.Plan.Steps[0].Step.Element + " aside"
 			}
 		}
 		fmt.Printf("  %8v  nic=%.2f  cpu=%.2f  thr=%.2f  loss=%.2f%s\n",

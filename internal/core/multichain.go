@@ -35,8 +35,9 @@ type MultiView struct {
 // MultiPlan is a plan over several chains: per-chain migration steps plus
 // the resulting placements (parallel to the view's Loads).
 type MultiPlan struct {
-	Steps   []MultiStepEntry
-	Results []*chain.Chain
+	Selector string
+	Steps    []MultiStepEntry
+	Results  []*chain.Chain
 }
 
 // MultiStepEntry tags a Step with the chain it belongs to.
@@ -50,14 +51,64 @@ func (p MultiPlan) Empty() bool { return len(p.Steps) == 0 }
 
 // String summarizes the plan.
 func (p MultiPlan) String() string {
-	if p.Empty() {
-		return "multi-PAM: no migration"
+	name := p.Selector
+	if name == "" {
+		name = "multi"
 	}
-	s := fmt.Sprintf("multi-PAM: %d migration(s):", len(p.Steps))
+	if p.Empty() {
+		return name + ": no migration"
+	}
+	s := fmt.Sprintf("%s: %d migration(s):", name, len(p.Steps))
 	for _, st := range p.Steps {
 		s += fmt.Sprintf(" [chain %d: %v]", st.ChainIndex, st.Step)
 	}
 	return s
+}
+
+// MultiSelector decides which vNFs to migrate off an overloaded SmartNIC in
+// a multi-chain deployment. It is the control loop's native selector
+// interface; single-chain Selectors participate through AsMulti.
+type MultiSelector interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// SelectMulti computes a migration plan for the view. Implementations
+	// must not mutate the view's chains; the plan's Results are modified
+	// clones parallel to the view's Loads.
+	SelectMulti(v MultiView) (MultiPlan, error)
+}
+
+// AsMulti lifts a single-chain Selector into a MultiSelector for views with
+// exactly one load — the adapter both engines use when the operator
+// configures a paper-mode (single-chain) policy. A multi-chain view is
+// rejected rather than silently projected onto one tenant.
+func AsMulti(sel Selector) MultiSelector { return singleAsMulti{sel} }
+
+type singleAsMulti struct{ sel Selector }
+
+func (a singleAsMulti) Name() string { return a.sel.Name() }
+
+func (a singleAsMulti) SelectMulti(v MultiView) (MultiPlan, error) {
+	if len(v.Loads) != 1 {
+		return MultiPlan{}, fmt.Errorf("core: selector %q is single-chain; view has %d chains (use a MultiSelector)",
+			a.sel.Name(), len(v.Loads))
+	}
+	p, err := a.sel.Select(View{
+		Chain:             v.Loads[0].Chain,
+		Catalog:           v.Catalog,
+		Throughput:        v.Loads[0].Throughput,
+		NIC:               v.NIC,
+		CPU:               v.CPU,
+		BorderMode:        v.BorderMode,
+		OverloadThreshold: v.OverloadThreshold,
+	})
+	if err != nil {
+		return MultiPlan{}, err
+	}
+	mp := MultiPlan{Selector: p.Selector, Results: []*chain.Chain{p.Result}}
+	for _, st := range p.Steps {
+		mp.Steps = append(mp.Steps, MultiStepEntry{ChainIndex: 0, Step: st})
+	}
+	return mp, nil
 }
 
 // nicUtilAll sums SmartNIC utilization over all chains at their respective
@@ -100,6 +151,9 @@ type MultiPAM struct {
 
 // Name identifies the policy.
 func (MultiPAM) Name() string { return "Multi-PAM" }
+
+// SelectMulti implements MultiSelector.
+func (m MultiPAM) SelectMulti(v MultiView) (MultiPlan, error) { return m.Select(v) }
 
 // Select computes the migration plan. It returns ErrNotOverloaded when the
 // aggregate NIC utilization is below the threshold and ErrBothOverloaded
@@ -206,7 +260,7 @@ func (m MultiPAM) Select(v MultiView) (MultiPlan, error) {
 			return MultiPlan{}, err
 		}
 		if u < 1 {
-			return MultiPlan{Steps: steps, Results: results}, nil
+			return MultiPlan{Selector: m.Name(), Steps: steps, Results: results}, nil
 		}
 	}
 	return MultiPlan{}, fmt.Errorf("multichain: did not terminate")

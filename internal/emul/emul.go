@@ -13,10 +13,17 @@
 // as a single ProcessBatch call. Elements whose NF is ConcurrencySafe can
 // additionally be sharded across Config.Workers goroutines; frames are
 // distributed by an RSS-style flow hash so per-flow FIFO order is
-// preserved, and migration freezes every shard before moving state. With
-// Config.PoolFrames, delivered and dropped frame buffers are recycled
-// through an internal pool (AcquireFrame), making steady-state emulation
-// nearly allocation-free.
+// preserved. With Config.PoolFrames, delivered and dropped frame buffers
+// are recycled through an internal pool (AcquireFrame), making steady-state
+// emulation nearly allocation-free.
+//
+// One runtime hosts N service chains sharing the same emulated SmartNIC and
+// CPU — the multi-tenant setting of a real NFV server. Each chain owns its
+// elements, its ingress (SendChain) and its egress accounting; devices are
+// shared, so the control plane's LoadSampler sums measured utilization
+// across chains per device. Migration is chain-scoped: a push-aside freezes
+// only the migrating element's shard workers, so every other tenant keeps
+// forwarding while one tenant's vNF moves across PCIe.
 //
 // The emulator complements the discrete-event simulator: chainsim produces
 // the paper's figures with virtual-clock precision; emul demonstrates that
@@ -44,7 +51,14 @@ import (
 
 // Config parameterizes a Runtime.
 type Config struct {
-	Chain   *chain.Chain
+	// Chain is the single-tenant convenience form: equivalent to Chains
+	// holding exactly this chain. Set one of Chain or Chains, not both.
+	Chain *chain.Chain
+	// Chains hosts several tenants' service chains on the same emulated
+	// SmartNIC+CPU pair. Chain names must be unique; element names must be
+	// unique within a chain (and should be unique across chains so that
+	// Migrate-by-name stays unambiguous).
+	Chains  []*chain.Chain
 	Catalog device.Catalog
 	// Link models PCIe crossings (slept as latency).
 	Link pcie.Link
@@ -75,11 +89,28 @@ type Config struct {
 }
 
 func (c Config) withDefaults() (Config, error) {
-	if c.Chain == nil {
+	if c.Chain != nil && len(c.Chains) > 0 {
+		return c, errors.New("emul: set Chain or Chains, not both")
+	}
+	if c.Chain != nil {
+		c.Chains = []*chain.Chain{c.Chain}
+		c.Chain = nil
+	}
+	if len(c.Chains) == 0 {
 		return c, errors.New("emul: nil chain")
 	}
-	if err := c.Chain.Validate(); err != nil {
-		return c, err
+	names := make(map[string]bool, len(c.Chains))
+	for i, ch := range c.Chains {
+		if ch == nil {
+			return c, fmt.Errorf("emul: chain %d is nil", i)
+		}
+		if err := ch.Validate(); err != nil {
+			return c, err
+		}
+		if len(c.Chains) > 1 && names[ch.Name] {
+			return c, fmt.Errorf("emul: duplicate chain name %q", ch.Name)
+		}
+		names[ch.Name] = true
 	}
 	if c.Catalog == nil {
 		return c, errors.New("emul: nil catalog")
@@ -110,6 +141,22 @@ type job struct {
 	crossing bool // the frame crossed PCIe to reach this element
 }
 
+// tenantChain is one hosted service chain: its elements, its egress
+// accounting, and its ingress counters. Chains share the runtime's emulated
+// devices but nothing else — freezing one chain's element never blocks
+// another chain's workers.
+type tenantChain struct {
+	idx   int
+	name  string
+	spec  *chain.Chain
+	elems []*element
+
+	latency      *metrics.Histogram
+	meter        *metrics.Meter // egress deliveries + this chain's drops
+	offered      atomic.Uint64  // frames offered at this chain's ingress
+	ingressDrops atomic.Uint64  // SendChain rejections (first queue full)
+}
+
 // element is one chain position: its NF instance, current placement, worker
 // shards and throttle.
 type element struct {
@@ -124,12 +171,14 @@ type element struct {
 	gate   gate
 	drops  atomic.Uint64
 	parent *Runtime
-	pos    int
+	ch     *tenantChain
+	pos    int // position within ch.elems
 
 	// meter measures this element's own load: ObserveN counts every burst
 	// the element actually processed (its served rate), Drop/DropN every
 	// frame lost entering its queues. The control plane's LoadSampler turns
-	// window deltas of these meters into per-device utilization.
+	// window deltas of these meters into per-device utilization, summed
+	// across every chain resident on the device.
 	meter *metrics.Meter
 
 	migMu sync.Mutex // serializes migrations of this element
@@ -160,10 +209,10 @@ func (el *element) shardFor(h uint64) *shard {
 	return el.shards[h%uint64(len(el.shards))]
 }
 
-// Runtime is a running emulated chain.
+// Runtime is a running emulated multi-chain dataplane.
 type Runtime struct {
-	cfg   Config
-	elems []*element
+	cfg    Config
+	chains []*tenantChain
 
 	start   time.Time
 	started atomic.Bool
@@ -173,13 +222,9 @@ type Runtime struct {
 	frames   *packet.FramePool
 	decoders *packet.DecoderPool
 
-	latency      *metrics.Histogram
-	meter        *metrics.Meter
-	offered      atomic.Uint64 // frames offered at ingress
-	ingressDrops atomic.Uint64 // Send rejections (first queue full)
-	inFlight     sync.WaitGroup
+	inFlight sync.WaitGroup
 
-	egress func(frame []byte) // optional tap for tests
+	egress func(chainIdx int, frame []byte) // optional tap for tests
 }
 
 // New builds a runtime with default-configured NF instances per element.
@@ -190,43 +235,52 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	r := &Runtime{
 		cfg:      cfg,
-		latency:  metrics.NewHistogram(),
-		meter:    metrics.NewMeter(0),
 		frames:   packet.NewFramePool(),
 		decoders: packet.NewDecoderPool(),
 	}
-	for i, e := range cfg.Chain.Elems {
-		inst, err := nf.New(e.Name, e.Type)
-		if err != nil {
-			return nil, fmt.Errorf("emul: element %d: %w", i, err)
+	for ci, spec := range cfg.Chains {
+		tc := &tenantChain{
+			idx:     ci,
+			name:    spec.Name,
+			spec:    spec.Clone(),
+			latency: metrics.NewHistogram(),
+			meter:   metrics.NewMeter(0),
 		}
-		rate, err := cfg.Catalog.Lookup(e.Type, e.Loc)
-		if err != nil {
-			return nil, fmt.Errorf("emul: element %d: %w", i, err)
+		for i, e := range spec.Elems {
+			inst, err := nf.New(e.Name, e.Type)
+			if err != nil {
+				return nil, fmt.Errorf("emul: chain %q element %d: %w", spec.Name, i, err)
+			}
+			rate, err := cfg.Catalog.Lookup(e.Type, e.Loc)
+			if err != nil {
+				return nil, fmt.Errorf("emul: chain %q element %d: %w", spec.Name, i, err)
+			}
+			el := &element{
+				name:   e.Name,
+				typ:    e.Type,
+				inst:   inst,
+				parent: r,
+				ch:     tc,
+				pos:    i,
+				meter:  metrics.NewMeter(0),
+			}
+			el.loc.Store(int32(e.Loc))
+			el.gate.setRate(bytesPerSec(rate, cfg.Scale))
+			nshards := 1
+			if inst.ConcurrencySafe() {
+				nshards = cfg.Workers
+			}
+			depth := (cfg.QueueDepth + nshards - 1) / nshards
+			for s := 0; s < nshards; s++ {
+				el.shards = append(el.shards, &shard{
+					el:   el,
+					in:   make(chan job, depth),
+					ctrl: make(chan pauseReq),
+				})
+			}
+			tc.elems = append(tc.elems, el)
 		}
-		el := &element{
-			name:   e.Name,
-			typ:    e.Type,
-			inst:   inst,
-			parent: r,
-			pos:    i,
-			meter:  metrics.NewMeter(0),
-		}
-		el.loc.Store(int32(e.Loc))
-		el.gate.setRate(bytesPerSec(rate, cfg.Scale))
-		nshards := 1
-		if inst.ConcurrencySafe() {
-			nshards = cfg.Workers
-		}
-		depth := (cfg.QueueDepth + nshards - 1) / nshards
-		for s := 0; s < nshards; s++ {
-			el.shards = append(el.shards, &shard{
-				el:   el,
-				in:   make(chan job, depth),
-				ctrl: make(chan pauseReq),
-			})
-		}
-		r.elems = append(r.elems, el)
+		r.chains = append(r.chains, tc)
 	}
 	return r, nil
 }
@@ -242,9 +296,11 @@ func (r *Runtime) Start() {
 		return
 	}
 	r.start = time.Now()
-	for _, el := range r.elems {
-		for _, s := range el.shards {
-			go s.run()
+	for _, tc := range r.chains {
+		for _, el := range tc.elems {
+			for _, s := range el.shards {
+				go s.run()
+			}
 		}
 	}
 }
@@ -265,20 +321,29 @@ func (r *Runtime) recycle(frame []byte) {
 	}
 }
 
-// Send offers one frame to the chain ingress. It reports false when the
-// first element's queue is full (ingress drop). The frame is owned by the
-// runtime once accepted; a rejected frame stays with the caller.
-func (r *Runtime) Send(frame []byte) bool {
+// NumChains returns how many service chains the runtime hosts.
+func (r *Runtime) NumChains() int { return len(r.chains) }
+
+// Send offers one frame to chain 0's ingress — the whole dataplane when the
+// runtime hosts a single chain. See SendChain.
+func (r *Runtime) Send(frame []byte) bool { return r.SendChain(0, frame) }
+
+// SendChain offers one frame to the given chain's ingress. It reports false
+// when the chain index is out of range or the first element's queue is full
+// (ingress drop). The frame is owned by the runtime once accepted; a
+// rejected frame stays with the caller.
+func (r *Runtime) SendChain(ci int, frame []byte) bool {
 	// The read lock excludes Close's channel close: once closed is set
 	// under the write lock, no Send can be past the check below, so
 	// closing the shard channels cannot race a send.
 	r.closeMu.RLock()
 	defer r.closeMu.RUnlock()
-	if !r.started.Load() || r.closed.Load() {
+	if !r.started.Load() || r.closed.Load() || ci < 0 || ci >= len(r.chains) {
 		return false
 	}
-	r.offered.Add(1)
-	first := r.elems[0]
+	tc := r.chains[ci]
+	tc.offered.Add(1)
+	first := tc.elems[0]
 	j := job{
 		frame:    frame,
 		hash:     packet.FlowHash(frame),
@@ -291,9 +356,9 @@ func (r *Runtime) Send(frame []byte) bool {
 		return true
 	default:
 		r.inFlight.Done()
-		r.ingressDrops.Add(1)
+		tc.ingressDrops.Add(1)
 		now := r.now()
-		r.meter.Drop(now)
+		tc.meter.Drop(now)
 		first.meter.Drop(now)
 		return false
 	}
@@ -312,19 +377,28 @@ func (r *Runtime) Close() {
 	}
 	r.closeMu.Unlock()
 	r.Drain()
-	for _, el := range r.elems {
-		for _, s := range el.shards {
-			close(s.in)
+	for _, tc := range r.chains {
+		for _, el := range tc.elems {
+			for _, s := range el.shards {
+				close(s.in)
+			}
 		}
 	}
 }
 
-// SetEgressTap installs fn to receive every delivered frame (tests).
-// Must be set before Start. With Config.Workers > 1 the tail element may be
-// sharded, in which case fn is called concurrently from several goroutines
-// and must synchronize internally. With Config.PoolFrames the frame buffer
-// is recycled when fn returns, so fn must copy anything it keeps.
-func (r *Runtime) SetEgressTap(fn func(frame []byte)) { r.egress = fn }
+// SetEgressTap installs fn to receive every delivered frame of every chain
+// (tests). Must be set before Start. With Config.Workers > 1 the tail
+// element may be sharded, in which case fn is called concurrently from
+// several goroutines and must synchronize internally. With
+// Config.PoolFrames the frame buffer is recycled when fn returns, so fn
+// must copy anything it keeps.
+func (r *Runtime) SetEgressTap(fn func(frame []byte)) {
+	r.egress = func(_ int, frame []byte) { fn(frame) }
+}
+
+// SetChainEgressTap is SetEgressTap with the delivering chain's index, for
+// multi-tenant tests that attribute egress per tenant.
+func (r *Runtime) SetChainEgressTap(fn func(chainIdx int, frame []byte)) { r.egress = fn }
 
 // run is the per-shard worker: a burst loop in the DPDK style. Control
 // messages (migration freeze) preempt packet work; the bounded input
@@ -435,13 +509,13 @@ func (s *shard) processBatch(jobs []job, decs []*packet.Decoder, ctxs []nf.Ctx, 
 	el.mu.Unlock()
 	verdicts := inst.ProcessBatch(ptrs[:n])
 
-	if el.pos == len(r.elems)-1 {
+	if el.pos == len(el.ch.elems)-1 {
 		s.egressBatch(jobs, verdicts, lats)
 		return
 	}
 
 	// Forward survivors to the next element's shard for their flow.
-	next := r.elems[el.pos+1]
+	next := el.ch.elems[el.pos+1]
 	crossingNext := el.loc.Load() != next.loc.Load()
 	finished, qdrops := 0, 0
 	for i := range jobs {
@@ -461,7 +535,7 @@ func (s *shard) processBatch(jobs []job, decs []*packet.Decoder, ctxs []nf.Ctx, 
 	}
 	if qdrops > 0 {
 		dropNow := r.now()
-		r.meter.DropN(uint64(qdrops), dropNow)
+		el.ch.meter.DropN(uint64(qdrops), dropNow)
 		next.meter.DropN(uint64(qdrops), dropNow)
 	}
 	if finished > 0 {
@@ -495,20 +569,22 @@ func (s *shard) egressBatch(jobs []job, verdicts []nf.Verdict, lats *[]int64) {
 			delivered++
 			deliveredBytes += uint64(len(jobs[i].frame))
 			if r.egress != nil {
-				r.egress(jobs[i].frame)
+				r.egress(el.ch.idx, jobs[i].frame)
 			}
 		}
 		r.recycle(jobs[i].frame)
 	}
-	r.latency.RecordBatch(*lats)
-	r.meter.ObserveN(delivered, deliveredBytes, now)
+	el.ch.latency.RecordBatch(*lats)
+	el.ch.meter.ObserveN(delivered, deliveredBytes, now)
 	r.inFlight.Add(-len(jobs))
 }
 
 // doMigrate performs the UNO sequence. The element is frozen by quiescing
-// every shard worker (no packets consumed); arriving frames accumulate in
+// its shard workers (no packets consumed); arriving frames accumulate in
 // the bounded shard queues and are replayed by virtue of FIFO consumption
-// after the swap. Callers hold el.migMu.
+// after the swap. The freeze is scoped to this element — other elements of
+// the same chain and every other tenant chain keep forwarding throughout.
+// Callers hold el.migMu.
 func (el *element) doMigrate(to device.Kind) (migrate.Report, error) {
 	r := el.parent
 	from := device.Kind(el.loc.Load())
@@ -524,7 +600,8 @@ func (el *element) doMigrate(to device.Kind) (migrate.Report, error) {
 		return migrate.Report{}, err
 	}
 
-	// Freeze: every shard must be between bursts before state is copied.
+	// Freeze: every shard of this element must be between bursts before
+	// state is copied.
 	acked := make(chan struct{}, len(el.shards))
 	resume := make(chan struct{})
 	for _, s := range el.shards {
@@ -558,10 +635,32 @@ func (el *element) doMigrate(to device.Kind) (migrate.Report, error) {
 	return rep, nil
 }
 
-// Migrate live-moves the named element to the device, returning the
-// migration report. Loss-free: frames arriving during the move wait in the
+// Migrate live-moves the named element to the device, searching every
+// hosted chain; the name must be unique across chains (use MigrateChain to
+// disambiguate). Loss-free: frames arriving during the move wait in the
 // element's shard queues (up to QueueDepth in aggregate).
 func (r *Runtime) Migrate(name string, to device.Kind) (migrate.Report, error) {
+	found := -1
+	for ci, tc := range r.chains {
+		if tc.spec.Index(name) < 0 {
+			continue
+		}
+		if found >= 0 {
+			return migrate.Report{}, fmt.Errorf("emul: element %q exists in chains %q and %q; use MigrateChain",
+				name, r.chains[found].name, tc.name)
+		}
+		found = ci
+	}
+	if found < 0 {
+		return migrate.Report{}, fmt.Errorf("emul: no element %q", name)
+	}
+	return r.MigrateChain(found, name, to)
+}
+
+// MigrateChain live-moves the named element of the given chain to the
+// device, returning the migration report. Only the migrating element's
+// shard workers freeze; other chains keep forwarding throughout the move.
+func (r *Runtime) MigrateChain(ci int, name string, to device.Kind) (migrate.Report, error) {
 	// The read lock holds Close off for the duration: the pause handshake
 	// with the shard workers requires them alive, so the closed check and
 	// the handshake must be atomic with respect to Close.
@@ -573,7 +672,10 @@ func (r *Runtime) Migrate(name string, to device.Kind) (migrate.Report, error) {
 	if r.closed.Load() {
 		return migrate.Report{}, errors.New("emul: closed")
 	}
-	for _, el := range r.elems {
+	if ci < 0 || ci >= len(r.chains) {
+		return migrate.Report{}, fmt.Errorf("emul: no chain %d", ci)
+	}
+	for _, el := range r.chains[ci].elems {
 		if el.name != name {
 			continue
 		}
@@ -581,7 +683,7 @@ func (r *Runtime) Migrate(name string, to device.Kind) (migrate.Report, error) {
 		defer el.migMu.Unlock()
 		return el.doMigrate(to)
 	}
-	return migrate.Report{}, fmt.Errorf("emul: no element %q", name)
+	return migrate.Report{}, fmt.Errorf("emul: no element %q in chain %q", name, r.chains[ci].name)
 }
 
 // Scale returns the effective rate divisor the runtime was built with;
@@ -597,33 +699,56 @@ func (r *Runtime) Elapsed() time.Duration {
 	return r.now()
 }
 
-// Placement returns the current placement as a chain.
-func (r *Runtime) Placement() *chain.Chain {
-	c := r.cfg.Chain.Clone()
-	for i, el := range r.elems {
-		c.SetLoc(i, device.Kind(el.loc.Load()))
-	}
-	return c
-}
+// Placement returns chain 0's current placement as a chain. See Placements.
+func (r *Runtime) Placement() *chain.Chain { return r.Placements()[0] }
 
-// NFStats returns the per-element NF statistics by name.
-func (r *Runtime) NFStats() map[string]nf.Stats {
-	out := make(map[string]nf.Stats, len(r.elems))
-	for _, el := range r.elems {
-		el.mu.Lock()
-		out[el.name] = el.inst.Stats()
-		el.mu.Unlock()
+// Placements returns every hosted chain's current placement, in chain-index
+// order.
+func (r *Runtime) Placements() []*chain.Chain {
+	out := make([]*chain.Chain, len(r.chains))
+	for ci, tc := range r.chains {
+		c := tc.spec.Clone()
+		for i, el := range tc.elems {
+			c.SetLoc(i, device.Kind(el.loc.Load()))
+		}
+		out[ci] = c
 	}
 	return out
 }
 
-// Instance returns the live NF instance for a name (tests inspect state).
-func (r *Runtime) Instance(name string) (nf.NF, bool) {
-	for _, el := range r.elems {
-		if el.name == name {
+// statKey qualifies an element name with its chain when several chains are
+// hosted, so per-name maps cannot collide across tenants.
+func (r *Runtime) statKey(tc *tenantChain, name string) string {
+	if len(r.chains) == 1 {
+		return name
+	}
+	return tc.name + "/" + name
+}
+
+// NFStats returns the per-element NF statistics. With a single hosted chain
+// keys are element names; with several, "chainName/elementName".
+func (r *Runtime) NFStats() map[string]nf.Stats {
+	out := make(map[string]nf.Stats)
+	for _, tc := range r.chains {
+		for _, el := range tc.elems {
 			el.mu.Lock()
-			defer el.mu.Unlock()
-			return el.inst, true
+			out[r.statKey(tc, el.name)] = el.inst.Stats()
+			el.mu.Unlock()
+		}
+	}
+	return out
+}
+
+// Instance returns the live NF instance for a name (tests inspect state),
+// searching chains in index order.
+func (r *Runtime) Instance(name string) (nf.NF, bool) {
+	for _, tc := range r.chains {
+		for _, el := range tc.elems {
+			if el.name == name {
+				el.mu.Lock()
+				defer el.mu.Unlock()
+				return el.inst, true
+			}
 		}
 	}
 	return nil, false
@@ -636,6 +761,7 @@ func (r *Runtime) Instance(name string) (nf.NF, bool) {
 // with ingress rejections (Send returning false) counted separately in
 // IngressDrops.
 type Result struct {
+	Chain         string // chain name; "" for the aggregate of all chains
 	Latency       metrics.Summary
 	Offered       uint64
 	Delivered     uint64
@@ -645,21 +771,59 @@ type Result struct {
 	QueueDrops    map[string]uint64
 }
 
-// Results snapshots the runtime's measurements.
-func (r *Runtime) Results() Result {
-	qd := make(map[string]uint64, len(r.elems))
-	for _, el := range r.elems {
-		qd[el.name] = el.drops.Load()
+// result snapshots one chain's measurements. Map keys follow statKey.
+func (r *Runtime) result(tc *tenantChain) Result {
+	qd := make(map[string]uint64, len(tc.elems))
+	for _, el := range tc.elems {
+		qd[r.statKey(tc, el.name)] = el.drops.Load()
 	}
 	return Result{
-		Latency:       r.latency.Snapshot(),
-		Offered:       r.offered.Load(),
-		Delivered:     r.meter.Packets(),
-		Dropped:       r.meter.Drops(),
-		IngressDrops:  r.ingressDrops.Load(),
-		DeliveredGbps: r.meter.Gbps(),
+		Chain:         tc.name,
+		Latency:       tc.latency.Snapshot(),
+		Offered:       tc.offered.Load(),
+		Delivered:     tc.meter.Packets(),
+		Dropped:       tc.meter.Drops(),
+		IngressDrops:  tc.ingressDrops.Load(),
+		DeliveredGbps: tc.meter.Gbps(),
 		QueueDrops:    qd,
 	}
+}
+
+// ChainResults snapshots every hosted chain's measurements, in chain-index
+// order.
+func (r *Runtime) ChainResults() []Result {
+	out := make([]Result, len(r.chains))
+	for ci, tc := range r.chains {
+		out[ci] = r.result(tc)
+	}
+	return out
+}
+
+// Results snapshots the runtime's aggregate measurements across all hosted
+// chains (identical to the single chain's results when one chain is
+// hosted).
+func (r *Runtime) Results() Result {
+	if len(r.chains) == 1 {
+		res := r.result(r.chains[0])
+		res.Chain = ""
+		return res
+	}
+	agg := Result{QueueDrops: make(map[string]uint64)}
+	merged := metrics.NewHistogram()
+	for _, tc := range r.chains {
+		res := r.result(tc)
+		agg.Offered += res.Offered
+		agg.Delivered += res.Delivered
+		agg.Dropped += res.Dropped
+		agg.IngressDrops += res.IngressDrops
+		agg.DeliveredGbps += res.DeliveredGbps
+		for k, v := range res.QueueDrops {
+			agg.QueueDrops[k] += v
+		}
+		merged.Merge(tc.latency)
+	}
+	agg.Latency = merged.Snapshot()
+	return agg
 }
 
 // gate is a token bucket throttling a worker to a byte rate. take blocks

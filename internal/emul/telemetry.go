@@ -7,7 +7,11 @@ package emul
 // paper). Where the discrete-event simulator reports a server's busy
 // fraction, the emulator reports fluid-model demand — Σ θ̂_i/θd_i with θ̂_i
 // the element's *measured* served rate — which, unlike a busy fraction, can
-// exceed 1 under overload. The detector's threshold semantics are unchanged
+// exceed 1 under overload. With several hosted chains the sum runs over
+// every element resident on the device regardless of chain, which is what
+// makes a summed-utilization hot spot visible even when every single chain
+// is individually feasible; per-chain delivered/loss rides alongside in
+// LoadSample.Chains. The detector's threshold semantics are unchanged
 // either way; loss rate remains the sharper saturation signal.
 
 import (
@@ -20,9 +24,10 @@ import (
 
 // ElementLoad is one element's measured load over a sampling window.
 type ElementLoad struct {
-	Name string
-	Type string
-	Loc  device.Kind // placement at sample time
+	Chain string // hosting chain's name
+	Name  string
+	Type  string
+	Loc   device.Kind // placement at sample time
 	// ServedGbps is the rate the element actually processed during the
 	// window, rescaled by Config.Scale into catalog (Table-1) units.
 	ServedGbps float64
@@ -36,11 +41,28 @@ type ElementLoad struct {
 	Utilization float64
 }
 
-// DeviceLoad aggregates the elements resident on one device.
+// DeviceLoad aggregates the elements resident on one device — across every
+// hosted chain, because tenants share the devices and utilization is
+// additive in the linear model.
 type DeviceLoad struct {
 	ServedGbps  float64 // Σ per-element served rate, catalog units
 	Utilization float64 // Σ per-element utilization (fluid-model demand)
 	Drops       uint64  // frames lost entering resident elements' queues
+}
+
+// ChainLoad is one hosted chain's delivered traffic over a sampling window,
+// the per-tenant view multi-chain selection and tenant-flatness assertions
+// consume.
+type ChainLoad struct {
+	Name string
+	// DeliveredGbps is the chain's egress rate over the window (its θcur),
+	// in catalog units.
+	DeliveredGbps float64
+	DeliveredPkts uint64
+	// Drops counts the chain's frames lost in the window (ingress + queue).
+	Drops uint64
+	// LossRate is Drops/(Drops+DeliveredPkts) for the window.
+	LossRate float64
 }
 
 // LoadSample is one polling window's measured load, in catalog units.
@@ -49,7 +71,8 @@ type LoadSample struct {
 	Window time.Duration
 	NIC    DeviceLoad
 	CPU    DeviceLoad
-	// DeliveredGbps is the chain's egress rate over the window (θcur).
+	// DeliveredGbps is the aggregate egress rate over the window (Σ over
+	// chains; the single chain's θcur when one chain is hosted).
 	DeliveredGbps float64
 	DeliveredPkts uint64
 	// Drops counts every frame lost in the window (ingress + queue drops).
@@ -57,6 +80,9 @@ type LoadSample struct {
 	// LossRate is Drops/(Drops+DeliveredPkts) for the window.
 	LossRate float64
 	Elements []ElementLoad
+	// Chains is the per-tenant breakdown, parallel to the runtime's hosted
+	// chains.
+	Chains []ChainLoad
 }
 
 // Telemetry converts the sample into the detector's input form.
@@ -70,6 +96,13 @@ func (s LoadSample) Telemetry() telemetry.Sample {
 	}
 }
 
+// meterCursor is a sampler's per-meter position at the last sample.
+type meterCursor struct {
+	bytes uint64
+	pkts  uint64
+	drops uint64
+}
+
 // LoadSampler produces LoadSamples from a runtime by differencing its meters
 // between calls: each Sample covers exactly the window since the previous
 // one. Safe for concurrent use, though samples are typically taken by a
@@ -77,14 +110,10 @@ func (s LoadSample) Telemetry() telemetry.Sample {
 type LoadSampler struct {
 	rt *Runtime
 
-	mu        sync.Mutex
-	last      time.Duration
-	served    []uint64 // per-element bytes at last sample
-	pkts      []uint64
-	drops     []uint64
-	delivered uint64 // egress meter packets at last sample
-	bytes     uint64
-	allDrops  uint64
+	mu     sync.Mutex
+	last   time.Duration
+	elems  [][]meterCursor // per chain, per element
+	chains []meterCursor   // per chain egress meter
 }
 
 // NewLoadSampler attaches a sampler to the runtime. The first Sample call
@@ -93,19 +122,17 @@ type LoadSampler struct {
 func NewLoadSampler(rt *Runtime) *LoadSampler {
 	s := &LoadSampler{
 		rt:     rt,
-		served: make([]uint64, len(rt.elems)),
-		pkts:   make([]uint64, len(rt.elems)),
-		drops:  make([]uint64, len(rt.elems)),
+		elems:  make([][]meterCursor, len(rt.chains)),
+		chains: make([]meterCursor, len(rt.chains)),
 		last:   rt.Elapsed(),
 	}
-	for i, el := range rt.elems {
-		s.served[i] = el.meter.Bytes()
-		s.pkts[i] = el.meter.Packets()
-		s.drops[i] = el.meter.Drops()
+	for ci, tc := range rt.chains {
+		s.elems[ci] = make([]meterCursor, len(tc.elems))
+		for i, el := range tc.elems {
+			s.elems[ci][i] = meterCursor{bytes: el.meter.Bytes(), pkts: el.meter.Packets(), drops: el.meter.Drops()}
+		}
+		s.chains[ci] = meterCursor{bytes: tc.meter.Bytes(), pkts: tc.meter.Packets(), drops: tc.meter.Drops()}
 	}
-	s.delivered = rt.meter.Packets()
-	s.bytes = rt.meter.Bytes()
-	s.allDrops = rt.meter.Drops()
 	return s
 }
 
@@ -129,41 +156,57 @@ func (s *LoadSampler) Sample() LoadSample {
 		return float64(bytes) * 8 * scale / sec / 1e9
 	}
 
-	out.Elements = make([]ElementLoad, len(r.elems))
-	for i, el := range r.elems {
-		bytes, pkts, drops := el.meter.Bytes(), el.meter.Packets(), el.meter.Drops()
-		loc := device.Kind(el.loc.Load())
-		load := ElementLoad{
-			Name:       el.name,
-			Type:       el.typ,
-			Loc:        loc,
-			ServedGbps: toGbps(bytes - s.served[i]),
-			ServedPkts: pkts - s.pkts[i],
-			Drops:      drops - s.drops[i],
-		}
-		if cap, err := r.cfg.Catalog.Lookup(el.typ, loc); err == nil && cap > 0 {
-			load.Utilization = load.ServedGbps / float64(cap)
-		}
-		s.served[i], s.pkts[i], s.drops[i] = bytes, pkts, drops
-		out.Elements[i] = load
+	out.Chains = make([]ChainLoad, len(r.chains))
+	for ci, tc := range r.chains {
+		for i, el := range tc.elems {
+			bytes, pkts, drops := el.meter.Bytes(), el.meter.Packets(), el.meter.Drops()
+			cur := &s.elems[ci][i]
+			loc := device.Kind(el.loc.Load())
+			load := ElementLoad{
+				Chain:      tc.name,
+				Name:       el.name,
+				Type:       el.typ,
+				Loc:        loc,
+				ServedGbps: toGbps(bytes - cur.bytes),
+				ServedPkts: pkts - cur.pkts,
+				Drops:      drops - cur.drops,
+			}
+			if cap, err := r.cfg.Catalog.Lookup(el.typ, loc); err == nil && cap > 0 {
+				load.Utilization = load.ServedGbps / float64(cap)
+			}
+			*cur = meterCursor{bytes: bytes, pkts: pkts, drops: drops}
+			out.Elements = append(out.Elements, load)
 
-		dev := &out.NIC
-		if loc == device.KindCPU {
-			dev = &out.CPU
+			dev := &out.NIC
+			if loc == device.KindCPU {
+				dev = &out.CPU
+			}
+			dev.ServedGbps += load.ServedGbps
+			dev.Utilization += load.Utilization
+			dev.Drops += load.Drops
 		}
-		dev.ServedGbps += load.ServedGbps
-		dev.Utilization += load.Utilization
-		dev.Drops += load.Drops
+
+		bytes, pkts, drops := tc.meter.Bytes(), tc.meter.Packets(), tc.meter.Drops()
+		cur := &s.chains[ci]
+		cl := ChainLoad{
+			Name:          tc.name,
+			DeliveredGbps: toGbps(bytes - cur.bytes),
+			DeliveredPkts: pkts - cur.pkts,
+			Drops:         drops - cur.drops,
+		}
+		if t := cl.Drops + cl.DeliveredPkts; t > 0 {
+			cl.LossRate = float64(cl.Drops) / float64(t)
+		}
+		*cur = meterCursor{bytes: bytes, pkts: pkts, drops: drops}
+		out.Chains[ci] = cl
+
+		out.DeliveredGbps += cl.DeliveredGbps
+		out.DeliveredPkts += cl.DeliveredPkts
+		out.Drops += cl.Drops
 	}
-
-	delivered, bytes, drops := r.meter.Packets(), r.meter.Bytes(), r.meter.Drops()
-	out.DeliveredPkts = delivered - s.delivered
-	out.DeliveredGbps = toGbps(bytes - s.bytes)
-	out.Drops = drops - s.allDrops
 	if t := out.Drops + out.DeliveredPkts; t > 0 {
 		out.LossRate = float64(out.Drops) / float64(t)
 	}
-	s.delivered, s.bytes, s.allDrops = delivered, bytes, drops
 	s.last = now
 	return out
 }

@@ -2,12 +2,15 @@ package orchestrator
 
 // The wall-clock backend: the same control loop as the DES Orchestrator,
 // closed over the execution emulator. Telemetry comes from measured meter
-// windows (emul.LoadSampler), selection runs over a view built from the
-// runtime's live placement and the smoothed *measured* delivered throughput,
-// and plans execute as real UNO-style migrations (emul.Runtime.Migrate):
-// every shard frozen, state snapshot transferred over the emulated link,
-// queues replayed. This is the first place all layers of the repository run
-// in one process.
+// windows (emul.LoadSampler) summed across every hosted tenant chain,
+// selection runs over a multi-chain view built from the runtime's live
+// placements and the measured per-chain delivered rates (rescaled so their
+// total is the detector's smoothed measured throughput), and plans execute
+// as real UNO-style migrations (emul.Runtime.MigrateChain), chain by chain:
+// every shard of the migrating element frozen, state snapshot transferred
+// over the emulated link, queues replayed — while every other tenant keeps
+// forwarding. This is the first place all layers of the repository run in
+// one process.
 
 import (
 	"fmt"
@@ -15,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/emul"
 )
 
@@ -27,23 +31,33 @@ type Live struct {
 
 	smu     sync.Mutex
 	samples []emul.LoadSample
+	// perChain is the last non-degenerate window's measured delivered rate
+	// per hosted chain (catalog units) — the per-chain mix the selection
+	// view apportions the smoothed throughput by.
+	perChain []float64
 
 	stop chan struct{}
 	done chan struct{}
 }
 
 // NewLive attaches a control loop to a started (or about-to-start) runtime.
-// viewTemplate supplies the device models and catalog; its Chain and
-// Throughput fields are replaced at each decision with the runtime's live
-// placement and the detector's smoothed measured throughput. Config.Transport
+// viewTemplate supplies the device models and catalog; the view's chains
+// and throughputs are replaced at each decision with the runtime's live
+// placements and the measured (smoothed) delivered rates. Config.Transport
 // and Config.StateBytes are ignored: the emulator measures real snapshot
-// sizes and reports real transfer times.
+// sizes and reports real transfer times. A runtime hosting several chains
+// needs Config.MultiSelector (e.g. core.MultiPAM); Config.Selector covers
+// the single-chain case.
 func NewLive(rt *emul.Runtime, cfg Config, viewTemplate core.View) (*Live, error) {
 	o := &Live{rt: rt, sampler: emul.NewLoadSampler(rt)}
-	view := func() core.View {
-		v := viewTemplate
-		v.Chain = rt.Placement()
-		return v
+	view := func() core.MultiView {
+		placements := rt.Placements()
+		per := o.chainRates(len(placements))
+		loads := make([]core.Load, len(placements))
+		for i, c := range placements {
+			loads[i] = core.Load{Chain: c, Throughput: device.Gbps(per[i])}
+		}
+		return multiViewFrom(viewTemplate, loads)
 	}
 	l, err := newLoop(cfg, view, o.execute)
 	if err != nil {
@@ -53,16 +67,25 @@ func NewLive(rt *emul.Runtime, cfg Config, viewTemplate core.View) (*Live, error
 	return o, nil
 }
 
-// execute applies the plan step by step via live migration. The returned
-// downtime is the sum of measured state-transfer times. A failing step
-// aborts the remainder; earlier steps stay applied (each is individually
-// loss-free).
-func (o *Live) execute(plan core.Plan) (time.Duration, error) {
+// chainRates returns the latest per-chain delivered rates, zero-filled to n.
+func (o *Live) chainRates(n int) []float64 {
+	out := make([]float64, n)
+	o.smu.Lock()
+	copy(out, o.perChain)
+	o.smu.Unlock()
+	return out
+}
+
+// execute applies the plan step by step via live migration, addressing each
+// step to its chain. The returned downtime is the sum of measured
+// state-transfer times. A failing step aborts the remainder; earlier steps
+// stay applied (each is individually loss-free).
+func (o *Live) execute(plan core.MultiPlan) (time.Duration, error) {
 	var downtime time.Duration
 	for _, st := range plan.Steps {
-		rep, err := o.rt.Migrate(st.Element, st.To)
+		rep, err := o.rt.MigrateChain(st.ChainIndex, st.Step.Element, st.Step.To)
 		if err != nil {
-			return downtime, fmt.Errorf("live migrate %s: %w", st.Element, err)
+			return downtime, fmt.Errorf("live migrate chain %d %s: %w", st.ChainIndex, st.Step.Element, err)
 		}
 		downtime += rep.Transfer
 	}
@@ -71,8 +94,8 @@ func (o *Live) execute(plan core.Plan) (time.Duration, error) {
 
 // Poll closes the current sampling window and runs one control decision on
 // it. The background ticker calls it every Config.PollEvery; tests and
-// single-threaded drivers (scenario.RunLiveHotspot) call it directly for
-// deterministic window boundaries.
+// single-threaded drivers (scenario.RunLiveHotspot, RunLiveMultiTenant)
+// call it directly for deterministic window boundaries.
 func (o *Live) Poll() {
 	ls := o.sampler.Sample()
 	if ls.Window < time.Millisecond {
@@ -84,6 +107,16 @@ func (o *Live) Poll() {
 	}
 	o.smu.Lock()
 	o.samples = append(o.samples, ls)
+	if len(ls.Chains) > 0 {
+		if o.perChain == nil {
+			o.perChain = make([]float64, len(ls.Chains))
+		}
+		for i, cl := range ls.Chains {
+			if i < len(o.perChain) {
+				o.perChain[i] = cl.DeliveredGbps
+			}
+		}
+	}
 	o.smu.Unlock()
 	o.observe(ls.At, ls.Telemetry())
 }

@@ -9,6 +9,14 @@ package orchestrator
 // logging) lives here exactly once, so a control decision reproduced in
 // virtual time is the same decision the emulator executes against real
 // packet-processing code.
+//
+// The loop is natively multi-chain: it polls a core.MultiView (per-chain
+// placements and measured throughputs over shared devices), runs a
+// core.MultiSelector, and hands the resulting core.MultiPlan to the backend
+// to execute chain by chain. A single-chain deployment is the one-load
+// special case — Config.Selector wraps the paper's single-chain policies
+// through core.AsMulti, and every decision reduces to exactly the PR-2
+// behaviour.
 
 import (
 	"errors"
@@ -29,8 +37,13 @@ type Config struct {
 	// simulation's SampleEvery; in the live backend it is the wall-clock
 	// sampling period.
 	PollEvery time.Duration
-	// Selector decides what to migrate on overload.
+	// Selector decides what to migrate on overload in a single-chain
+	// deployment; it is lifted into the multi-chain loop via core.AsMulti.
+	// Set exactly one of Selector and MultiSelector.
 	Selector core.Selector
+	// MultiSelector decides what to migrate across every hosted chain
+	// (e.g. core.MultiPAM). Set exactly one of Selector and MultiSelector.
+	MultiSelector core.MultiSelector
 	// Detector tunes overload detection; zero value uses defaults.
 	Detector telemetry.DetectorConfig
 	// Transport models state-transfer cost; nil disables migration delay.
@@ -48,11 +61,25 @@ type Config struct {
 	Cooldown time.Duration
 }
 
+// selector resolves the configured policy into the loop's native
+// multi-chain form.
+func (c Config) selector() (core.MultiSelector, error) {
+	switch {
+	case c.Selector != nil && c.MultiSelector != nil:
+		return nil, errors.New("orchestrator: set Selector or MultiSelector, not both")
+	case c.MultiSelector != nil:
+		return c.MultiSelector, nil
+	case c.Selector != nil:
+		return core.AsMulti(c.Selector), nil
+	}
+	return nil, errors.New("orchestrator: nil selector")
+}
+
 // Event records one control-loop action for reports and tests.
 type Event struct {
 	At       time.Duration
 	Kind     EventKind
-	Plan     core.Plan
+	Plan     core.MultiPlan
 	Err      error
 	Downtime time.Duration
 }
@@ -90,13 +117,15 @@ func (k EventKind) String() string {
 }
 
 // loop is the shared poll/detect/select/execute state machine. exec applies
-// a plan to the backend's dataplane and returns the migration downtime it
-// incurred (modelled for the DES, measured for the emulator).
+// a plan to the backend's dataplane, chain by chain, and returns the
+// migration downtime it incurred (modelled for the DES, measured for the
+// emulator).
 type loop struct {
 	cfg      Config
+	sel      core.MultiSelector
 	detector *telemetry.Detector
-	view     func() core.View
-	exec     func(plan core.Plan) (time.Duration, error)
+	view     func() core.MultiView
+	exec     func(plan core.MultiPlan) (time.Duration, error)
 
 	// decideMu serializes whole decisions (detect → select → execute), so
 	// concurrent polls — the live backend's background ticker plus a manual
@@ -112,12 +141,13 @@ type loop struct {
 	migrated int
 }
 
-func newLoop(cfg Config, view func() core.View, exec func(core.Plan) (time.Duration, error)) (*loop, error) {
+func newLoop(cfg Config, view func() core.MultiView, exec func(core.MultiPlan) (time.Duration, error)) (*loop, error) {
 	if cfg.PollEvery <= 0 {
 		return nil, errors.New("orchestrator: PollEvery must be positive")
 	}
-	if cfg.Selector == nil {
-		return nil, errors.New("orchestrator: nil selector")
+	sel, err := cfg.selector()
+	if err != nil {
+		return nil, err
 	}
 	if cfg.StateBytes <= 0 {
 		cfg.StateBytes = 64 << 10
@@ -127,6 +157,7 @@ func newLoop(cfg Config, view func() core.View, exec func(core.Plan) (time.Durat
 	}
 	return &loop{
 		cfg:      cfg,
+		sel:      sel,
 		detector: telemetry.NewDetector(cfg.Detector),
 		view:     view,
 		exec:     exec,
@@ -158,8 +189,8 @@ func (l *loop) observe(now time.Duration, s telemetry.Sample) {
 	l.mu.Unlock()
 
 	v := l.view()
-	v.Throughput = device.Gbps(throughput)
-	plan, err := l.cfg.Selector.Select(v)
+	rescale(v.Loads, throughput)
+	plan, err := l.sel.SelectMulti(v)
 	if err != nil {
 		// The episode produced no executable plan. Re-arm the detector so
 		// the decision is retried after another Consecutive hot windows:
@@ -193,6 +224,32 @@ func (l *loop) observe(now time.Duration, s telemetry.Sample) {
 	l.mu.Unlock()
 }
 
+// rescale pins the view's aggregate throughput to the detector's smoothed
+// measured delivered rate — the θcur selection must use (DESIGN.md §4) —
+// while preserving the backend's measured per-chain mix. With one chain
+// this reduces to overwriting its throughput with the smoothed value; with
+// several and no per-chain measurements yet, the total is split evenly.
+func rescale(loads []core.Load, smoothedTotal float64) {
+	if len(loads) == 0 {
+		return
+	}
+	var raw float64
+	for _, ld := range loads {
+		raw += float64(ld.Throughput)
+	}
+	if raw > 0 {
+		f := smoothedTotal / raw
+		for i := range loads {
+			loads[i].Throughput = device.Gbps(float64(loads[i].Throughput) * f)
+		}
+		return
+	}
+	each := device.Gbps(smoothedTotal / float64(len(loads)))
+	for i := range loads {
+		loads[i].Throughput = each
+	}
+}
+
 func (l *loop) appendEvent(e Event) {
 	l.mu.Lock()
 	l.events = append(l.events, e)
@@ -219,8 +276,8 @@ func (l *loop) Detector() *telemetry.Detector { return l.detector }
 
 // Format renders the event as one log line, rounding timestamps to round
 // (0 keeps full precision). Every surface printing the event log — Describe,
-// pamctl live, the hotspot example — goes through it, so a new EventKind
-// renders everywhere at once.
+// pamctl live/multi, the hotspot and multi-tenant examples — goes through
+// it, so a new EventKind renders everywhere at once.
 func (e Event) Format(round time.Duration) string {
 	at := e.At
 	if round > 0 {

@@ -1,15 +1,19 @@
 // Package orchestrator closes the paper's control loop over a running
 // dataplane: periodically poll device load (telemetry), detect SmartNIC hot
-// spots, run a selection policy (PAM or a naive baseline), account the
-// migration's state-transfer cost, and install the new placement.
+// spots, run a selection policy (PAM, Multi-PAM or a naive baseline),
+// account the migration's state-transfer cost, and install the new
+// placement.
 //
 // One loop, two backends. The poll/detect/select/execute core (loop.go) is
-// engine-agnostic; Orchestrator drives it in virtual time on the
-// discrete-event simulator's event engine, so control-plane behaviour is as
-// deterministic and reproducible as that dataplane, while Live (live.go)
-// drives the same core on wall-clock time over the execution emulator,
-// where overload is detected from measured meter windows and migrations run
-// the real UNO freeze/transfer/restore sequence. See DESIGN.md §4.
+// engine-agnostic and natively multi-chain — it polls a core.MultiView,
+// runs a core.MultiSelector and executes core.MultiPlan steps chain by
+// chain. Orchestrator drives it in virtual time on the discrete-event
+// simulator's event engine, so control-plane behaviour is as deterministic
+// and reproducible as that dataplane, while Live (live.go) drives the same
+// core on wall-clock time over the execution emulator, where overload is
+// detected from measured meter windows summed across every hosted tenant
+// chain and migrations run the real UNO freeze/transfer/restore sequence.
+// See DESIGN.md §4.
 package orchestrator
 
 import (
@@ -20,6 +24,19 @@ import (
 	"repro/internal/telemetry"
 )
 
+// multiViewFrom assembles the loop's native view around live per-chain
+// loads, copying the shared device/catalog parameters from the template.
+func multiViewFrom(t core.View, loads []core.Load) core.MultiView {
+	return core.MultiView{
+		Loads:             loads,
+		Catalog:           t.Catalog,
+		NIC:               t.NIC,
+		CPU:               t.CPU,
+		BorderMode:        t.BorderMode,
+		OverloadThreshold: t.OverloadThreshold,
+	}
+}
+
 // Orchestrator drives one simulation's control loop in virtual time.
 type Orchestrator struct {
 	*loop
@@ -27,14 +44,13 @@ type Orchestrator struct {
 }
 
 // New attaches a control loop to a simulation. viewTemplate supplies the
-// device models and catalog; its Chain and Throughput fields are replaced
-// with live values at each decision.
+// device models and catalog; the view's chain and throughput are replaced
+// with live values at each decision. The simulator hosts one chain, so the
+// loop's multi-chain view carries a single load.
 func New(sim *chainsim.Sim, cfg Config, viewTemplate core.View) (*Orchestrator, error) {
 	o := &Orchestrator{sim: sim}
-	view := func() core.View {
-		v := viewTemplate
-		v.Chain = sim.Placement()
-		return v
+	view := func() core.MultiView {
+		return multiViewFrom(viewTemplate, []core.Load{{Chain: sim.Placement()}})
 	}
 	l, err := newLoop(cfg, view, o.execute)
 	if err != nil {
@@ -45,9 +61,10 @@ func New(sim *chainsim.Sim, cfg Config, viewTemplate core.View) (*Orchestrator, 
 }
 
 // execute models the migration downtime — one state transfer per step,
-// applied as a virtual-time delay before the new placement takes effect —
-// and schedules the placement swap.
-func (o *Orchestrator) execute(plan core.Plan) (time.Duration, error) {
+// applied as a virtual-time delay before the new placements take effect —
+// and schedules the placement swap for each planned chain (the simulator
+// hosts chain 0).
+func (o *Orchestrator) execute(plan core.MultiPlan) (time.Duration, error) {
 	var downtime time.Duration
 	if o.cfg.Transport != nil {
 		for range plan.Steps {
@@ -55,8 +72,10 @@ func (o *Orchestrator) execute(plan core.Plan) (time.Duration, error) {
 		}
 	}
 	apply := func() {
-		if err := o.sim.SetPlacement(plan.Result); err != nil {
-			o.appendEvent(Event{At: o.sim.Engine().Now(), Kind: EventSkipped, Err: err})
+		for _, result := range plan.Results {
+			if err := o.sim.SetPlacement(result); err != nil {
+				o.appendEvent(Event{At: o.sim.Engine().Now(), Kind: EventSkipped, Err: err})
+			}
 		}
 	}
 	if downtime > 0 {

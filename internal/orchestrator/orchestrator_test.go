@@ -72,7 +72,7 @@ func TestControlLoopMigratesOnOverload(t *testing.T) {
 		t.Fatalf("events = %v", evs)
 	}
 	plan := evs[0].Plan
-	if plan.Selector != "PAM" || len(plan.Steps) != 1 || plan.Steps[0].Element != scenario.NameLogger {
+	if plan.Selector != "PAM" || len(plan.Steps) != 1 || plan.Steps[0].Step.Element != scenario.NameLogger {
 		t.Errorf("plan = %v, want PAM migrating logger0", plan)
 	}
 	if evs[0].Downtime <= 0 {

@@ -157,8 +157,7 @@ type LiveHotspotResult struct {
 
 // RunLiveHotspot drives the closed loop: it paces the phase schedule against
 // the wall clock into the emulator while polling the live control plane
-// every PollEvery, single-threaded, so window boundaries are deterministic
-// relative to the schedule even though the dataplane itself is concurrent.
+// every PollEvery (the shared paceAndPoll driver with a single tenant).
 func RunLiveHotspot(p Params, lp LiveParams, sel core.Selector) (*LiveHotspotResult, error) {
 	lp = lp.withDefaults(p)
 	rt, err := LiveRuntime(p, lp)
@@ -191,41 +190,8 @@ func RunLiveHotspot(p Params, lp LiveParams, sel core.Selector) (*LiveHotspotRes
 		return nil, fmt.Errorf("scenario: live ramp: %w", err)
 	}
 
-	synth := traffic.NewSynth(lp.Flows, p.Seed)
-	const slack = 500 * time.Microsecond
-	start := time.Now()
-	nextPoll := lp.PollEvery
-	a, ok := src.Next()
-	for {
-		now := time.Since(start)
-		if now >= nextPoll {
-			live.Poll()
-			nextPoll += lp.PollEvery
-			continue
-		}
-		if !ok && now >= total {
-			break
-		}
-		if ok && a.At <= now+slack {
-			tmpl := synth.Frame(a.Flow, a.Size)
-			frame := rt.AcquireFrame(len(tmpl))
-			copy(frame, tmpl)
-			rt.Send(frame) // a false return is an ingress drop, already metered
-			a, ok = src.Next()
-			continue
-		}
-		wake := nextPoll
-		if ok && a.At < wake {
-			wake = a.At
-		}
-		if !ok && total < wake {
-			wake = total
-		}
-		if d := wake - now; d > 0 {
-			time.Sleep(d)
-		}
-	}
-	rt.Drain()
+	drives := []tenantDrive{newDrive(src, traffic.NewSynth(lp.Flows, p.Seed))}
+	elapsed := paceAndPoll(rt, live, lp.PollEvery, drives, total)
 
 	res := &LiveHotspotResult{
 		Events:     live.Events(),
@@ -233,7 +199,7 @@ func RunLiveHotspot(p Params, lp LiveParams, sel core.Selector) (*LiveHotspotRes
 		Final:      rt.Results(),
 		Placement:  rt.Placement(),
 		Migrations: live.Migrations(),
-		Elapsed:    time.Since(start),
+		Elapsed:    elapsed,
 	}
 	res.PreGbps, res.PostGbps = recovery(res.Events, res.Samples)
 	return res, nil

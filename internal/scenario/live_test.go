@@ -58,8 +58,8 @@ func TestLiveHotspotClosedLoop(t *testing.T) {
 	}
 	// The plan must be PAM pushing the Figure-1 border vNF aside.
 	if mig.Plan.Selector != "PAM" || len(mig.Plan.Steps) != 1 ||
-		mig.Plan.Steps[0].Element != scenario.NameLogger ||
-		mig.Plan.Steps[0].To != device.KindCPU {
+		mig.Plan.Steps[0].Step.Element != scenario.NameLogger ||
+		mig.Plan.Steps[0].Step.To != device.KindCPU {
 		t.Errorf("plan = %v, want PAM migrating %s to the CPU", mig.Plan, scenario.NameLogger)
 	}
 	if mig.Downtime <= 0 {

@@ -1,0 +1,353 @@
+package scenario
+
+// The live multi-tenant scenario: N tenants' service chains share one
+// emulated SmartNIC+CPU pair on a single emul.Runtime. Background tenants
+// run at steady load; one tenant ramps into overload, and although every
+// chain stays individually feasible, the *summed* NIC utilization crosses
+// the threshold — the classic co-located-workload hot spot. The control
+// plane detects it from measured meter windows aggregated across chains,
+// Multi-PAM picks the globally cheapest border vNF (Eq. 1 over the union of
+// every chain's borders, Eq. 2/3 on the aggregate utilizations) and pushes
+// it aside via a real chain-scoped migration; background tenants keep
+// forwarding throughout, so their delivered throughput stays flat. The one
+// runner backs the multi_tenant example, `pamctl -engine emul multi`, and
+// the -race multi-tenant tests, so they all exercise an identical
+// configuration (see DESIGN.md §4 and §5).
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/emul"
+	"repro/internal/orchestrator"
+	"repro/internal/pcie"
+	"repro/internal/traffic"
+)
+
+// Tenant is one hosted service chain and its offered-load schedule.
+type Tenant struct {
+	// Chain is the tenant's service chain; its name identifies the tenant
+	// in reports and element names should be unique across tenants.
+	Chain *chain.Chain
+	// Phases is the tenant's offered-load schedule in catalog Gbps.
+	Phases []traffic.Phase
+	// FrameSize is the tenant's synthesized frame size in bytes (default
+	// LiveParams.FrameSize).
+	FrameSize int
+	// Flows spreads the tenant's traffic across this many synthetic flows
+	// (default LiveParams.Flows).
+	Flows int
+}
+
+// Calibrated multi-tenant defaults (provenance in DESIGN.md §5): each
+// background tenant offers a steady load far below its own chain's
+// saturation, and the ramping tenant's overload rate is below *its* chain's
+// 2 Gbps Logger ceiling too — only the sum across tenants crosses the
+// SmartNIC's overload threshold.
+const (
+	// MultiBackgroundGbps is each background tenant's steady offered load.
+	MultiBackgroundGbps = 0.9
+	// MultiCalmGbps is the ramping tenant's pre-overload offered load.
+	MultiCalmGbps = 0.3
+	// MultiOverloadGbps is the ramping tenant's overload offered load:
+	// alone it puts the NIC at ≈0.78 utilization (feasible), on top of the
+	// backgrounds' ≈0.37 the sum reaches ≈1.15.
+	MultiOverloadGbps = 1.3
+	// MultiFrameSize is DefaultTenants' frame size: it keeps ≥10 frames per
+	// 25 ms sampling window at the background rate, so per-window delivered
+	// throughput is smooth enough to assert tenant flatness within tight
+	// margins.
+	MultiFrameSize = 256
+)
+
+// DefaultTenants returns the calibrated multi-tenant population: two
+// background tenants (a Monitor-only and a Firewall-only chain, both on the
+// SmartNIC) and one ramping tenant whose chain reproduces the Figure-1
+// geometry (LB on the CPU; Logger, Firewall on the NIC). The ramping tenant
+// is the last entry.
+func DefaultTenants(p Params) []Tenant {
+	calm := 400 * time.Millisecond
+	overload := 1100 * time.Millisecond
+	total := calm + overload
+	bgMon, err := chain.New("bg-monitor",
+		chain.Element{Name: "bgm0", Type: device.TypeMonitor, Loc: device.KindSmartNIC},
+	)
+	if err != nil {
+		panic("scenario: bg-monitor chain invalid: " + err.Error()) // impossible by construction
+	}
+	bgFw, err := chain.New("bg-firewall",
+		chain.Element{Name: "bgf0", Type: device.TypeFirewall, Loc: device.KindSmartNIC},
+	)
+	if err != nil {
+		panic("scenario: bg-firewall chain invalid: " + err.Error())
+	}
+	ramp, err := chain.New("ramp",
+		chain.Element{Name: "rlb0", Type: device.TypeLoadBalancer, Loc: device.KindCPU},
+		chain.Element{Name: "rlog0", Type: device.TypeLogger, Loc: device.KindSmartNIC},
+		chain.Element{Name: "rfw0", Type: device.TypeFirewall, Loc: device.KindSmartNIC},
+	)
+	if err != nil {
+		panic("scenario: ramp chain invalid: " + err.Error())
+	}
+	steady := []traffic.Phase{{RateGbps: MultiBackgroundGbps, Duration: total}}
+	return []Tenant{
+		{Chain: bgMon, Phases: steady, FrameSize: MultiFrameSize},
+		{Chain: bgFw, Phases: steady, FrameSize: MultiFrameSize},
+		{Chain: ramp, FrameSize: MultiFrameSize, Phases: []traffic.Phase{
+			{RateGbps: MultiCalmGbps, Duration: calm},
+			{RateGbps: MultiOverloadGbps, Duration: overload},
+		}},
+	}
+}
+
+// LiveMultiRuntime builds the tenants' chains on one batched emulator under
+// the live parameters.
+func LiveMultiRuntime(p Params, lp LiveParams, tenants []Tenant) (*emul.Runtime, error) {
+	lp = lp.withDefaults(p)
+	chains := make([]*chain.Chain, len(tenants))
+	for i, t := range tenants {
+		chains[i] = t.Chain
+	}
+	return emul.New(emul.Config{
+		Chains:     chains,
+		Catalog:    device.Table1(),
+		Link:       pcie.Link{PropDelay: p.PCIeLatency, BandwidthGbps: p.PCIeBandwidthGbps},
+		Scale:      lp.Scale,
+		QueueDepth: lp.QueueDepth,
+		BatchSize:  lp.BatchSize,
+		Workers:    lp.Workers,
+		PoolFrames: true,
+		SleepPCIe:  lp.SleepPCIe,
+	})
+}
+
+// LiveMultiTenantResult is one multi-tenant closed-loop run's outcome.
+type LiveMultiTenantResult struct {
+	// Tenants names the hosted chains, parallel to every per-tenant slice.
+	Tenants []string
+	// Events is the control plane's log (migrations, skips, cooldowns).
+	Events []orchestrator.Event
+	// Samples is the measured telemetry timeline, one entry per poll, with
+	// per-tenant delivered rates in each sample's Chains.
+	Samples []emul.LoadSample
+	// Final is the runtime's aggregate end-of-run accounting; ChainFinal
+	// the per-tenant breakdown.
+	Final      emul.Result
+	ChainFinal []emul.Result
+	// Placements is each chain's placement after the run.
+	Placements []*chain.Chain
+	// Migrations counts executed plans.
+	Migrations int
+	// PreGbps and PostGbps are each tenant's mean delivered throughput over
+	// the last full windows before the first migration and over the final
+	// windows of the run (both over at most recoveryWindows windows); zero
+	// when nothing migrated.
+	PreGbps  []float64
+	PostGbps []float64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// tenantDrive is one tenant's paced traffic state in the run loop.
+type tenantDrive struct {
+	src   traffic.Source
+	synth *traffic.Synth
+	next  traffic.Arrival
+	ok    bool
+}
+
+// newDrive primes a drive on its source's first arrival.
+func newDrive(src traffic.Source, synth *traffic.Synth) tenantDrive {
+	d := tenantDrive{src: src, synth: synth}
+	d.next, d.ok = src.Next()
+	return d
+}
+
+// paceAndPoll is the wall-clock driver shared by RunLiveHotspot and
+// RunLiveMultiTenant: it paces each drive's arrival schedule into its chain
+// index on the shared runtime while polling the live control plane every
+// pollEvery, single-threaded, so window boundaries are deterministic
+// relative to the schedules even though the dataplane itself is concurrent.
+// It runs until every source is exhausted and total has elapsed, drains the
+// pipeline, and returns the wall-clock elapsed time.
+func paceAndPoll(rt *emul.Runtime, live *orchestrator.Live, pollEvery time.Duration, drives []tenantDrive, total time.Duration) time.Duration {
+	const slack = 500 * time.Microsecond
+	start := time.Now()
+	nextPoll := pollEvery
+	for {
+		now := time.Since(start)
+		if now >= nextPoll {
+			live.Poll()
+			nextPoll += pollEvery
+			continue
+		}
+		// The earliest pending arrival across tenants is the next send.
+		best := -1
+		for i := range drives {
+			if drives[i].ok && (best < 0 || drives[i].next.At < drives[best].next.At) {
+				best = i
+			}
+		}
+		if best < 0 && now >= total {
+			break
+		}
+		if best >= 0 && drives[best].next.At <= now+slack {
+			d := &drives[best]
+			tmpl := d.synth.Frame(d.next.Flow, d.next.Size)
+			frame := rt.AcquireFrame(len(tmpl))
+			copy(frame, tmpl)
+			rt.SendChain(best, frame) // a false return is an ingress drop, already metered
+			d.next, d.ok = d.src.Next()
+			continue
+		}
+		wake := nextPoll
+		if best >= 0 && drives[best].next.At < wake {
+			wake = drives[best].next.At
+		}
+		if best < 0 && total < wake {
+			wake = total
+		}
+		if d := wake - now; d > 0 {
+			time.Sleep(d)
+		}
+	}
+	rt.Drain()
+	return time.Since(start)
+}
+
+// RunLiveMultiTenant drives the multi-tenant closed loop: every tenant's
+// phase schedule is paced against the wall clock into its chain on one
+// shared runtime while the live control plane polls every PollEvery,
+// single-threaded, so window boundaries are deterministic relative to the
+// schedules even though the dataplane itself is concurrent. A nil tenants
+// slice selects DefaultTenants; a nil selector selects core.MultiPAM.
+func RunLiveMultiTenant(p Params, lp LiveParams, tenants []Tenant, sel core.MultiSelector) (*LiveMultiTenantResult, error) {
+	lp = lp.withDefaults(p)
+	if tenants == nil {
+		tenants = DefaultTenants(p)
+	}
+	if sel == nil {
+		sel = core.MultiPAM{}
+	}
+	rt, err := LiveMultiRuntime(p, lp, tenants)
+	if err != nil {
+		return nil, err
+	}
+	rt.Start()
+	defer rt.Close()
+
+	live, err := orchestrator.NewLive(rt, orchestrator.Config{
+		PollEvery:     lp.PollEvery,
+		MultiSelector: sel,
+		Detector:      lp.Detector,
+		MaxMigrations: lp.MaxMigrations,
+		Cooldown:      lp.Cooldown,
+	}, View(nil, p, 0))
+	if err != nil {
+		return nil, err
+	}
+
+	// Each tenant's wall-clock schedule is its catalog-unit schedule slowed
+	// by Scale.
+	drives := make([]tenantDrive, len(tenants))
+	var total time.Duration
+	names := make([]string, len(tenants))
+	for i, t := range tenants {
+		names[i] = t.Chain.Name
+		size, flows := t.FrameSize, t.Flows
+		if size <= 0 {
+			size = lp.FrameSize
+		}
+		if flows <= 0 {
+			flows = lp.Flows
+		}
+		scaled := make([]traffic.Phase, len(t.Phases))
+		var dur time.Duration
+		for j, ph := range t.Phases {
+			scaled[j] = traffic.Phase{RateGbps: ph.RateGbps / lp.Scale, Duration: ph.Duration}
+			dur += ph.Duration
+		}
+		if dur > total {
+			total = dur
+		}
+		src, err := traffic.NewRamp(scaled, traffic.FixedSize(size), traffic.ProcessCBR, uint64(flows), p.Seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: tenant %q ramp: %w", t.Chain.Name, err)
+		}
+		drives[i] = newDrive(src, traffic.NewSynth(flows, p.Seed+int64(i)))
+	}
+
+	elapsed := paceAndPoll(rt, live, lp.PollEvery, drives, total)
+
+	res := &LiveMultiTenantResult{
+		Tenants:    names,
+		Events:     live.Events(),
+		Samples:    live.Samples(),
+		Final:      rt.Results(),
+		ChainFinal: rt.ChainResults(),
+		Placements: rt.Placements(),
+		Migrations: live.Migrations(),
+		Elapsed:    elapsed,
+	}
+	res.PreGbps, res.PostGbps = recoveryPerTenant(res.Events, res.Samples, len(tenants))
+	return res, nil
+}
+
+// recoveryWindows bounds how many sampling windows the per-tenant pre/post
+// means average over: enough to smooth CBR quantization at the window
+// boundary, few enough to stay inside one load phase.
+const recoveryWindows = 4
+
+// recoveryPerTenant extracts each tenant's delivered throughput around the
+// first migration: the mean of the last full windows before it and the mean
+// of the run's final windows after it (at most recoveryWindows each).
+func recoveryPerTenant(events []orchestrator.Event, samples []emul.LoadSample, n int) (pre, post []float64) {
+	pre = make([]float64, n)
+	post = make([]float64, n)
+	var migAt time.Duration = -1
+	for _, e := range events {
+		if e.Kind == orchestrator.EventMigrated {
+			migAt = e.At
+			break
+		}
+	}
+	if migAt < 0 || len(samples) == 0 {
+		return pre, post
+	}
+	mean := func(win []emul.LoadSample, ti int) float64 {
+		var sum float64
+		var cnt int
+		for _, s := range win {
+			if ti < len(s.Chains) {
+				sum += s.Chains[ti].DeliveredGbps
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return 0
+		}
+		return sum / float64(cnt)
+	}
+	var before, after []emul.LoadSample
+	for _, s := range samples {
+		if s.At < migAt {
+			before = append(before, s)
+		} else if s.At > migAt {
+			after = append(after, s)
+		}
+	}
+	if len(before) > recoveryWindows {
+		before = before[len(before)-recoveryWindows:]
+	}
+	if len(after) > recoveryWindows {
+		after = after[len(after)-recoveryWindows:]
+	}
+	for ti := 0; ti < n; ti++ {
+		pre[ti] = mean(before, ti)
+		post[ti] = mean(after, ti)
+	}
+	return pre, post
+}

@@ -1,0 +1,121 @@
+package scenario_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/orchestrator"
+	"repro/internal/scenario"
+)
+
+// TestLiveMultiTenantClosedLoop is the acceptance run of the multi-tenant
+// control plane: three tenants share one emulated SmartNIC+CPU pair, the
+// background tenants hold steady while one tenant ramps, and although every
+// chain is individually feasible the summed NIC utilization crosses the
+// threshold. Multi-PAM must relieve the hot spot by pushing a border vNF of
+// some chain aside via a real chain-scoped migration, and every background
+// tenant's measured delivered throughput must stay within 10% of its
+// pre-episode level — the whole point of scoping the migration freeze to
+// the migrating chain. Wall-clock and concurrent, so it doubles as a
+// race-detector workout for the multi-chain stack.
+func TestLiveMultiTenantClosedLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock closed-loop run")
+	}
+	p := scenario.DefaultParams()
+	lp := scenario.DefaultLiveParams()
+
+	res, err := scenario.RunLiveMultiTenant(p, lp, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var migrated int
+	var mig orchestrator.Event
+	for _, e := range res.Events {
+		if e.Kind == orchestrator.EventMigrated {
+			if migrated == 0 {
+				mig = e
+			}
+			migrated++
+		}
+	}
+	if migrated != 1 {
+		t.Fatalf("migrations = %d, want exactly 1\nevents:\n%+v", migrated, res.Events)
+	}
+	if res.Migrations != 1 {
+		t.Errorf("result.Migrations = %d, want 1", res.Migrations)
+	}
+
+	// The plan must be Multi-PAM pushing a border vNF of *some* chain off
+	// the SmartNIC — on the calibrated defaults the global θS argmin is the
+	// ramping tenant's Logger.
+	if mig.Plan.Selector != "Multi-PAM" || len(mig.Plan.Steps) != 1 {
+		t.Fatalf("plan = %v, want one Multi-PAM step", mig.Plan)
+	}
+	step := mig.Plan.Steps[0]
+	if step.Step.To != device.KindCPU {
+		t.Errorf("step %v does not move to the CPU", step)
+	}
+	if step.ChainIndex < 0 || step.ChainIndex >= len(res.Tenants) {
+		t.Fatalf("step chain index %d out of range", step.ChainIndex)
+	}
+	if res.Tenants[step.ChainIndex] != "ramp" || step.Step.Element != "rlog0" {
+		t.Errorf("step = %v (chain %q), want rlog0 of the ramp tenant", step, res.Tenants[step.ChainIndex])
+	}
+	if mig.Downtime <= 0 {
+		t.Error("no measured state-transfer downtime")
+	}
+	// And it must be applied to the running dataplane of that chain only.
+	moved := res.Placements[step.ChainIndex]
+	if i := moved.Index(step.Step.Element); i < 0 || moved.At(i).Loc != device.KindCPU {
+		t.Errorf("placement %v does not have %s on the CPU", moved, step.Step.Element)
+	}
+	for ci, pl := range res.Placements {
+		if ci == step.ChainIndex {
+			continue
+		}
+		for _, e := range pl.Elems {
+			if e.Loc == device.KindCPU && e.Type != device.TypeLoadBalancer {
+				t.Errorf("untouched chain %q moved: %v", res.Tenants[ci], pl)
+			}
+		}
+	}
+
+	// The hot spot must have been a *summed* one: some pre-migration window
+	// crossed the threshold in aggregate, and the episode's relief shows in
+	// the final windows.
+	var peak, final float64
+	for _, s := range res.Samples {
+		if s.At < mig.At && s.NIC.Utilization > peak {
+			peak = s.NIC.Utilization
+		}
+	}
+	if len(res.Samples) > 0 {
+		final = res.Samples[len(res.Samples)-1].NIC.Utilization
+	}
+	if peak < 0.95 {
+		t.Errorf("aggregate NIC utilization never crossed the threshold before the migration: peak %.2f", peak)
+	}
+	if final >= 0.95 {
+		t.Errorf("aggregate NIC utilization not relieved: final %.2f", final)
+	}
+
+	// Background tenants (every tenant but the ramping last one) must stay
+	// within 10% of their pre-episode delivered throughput.
+	for ti := 0; ti < len(res.Tenants)-1; ti++ {
+		pre, post := res.PreGbps[ti], res.PostGbps[ti]
+		if pre < 0.5*scenario.MultiBackgroundGbps {
+			t.Errorf("tenant %q pre-episode delivered %.2f Gbps, implausibly low", res.Tenants[ti], pre)
+			continue
+		}
+		if math.Abs(post-pre) > 0.10*pre {
+			t.Errorf("tenant %q delivered moved %.3f -> %.3f Gbps (>10%%) across the migration",
+				res.Tenants[ti], pre, post)
+		}
+	}
+	if len(res.Samples) < 10 {
+		t.Errorf("telemetry timeline too short: %d windows", len(res.Samples))
+	}
+}
