@@ -213,10 +213,14 @@ func BenchmarkDataplane(b *testing.B) {
 	for _, bs := range []int{1, 8, 32, 64} {
 		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) {
 			rt, err := emul.New(emul.Config{
-				Chain:      scenario.Figure1Chain(),
-				Catalog:    device.Table1(),
-				Link:       pcie.DefaultLink(),
-				Scale:      1, // full Table-1 rates: the gate never throttles
+				Chain:   scenario.Figure1Chain(),
+				Catalog: device.Table1(),
+				Link:    pcie.DefaultLink(),
+				// Scale 0.1 lifts the shared NIC budget (the Figure-1
+				// residents saturate it at ≈1.1 Gbps × 10 ≈ 1.4 GB/s) above
+				// what the host can push, so the device gates never
+				// throttle and the bench measures the dataplane code.
+				Scale:      0.1,
 				QueueDepth: 4096,
 				BatchSize:  bs,
 				Workers:    2,
@@ -271,10 +275,14 @@ func BenchmarkMultiTenantDataplane(b *testing.B) {
 				chains[i] = c
 			}
 			rt, err := emul.New(emul.Config{
-				Chains:     chains,
-				Catalog:    device.Table1(),
-				Link:       pcie.DefaultLink(),
-				Scale:      1, // full Table-1 rates: the gates never throttle
+				Chains:  chains,
+				Catalog: device.Table1(),
+				Link:    pcie.DefaultLink(),
+				// Scale 0.1: the shared NIC budget stays above the host's
+				// push rate, so the bench measures multi-chain dataplane
+				// scaling, not gate contention (that is
+				// BenchmarkSharedDeviceContention's job).
+				Scale:      0.1,
 				QueueDepth: 4096,
 				BatchSize:  32,
 				Workers:    2,
@@ -309,6 +317,86 @@ func BenchmarkMultiTenantDataplane(b *testing.B) {
 			b.ReportMetric(perChain/float64(n), "perchain_Gbps")
 			b.StopTimer()
 			rt.Close()
+		})
+	}
+}
+
+// BenchmarkSharedDeviceContention measures the shared per-device capacity
+// gate under co-resident overload: N single-Monitor tenants saturate one
+// emulated SmartNIC at Scale 1000, so the gate — not the host — is the
+// bottleneck and Σ demand > 1 must collapse per-tenant delivery. Each
+// iteration runs a fixed 200 ms contention window and reports
+//
+//   - fairness: min/max per-tenant delivered frames (1.0 = the FIFO ticket
+//     queue split the budget perfectly evenly), and
+//   - agg_Gbps: aggregate delivered rate in catalog units, which must hold
+//     near the Monitor's 3.2 Gbps θS regardless of N because the tenants
+//     share one device budget.
+func BenchmarkSharedDeviceContention(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("elems=%d", n), func(b *testing.B) {
+			var fairness, aggGbps float64
+			for i := 0; i < b.N; i++ {
+				chains := make([]*chain.Chain, n)
+				for c := range chains {
+					cc, err := chain.New(fmt.Sprintf("tenant-%d", c),
+						chain.Element{Name: fmt.Sprintf("m%d", c), Type: device.TypeMonitor, Loc: device.KindSmartNIC},
+					)
+					if err != nil {
+						b.Fatal(err)
+					}
+					chains[c] = cc
+				}
+				rt, err := emul.New(emul.Config{
+					Chains:     chains,
+					Catalog:    device.Table1(),
+					Link:       pcie.DefaultLink(),
+					Scale:      1000, // Monitor throttles at 400 kB/s: the gate is the bottleneck
+					QueueDepth: 64,
+					BatchSize:  8,
+					PoolFrames: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt.Start()
+				synth := traffic.NewSynth(8, 1)
+				tmpl := synth.Frame(0, 256)
+				const window = 200 * time.Millisecond
+				start := time.Now()
+				for time.Since(start) < window {
+					full := true
+					for c := 0; c < n; c++ {
+						f := rt.AcquireFrame(len(tmpl))
+						copy(f, tmpl)
+						if rt.SendChain(c, f) {
+							full = false
+						}
+					}
+					if full {
+						time.Sleep(200 * time.Microsecond) // every ingress saturated
+					}
+				}
+				elapsed := time.Since(start).Seconds()
+				res := rt.ChainResults()
+				minD, maxD, sumD := res[0].Delivered, res[0].Delivered, uint64(0)
+				for _, cr := range res {
+					if cr.Delivered < minD {
+						minD = cr.Delivered
+					}
+					if cr.Delivered > maxD {
+						maxD = cr.Delivered
+					}
+					sumD += cr.Delivered
+				}
+				rt.Close()
+				if maxD > 0 {
+					fairness = float64(minD) / float64(maxD)
+				}
+				aggGbps = float64(sumD) * float64(len(tmpl)) * 8 * 1000 / elapsed / 1e9
+			}
+			b.ReportMetric(fairness, "fairness")
+			b.ReportMetric(aggGbps, "agg_Gbps")
 		})
 	}
 }

@@ -4,9 +4,11 @@
 //   - a markdown file contains an intra-repo link whose target does not
 //     exist (links into DESIGN.md and between the top-level docs are load
 //     bearing: several packages cite DESIGN.md sections from godoc),
-//   - an internal package has no package-level godoc comment, or
+//   - an internal package has no package-level godoc comment,
 //   - a directory under examples/ is missing from README.md's example
-//     table (every runnable walkthrough must stay discoverable).
+//     table (every runnable walkthrough must stay discoverable), or
+//   - a scenario.Params field has no provenance entry in DESIGN.md §5
+//     (every calibrated default must say where its number comes from).
 //
 // External links (http/https/mailto) and pure-anchor links are not checked.
 // CI runs it as the docs job; run it locally with `go run ./cmd/docscheck`.
@@ -14,6 +16,7 @@ package main
 
 import (
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
@@ -33,6 +36,7 @@ func main() {
 	problems = append(problems, checkMarkdownLinks(".")...)
 	problems = append(problems, checkPackageDocs("./internal")...)
 	problems = append(problems, checkExamplesIndexed("examples", "README.md")...)
+	problems = append(problems, checkParamsProvenance("internal/scenario/scenario.go", "DESIGN.md")...)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -41,7 +45,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
 		os.Exit(1)
 	}
-	fmt.Println("docscheck: markdown links, package godoc and example table OK")
+	fmt.Println("docscheck: markdown links, package godoc, example table and §5 provenance OK")
 }
 
 // checkMarkdownLinks verifies every relative link target in every tracked
@@ -110,6 +114,62 @@ func checkExamplesIndexed(examplesDir, readme string) []string {
 		ref := examplesDir + "/" + e.Name()
 		if !strings.Contains(string(data), ref) {
 			problems = append(problems, fmt.Sprintf("%s: %q missing from the example table", readme, ref))
+		}
+	}
+	return problems
+}
+
+// checkParamsProvenance verifies every field of scenario.Params has a
+// provenance entry in DESIGN.md's §5 calibration section: each field name
+// must appear backtick-quoted (`FieldName`) between the "## §5" heading and
+// the next top-level heading. A calibrated default without provenance is
+// how magic numbers rot.
+func checkParamsProvenance(scenarioFile, designFile string) []string {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, scenarioFile, nil, 0)
+	if err != nil {
+		return []string{fmt.Sprintf("parsing %s: %v", scenarioFile, err)}
+	}
+	var fields []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok || ts.Name.Name != "Params" {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, fld := range st.Fields.List {
+			for _, name := range fld.Names {
+				if name.IsExported() {
+					fields = append(fields, name.Name)
+				}
+			}
+		}
+		return false
+	})
+	if len(fields) == 0 {
+		return []string{fmt.Sprintf("%s: no exported scenario.Params fields found", scenarioFile)}
+	}
+	data, err := os.ReadFile(designFile)
+	if err != nil {
+		return []string{fmt.Sprintf("reading %s: %v", designFile, err)}
+	}
+	section := string(data)
+	if i := strings.Index(section, "## §5"); i >= 0 {
+		section = section[i:]
+		if j := strings.Index(section[5:], "\n## "); j >= 0 {
+			section = section[:5+j]
+		}
+	} else {
+		return []string{fmt.Sprintf("%s: no \"## §5\" calibration section", designFile)}
+	}
+	var problems []string
+	for _, name := range fields {
+		if !strings.Contains(section, "`"+name+"`") {
+			problems = append(problems, fmt.Sprintf(
+				"%s: scenario.Params field %q has no provenance entry in DESIGN.md §5", designFile, name))
 		}
 	}
 	return problems

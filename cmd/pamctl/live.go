@@ -98,10 +98,22 @@ func liveDES(p scenario.Params) error {
 // liveEmul runs the same loop on wall-clock time over the batched emulator.
 func liveEmul(p scenario.Params) error {
 	lp := scenario.DefaultLiveParams()
+	// The calibrated live overload differs from the DES default (DESIGN.md
+	// §5: 4 Gbps would demand-overload the CPU too under shared gates), but
+	// an explicit -overload flag must still win: rebuild the phase schedule
+	// whenever the operator moved OverloadGbps off its default.
+	over := scenario.LiveOverloadGbps
+	if d := scenario.DefaultParams(); p.OverloadGbps != d.OverloadGbps {
+		over = p.OverloadGbps
+		lp.Phases = []traffic.Phase{
+			{RateGbps: p.ProbeGbps, Duration: 300 * time.Millisecond},
+			{RateGbps: over, Duration: 1200 * time.Millisecond},
+		}
+	}
 	fmt.Printf("engine: emul (wall clock, scale %.0fx, batch %d, %d workers)\n",
 		lp.Scale, lp.BatchSize, lp.Workers)
 	fmt.Printf("ramping %.1f -> %.1f Gbps through %v...\n\n",
-		p.ProbeGbps, p.OverloadGbps, scenario.Figure1Chain())
+		p.ProbeGbps, over, scenario.Figure1Chain())
 
 	res, err := scenario.RunLiveHotspot(p, lp, core.PAM{})
 	if err != nil {

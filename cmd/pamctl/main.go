@@ -43,13 +43,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/emul"
 	"repro/internal/experiments"
 	"repro/internal/scenario"
 )
@@ -88,6 +91,14 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pamctl: %v\n", err)
+		// The emulator's typed ambiguity error carries every chain hosting
+		// the element; turn it into an actionable hint instead of leaving
+		// the operator to guess which tenants collide.
+		var amb *emul.AmbiguousElementError
+		if errors.As(err, &amb) {
+			fmt.Fprintf(os.Stderr, "pamctl: element %q is hosted by %d chains (%s); give tenants unique element names, or migrate through the owning chain (emul.Runtime.MigrateChain)\n",
+				amb.Element, len(amb.Chains), strings.Join(amb.Chains, ", "))
+		}
 		os.Exit(1)
 	}
 }

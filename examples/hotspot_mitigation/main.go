@@ -1,12 +1,16 @@
 // Hotspot mitigation: the full closed loop of the paper, end to end on the
 // batched execution emulator. Real serialized frames ramp up through the
-// Figure-1 chain until the SmartNIC overloads; the control plane samples
-// per-device load from the dataplane's meters, the detector fires on the
-// measured hot spot, PAM selects the border vNF, and the runtime executes a
-// real UNO-style migration (freeze every shard, snapshot, transfer over the
-// emulated PCIe link, replay) while traffic keeps flowing. The printed
-// telemetry shows the hot spot forming, the migration, and served
-// throughput recovering.
+// Figure-1 chain until the SmartNIC overloads; because the emulator
+// throttles at one shared capacity gate per device, the whole chain
+// physically collapses to the NIC residents' aggregate saturation
+// (≈1.1 Gbps) while the measured *demand* (offered/θ) keeps climbing past
+// the threshold. The control plane samples both from the dataplane's
+// meters, the detector fires on the demand hot spot, PAM selects the
+// border vNF, and the runtime executes a real UNO-style migration (freeze
+// every shard, snapshot, transfer over the emulated PCIe link, replay)
+// while traffic keeps flowing. The printed telemetry shows the hot spot
+// forming, delivered throughput collapsing, the migration, and delivery
+// recovering to the offered rate.
 //
 // The same loop in deterministic virtual time on the discrete-event
 // simulator: `go run ./cmd/pamctl live` (and `-engine emul` for this run).
@@ -28,7 +32,7 @@ func main() {
 	lp := scenario.DefaultLiveParams()
 	fmt.Printf("chain: %v\n", scenario.Figure1Chain())
 	fmt.Printf("ramp: %.1f Gbps calm, then %.1f Gbps overload (scale %.0fx, batch %d, %d workers)\n\n",
-		p.ProbeGbps, p.OverloadGbps, lp.Scale, lp.BatchSize, lp.Workers)
+		p.ProbeGbps, scenario.LiveOverloadGbps, lp.Scale, lp.BatchSize, lp.Workers)
 
 	// The paper's motivation: "as the network traffic fluctuates, NFs on
 	// SmartNIC can also be overloaded". RunLiveHotspot paces the ramp into
@@ -60,7 +64,7 @@ func main() {
 
 	fmt.Printf("\ndelivered Gbps over time: %s\n", report.Spark(thr))
 	fmt.Printf("final placement: %v\n", res.Placement)
-	fmt.Printf("recovery: %.2f Gbps (logger-capped hot spot) -> %.2f Gbps after push-aside\n",
+	fmt.Printf("recovery: %.2f Gbps (shared-NIC hot spot) -> %.2f Gbps after push-aside\n",
 		res.PreGbps, res.PostGbps)
 	fmt.Printf("frames: offered %d, delivered %d, dropped %d; %d migration(s) in %v\n",
 		res.Final.Offered, res.Final.Delivered, res.Final.Dropped, res.Migrations,

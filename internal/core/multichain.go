@@ -30,6 +30,13 @@ type MultiView struct {
 	BorderMode chain.BorderMode
 	// OverloadThreshold as in View; zero selects the default.
 	OverloadThreshold float64
+	// MeasuredNICUtil and MeasuredCPUUtil as in View: the aggregate
+	// telemetry-measured demand utilizations, which a shared-capacity
+	// backend supplies because its delivered throughput (and therefore the
+	// model's Σ θcur/θd estimate) collapses under the very overload being
+	// detected.
+	MeasuredNICUtil float64
+	MeasuredCPUUtil float64
 }
 
 // MultiPlan is a plan over several chains: per-chain migration steps plus
@@ -100,6 +107,8 @@ func (a singleAsMulti) SelectMulti(v MultiView) (MultiPlan, error) {
 		CPU:               v.CPU,
 		BorderMode:        v.BorderMode,
 		OverloadThreshold: v.OverloadThreshold,
+		MeasuredNICUtil:   v.MeasuredNICUtil,
+		MeasuredCPUUtil:   v.MeasuredCPUUtil,
 	})
 	if err != nil {
 		return MultiPlan{}, err
@@ -176,12 +185,27 @@ func (m MultiPAM) Select(v MultiView) (MultiPlan, error) {
 		th = DefaultOverloadThreshold
 	}
 
-	u, err := nicUtilAll(v.Loads, v.Catalog, results)
-	if err != nil {
-		return MultiPlan{}, err
+	// Overload is declared on the measured aggregate demand when the
+	// backend supplied one (shared device capacity collapses delivered
+	// throughput, so the model's Σ θcur/θd cannot exceed the threshold
+	// during the very overload being handled); the fluid model remains the
+	// check for purely model-driven callers.
+	u := v.MeasuredNICUtil
+	if u <= 0 {
+		var err error
+		u, err = nicUtilAll(v.Loads, v.Catalog, results)
+		if err != nil {
+			return MultiPlan{}, err
+		}
 	}
 	if u < th {
 		return MultiPlan{}, ErrNotOverloaded
+	}
+	// Measured both-overloaded terminal case, as in PAM.Select: with every
+	// device's demand past the threshold a push-aside only moves the hot
+	// spot, so the operator must scale out.
+	if v.MeasuredNICUtil >= th && v.MeasuredCPUUtil >= th {
+		return MultiPlan{}, ErrBothOverloaded
 	}
 
 	mode := m.Mode

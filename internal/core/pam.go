@@ -44,6 +44,17 @@ func (p PAM) Select(v View) (Plan, error) {
 	if !overloaded {
 		return Plan{}, ErrNotOverloaded
 	}
+	// The paper's terminal case, detected from measurement: when the
+	// backend reports both devices' demand at or past the threshold there
+	// is nowhere to push aside to — the model's Eq. 2, evaluated at the
+	// collapsed delivered θcur, could not see it.
+	th := v.OverloadThreshold
+	if th <= 0 {
+		th = DefaultOverloadThreshold
+	}
+	if v.MeasuredNICUtil >= th && v.MeasuredCPUUtil >= th {
+		return Plan{}, ErrBothOverloaded
+	}
 
 	work := v.Chain.Clone()
 	mode := p.Mode

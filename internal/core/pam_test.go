@@ -61,6 +61,41 @@ func TestPAMBothOverloaded(t *testing.T) {
 	}
 }
 
+// TestPAMMeasuredDemandOverrides covers the shared-capacity backend's view:
+// measured demand drives the overload check when the model (evaluated at a
+// collapsed delivered θcur) can no longer see the hot spot, and measured
+// demand past the threshold on *both* devices is the paper's scale-out
+// terminal case.
+func TestPAMMeasuredDemandOverrides(t *testing.T) {
+	// Model says calm (θcur 0.5 → NIC util ≈ 0.46), measurement says hot:
+	// the measured demand must win and produce the Figure-1 plan.
+	v := figure1View(t, 0.5)
+	v.MeasuredNICUtil = 1.4
+	plan, err := core.PAM{}.Select(v)
+	if err != nil {
+		t.Fatalf("PAM.Select with measured NIC demand: %v", err)
+	}
+	if len(plan.Steps) != 1 || plan.Steps[0].Element != scenario.NameLogger {
+		t.Errorf("plan = %v, want the Logger push-aside", plan)
+	}
+
+	// Measurement says calm even though the model would fire: not overloaded.
+	v = figure1View(t, 1.05)
+	v.MeasuredNICUtil = 0.5
+	if _, err := (core.PAM{}).Select(v); !errors.Is(err, core.ErrNotOverloaded) {
+		t.Errorf("err = %v, want ErrNotOverloaded when measured demand is calm", err)
+	}
+
+	// Both devices' measured demand past the threshold: terminal case, even
+	// though Eq. 2 at the collapsed θcur would look feasible.
+	v = figure1View(t, 0.5)
+	v.MeasuredNICUtil = 1.4
+	v.MeasuredCPUUtil = 1.1
+	if _, err := (core.PAM{}).Select(v); !errors.Is(err, core.ErrBothOverloaded) {
+		t.Errorf("err = %v, want ErrBothOverloaded on measured double overload", err)
+	}
+}
+
 func TestPAMEq2ExcludesAndFallsBack(t *testing.T) {
 	// Craft capacities where the min-capacity border (Logger) would
 	// overload the CPU, so PAM must fall back to the other border

@@ -35,6 +35,21 @@ type View struct {
 	// SmartNIC counts as overloaded; zero selects
 	// DefaultOverloadThreshold.
 	OverloadThreshold float64
+	// MeasuredNICUtil, when positive, overrides the fluid-model estimate in
+	// the overload check with the telemetry-measured demand utilization
+	// (Σ offered/θ over resident vNFs). A backend with shared device
+	// capacity must supply it: its delivered throughput collapses under
+	// overload, so the model evaluated at θcur can no longer exceed the
+	// threshold even while offered demand does. Eq. 2/3 still run on the
+	// model at θcur — feasibility of the *post-migration* placement is a
+	// prediction only the model can make.
+	MeasuredNICUtil float64
+	// MeasuredCPUUtil is the CPU-side measured demand. When both measured
+	// utilizations reach the threshold the selectors return
+	// ErrBothOverloaded — the paper's scale-out terminal case, detected
+	// from measurement rather than from the model's collapsed θcur. The
+	// selection equations themselves consult the model.
+	MeasuredCPUUtil float64
 }
 
 // DefaultOverloadThreshold declares the NIC hot when the linear model puts
@@ -111,15 +126,19 @@ func Analyze(c *chain.Chain, v View, cur device.Gbps) (Analysis, error) {
 }
 
 // NICOverloaded reports whether the view's SmartNIC utilization reaches the
-// overload threshold at the measured throughput.
+// overload threshold: the measured demand utilization when the backend
+// supplied one, otherwise the fluid model at the measured throughput.
 func (v View) NICOverloaded() (bool, error) {
-	a, err := Analyze(v.Chain, v, v.Throughput)
-	if err != nil {
-		return false, err
-	}
 	th := v.OverloadThreshold
 	if th <= 0 {
 		th = DefaultOverloadThreshold
+	}
+	if v.MeasuredNICUtil > 0 {
+		return v.MeasuredNICUtil >= th, nil
+	}
+	a, err := Analyze(v.Chain, v, v.Throughput)
+	if err != nil {
+		return false, err
 	}
 	return a.NICUtil >= th, nil
 }

@@ -1,0 +1,176 @@
+package emul
+
+// Shared per-device capacity gates. Before this file existed every element
+// throttled at its own θd_i/Scale token bucket, so co-resident elements
+// could *each* run at full capacity simultaneously — a summed-utilization
+// hot spot showed up in the LoadSampler's arithmetic but never as real
+// slowdown. The deviceGate inverts that model: one token bucket per device
+// instance, denominated in normalized device-seconds, shared by every
+// resident element across all hosted chains. A burst of B bytes at an
+// element whose scaled capacity is R bytes/s costs B/R seconds of the
+// device's budget, and the device accrues exactly 1.0 device-second per
+// wall-clock second — so a lone element is capped at its own θd_i (it can
+// never consume more than one device-second per second), while Σ demand > 1
+// physically collapses every resident's delivered throughput, which is the
+// premise PAM reacts to. Grants are FIFO by ticket so co-resident elements
+// share the budget burst-by-burst instead of racing wakeups.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/device"
+)
+
+// gate is a token bucket over abstract units (bytes for the legacy
+// per-element form, normalized device-seconds for deviceGate). take blocks
+// until the requested units are available; waiters are served FIFO by
+// ticket. Two historic bugs are fixed here and guarded by regression tests:
+//
+//  1. take with rate == 0 (a gate constructed before its first setRate)
+//     divided by zero — time.Duration(+Inf) overflows to a negative sleep,
+//     degenerating the wait loop into a busy spin. A non-positive rate now
+//     blocks on a condition until setRate supplies one.
+//  2. setRate did not clamp an existing token balance to the new burst: a
+//     gate retargeted fast→slow carried the old rate's accumulated tokens
+//     and admitted a full old-rate burst before throttling, corrupting the
+//     first post-change measurement window.
+type gate struct {
+	mu   sync.Mutex
+	cond *sync.Cond // lazily bound to mu; wakes zero-rate and FIFO waiters
+
+	rate    float64 // units per second
+	tokens  float64
+	burst   float64 // token cap; requests larger than it are still admissible
+	last    time.Time
+	granted float64 // cumulative units granted, for grant-rate telemetry
+
+	head, tail uint64 // FIFO tickets: tail issues, head serves
+}
+
+// ensureCond binds the condition variable on first use. Callers hold mu.
+func (g *gate) ensureCond() {
+	if g.cond == nil {
+		g.cond = sync.NewCond(&g.mu)
+	}
+}
+
+// setRate retargets the bucket to rate units/s with the given burst cap.
+// The first call seeds the bucket full; later calls clamp any accumulated
+// balance to the new burst (bugfix 2) and wake waiters blocked on a zero
+// rate or sleeping against the old one (a rate raised mid-wait takes effect
+// within maxGateSleep).
+func (g *gate) setRate(rate, burst float64) {
+	g.mu.Lock()
+	g.ensureCond()
+	g.rate = rate
+	g.burst = burst
+	if g.last.IsZero() {
+		g.last = time.Now()
+		g.tokens = burst
+	}
+	if g.tokens > g.burst {
+		g.tokens = g.burst
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// maxGateSleep bounds one throttling sleep so that a rate raised mid-wait
+// (a live migration to a faster device) takes effect within milliseconds
+// instead of after the full deficit computed at the old rate.
+const maxGateSleep = 5 * time.Millisecond
+
+// take blocks until n units of budget are available. Requests larger than
+// the configured burst (a big batch at a slow device) are still admissible:
+// tokens may accumulate up to the request size. Waiters are granted in
+// arrival order, so concurrent takers share the budget fairly rather than
+// racing each other's wakeups. A non-positive rate blocks on the condition
+// until setRate supplies one (bugfix 1).
+func (g *gate) take(n float64) {
+	if n <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.ensureCond()
+	ticket := g.tail
+	g.tail++
+	for g.head != ticket {
+		g.cond.Wait()
+	}
+	for {
+		for g.rate <= 0 {
+			g.cond.Wait()
+		}
+		now := time.Now()
+		g.tokens += g.rate * now.Sub(g.last).Seconds()
+		g.last = now
+		limit := g.burst
+		if n > limit {
+			limit = n
+		}
+		if g.tokens > limit {
+			g.tokens = limit
+		}
+		if g.tokens >= n {
+			g.tokens -= n
+			g.granted += n
+			g.head++
+			g.cond.Broadcast()
+			g.mu.Unlock()
+			return
+		}
+		wait := time.Duration((n - g.tokens) / g.rate * float64(time.Second))
+		if wait > maxGateSleep {
+			wait = maxGateSleep
+		}
+		g.mu.Unlock()
+		time.Sleep(wait)
+		g.mu.Lock()
+	}
+}
+
+// grantedUnits returns the cumulative units granted so far; the LoadSampler
+// differences it between windows into a grant rate.
+func (g *gate) grantedUnits() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.granted
+}
+
+// deviceGate is one emulated device instance's shared capacity: a gate in
+// normalized device-seconds at a fixed rate of 1.0 (one device-second per
+// wall-clock second — Config.Scale is already folded into each element's
+// byte rate, so no further scaling applies here). Elements attach on
+// placement and re-attach on live migration; attach/detach is pure
+// bookkeeping and never creates or destroys banked budget, so a migration
+// freeze cannot leak device time.
+type deviceGate struct {
+	kind device.Kind
+	gate
+	residents atomic.Int32
+}
+
+// newDeviceGate builds the gate for one device instance with the given
+// fairness burst (Config.DeviceBurst worth of bankable device time).
+func newDeviceGate(kind device.Kind, burst time.Duration) *deviceGate {
+	dg := &deviceGate{kind: kind}
+	dg.setRate(1.0, burst.Seconds())
+	return dg
+}
+
+func (dg *deviceGate) attach()       { dg.residents.Add(1) }
+func (dg *deviceGate) detach()       { dg.residents.Add(-1) }
+func (dg *deviceGate) resident() int { return int(dg.residents.Load()) }
+
+// newDeviceGates builds the runtime's registry: one shared gate per device
+// kind, keyed by device.Kind. All kinds are materialized upfront so a live
+// migration can target a device no element started on.
+func newDeviceGates(burst time.Duration) map[device.Kind]*deviceGate {
+	return map[device.Kind]*deviceGate{
+		device.KindSmartNIC: newDeviceGate(device.KindSmartNIC, burst),
+		device.KindCPU:      newDeviceGate(device.KindCPU, burst),
+		device.KindFPGA:     newDeviceGate(device.KindFPGA, burst),
+	}
+}

@@ -1,9 +1,12 @@
 // Package emul is the execution-based emulation runtime: real serialized
 // frames flow through the real NF implementations (internal/nf) on a
-// goroutine pipeline, with per-vNF token-bucket throttling that reproduces
-// the Table-1 capacity asymmetry between SmartNIC and CPU, PCIe crossings
-// emulated as latency, and live UNO-style migration (freeze → state
-// transfer → restore → replay) while traffic flows.
+// goroutine pipeline, throttled by one shared capacity gate per emulated
+// device — a token bucket in normalized device-seconds that reproduces
+// both the Table-1 capacity asymmetry between SmartNIC and CPU and the
+// paper's linear contention model (co-resident vNFs whose summed demand
+// exceeds the device budget physically collapse each other's throughput) —
+// with PCIe crossings emulated as latency and live UNO-style migration
+// (freeze → state transfer → restore → replay) while traffic flows.
 //
 // The dataplane is batch-granular, in the style of a DPDK burst loop: each
 // worker drains up to Config.BatchSize frames per wakeup, admits the whole
@@ -20,10 +23,14 @@
 // One runtime hosts N service chains sharing the same emulated SmartNIC and
 // CPU — the multi-tenant setting of a real NFV server. Each chain owns its
 // elements, its ingress (SendChain) and its egress accounting; devices are
-// shared, so the control plane's LoadSampler sums measured utilization
-// across chains per device. Migration is chain-scoped: a push-aside freezes
-// only the migrating element's shard workers, so every other tenant keeps
-// forwarding while one tenant's vNF moves across PCIe.
+// shared *physically*: every element resident on a device draws on that
+// device's one capacity gate, so a summed-demand hot spot slows every
+// co-resident tenant down, and the control plane's LoadSampler reports
+// both the offered demand (which keeps climbing) and the granted share
+// (which the gate caps) per device across chains. Migration is
+// chain-scoped: a push-aside freezes only the migrating element's shard
+// workers, so every other tenant keeps forwarding while one tenant's vNF
+// moves across PCIe and re-attaches to its new device's gate.
 //
 // The emulator complements the discrete-event simulator: chainsim produces
 // the paper's figures with virtual-clock precision; emul demonstrates that
@@ -78,6 +85,13 @@ type Config struct {
 	// this many goroutines (default 1, i.e. no sharding). Frames are
 	// assigned to shards by flow-key hash, preserving per-flow FIFO order.
 	Workers int
+	// DeviceBurst is each shared device gate's fairness burst, expressed as
+	// bankable device time (default 10ms). An idle device accumulates up to
+	// this much budget, so a fresh burst is admitted immediately; under
+	// contention it bounds how long one element can monopolize the device
+	// between grants. Smaller values tighten fairness between co-resident
+	// elements, larger ones favour batch efficiency.
+	DeviceBurst time.Duration
 	// PoolFrames recycles every delivered or dropped frame's buffer into
 	// the runtime's frame pool. Callers should then obtain frames with
 	// AcquireFrame and must not retain frames in an egress tap beyond the
@@ -130,6 +144,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Workers <= 0 {
 		c.Workers = 1
 	}
+	if c.DeviceBurst <= 0 {
+		c.DeviceBurst = 10 * time.Millisecond
+	}
 	return c, nil
 }
 
@@ -158,7 +175,7 @@ type tenantChain struct {
 }
 
 // element is one chain position: its NF instance, current placement, worker
-// shards and throttle.
+// shards and its attachment to the shared device gate.
 type element struct {
 	name string
 	typ  string
@@ -167,21 +184,66 @@ type element struct {
 	inst nf.NF
 	loc  atomic.Int32 // device.Kind
 
+	// rateMu guards the element's placement on the shared capacity model:
+	// rateBps is its catalog capacity on the current device scaled to
+	// bytes/s (the divisor that converts a burst's bytes into normalized
+	// device-seconds), dev the device gate those seconds are charged to.
+	// rateCond wakes workers blocked on a non-positive rate (an element
+	// observed before its first placement must park, not spin).
+	rateMu   sync.Mutex
+	rateCond *sync.Cond
+	rateBps  float64
+	dev      *deviceGate
+
 	shards []*shard
-	gate   gate
 	drops  atomic.Uint64
 	parent *Runtime
 	ch     *tenantChain
 	pos    int // position within ch.elems
 
-	// meter measures this element's own load: ObserveN counts every burst
-	// the element actually processed (its served rate), Drop/DropN every
-	// frame lost entering its queues. The control plane's LoadSampler turns
-	// window deltas of these meters into per-device utilization, summed
-	// across every chain resident on the device.
-	meter *metrics.Meter
+	// meter measures this element's served load: ObserveN counts every burst
+	// the element actually processed (its granted rate), Drop/DropN every
+	// frame lost entering its queues. offeredBytes/offeredPkts count every
+	// frame that *arrived* at the element's queues — including frames the
+	// full queue rejected — so the LoadSampler can report offered demand
+	// separately from the device gate's grant.
+	meter        *metrics.Meter
+	offeredBytes atomic.Uint64
+	offeredPkts  atomic.Uint64
 
 	migMu sync.Mutex // serializes migrations of this element
+}
+
+// chargeFor blocks until the element has a positive rate and returns the
+// burst's cost in normalized device-seconds plus the gate to charge it to.
+func (el *element) chargeFor(totalBytes int) (float64, *deviceGate) {
+	el.rateMu.Lock()
+	for el.rateBps <= 0 {
+		el.rateCond.Wait()
+	}
+	cost := float64(totalBytes) / el.rateBps
+	dev := el.dev
+	el.rateMu.Unlock()
+	return cost, dev
+}
+
+// place points the element at a device gate with its scaled catalog rate
+// there, moving the resident bookkeeping. Attach/detach never touches the
+// gates' banked tokens, so re-placement (a live migration) cannot leak or
+// mint device budget. The broadcast releases any worker parked on a
+// zero-rate element.
+func (el *element) place(dev *deviceGate, bps float64) {
+	el.rateMu.Lock()
+	if el.dev != dev {
+		if el.dev != nil {
+			el.dev.detach()
+		}
+		dev.attach()
+		el.dev = dev
+	}
+	el.rateBps = bps
+	el.rateCond.Broadcast()
+	el.rateMu.Unlock()
 }
 
 // shard is one worker of an element: its own input queue (which doubles as
@@ -214,6 +276,11 @@ type Runtime struct {
 	cfg    Config
 	chains []*tenantChain
 
+	// gates is the shared-capacity registry: one token bucket per device
+	// instance, keyed by device.Kind, shared by every resident element
+	// across all hosted chains. Built once in New; the map is immutable.
+	gates map[device.Kind]*deviceGate
+
 	start   time.Time
 	started atomic.Bool
 	closed  atomic.Bool
@@ -235,6 +302,7 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	r := &Runtime{
 		cfg:      cfg,
+		gates:    newDeviceGates(cfg.DeviceBurst),
 		frames:   packet.NewFramePool(),
 		decoders: packet.NewDecoderPool(),
 	}
@@ -265,7 +333,8 @@ func New(cfg Config) (*Runtime, error) {
 				meter:  metrics.NewMeter(0),
 			}
 			el.loc.Store(int32(e.Loc))
-			el.gate.setRate(bytesPerSec(rate, cfg.Scale))
+			el.rateCond = sync.NewCond(&el.rateMu)
+			el.place(r.gates[e.Loc], bytesPerSec(rate, cfg.Scale))
 			nshards := 1
 			if inst.ConcurrencySafe() {
 				nshards = cfg.Workers
@@ -344,6 +413,11 @@ func (r *Runtime) SendChain(ci int, frame []byte) bool {
 	tc := r.chains[ci]
 	tc.offered.Add(1)
 	first := tc.elems[0]
+	// Offered demand is metered before the queue decides: an ingress-dropped
+	// frame still arrived, and the LoadSampler's demand utilization must see
+	// it even when the shared device gate cannot grant it.
+	first.offeredPkts.Add(1)
+	first.offeredBytes.Add(uint64(len(frame)))
 	j := job{
 		frame:    frame,
 		hash:     packet.FlowHash(frame),
@@ -472,8 +546,11 @@ func (s *shard) processBatch(jobs []job, decs []*packet.Decoder, ctxs []nf.Ctx, 
 	r := el.parent
 	n := len(jobs)
 
-	// Emulate the device capacity: the gate admits the burst's total bytes
-	// at the element's current rate in a single transaction.
+	// Emulate the shared device capacity: the burst's bytes are converted
+	// into normalized device-seconds at the element's catalog rate and
+	// admitted through the *device's* gate in a single transaction — one
+	// budget shared by every resident element across all hosted chains, so
+	// co-resident overload physically slows this element down.
 	total := 0
 	crossBytes, crossed := 0, false
 	for i := range jobs {
@@ -483,7 +560,8 @@ func (s *shard) processBatch(jobs []job, decs []*packet.Decoder, ctxs []nf.Ctx, 
 			crossBytes += len(jobs[i].frame)
 		}
 	}
-	el.gate.take(total)
+	cost, dev := el.chargeFor(total)
+	dev.take(cost)
 
 	// PCIe crossing latency to reach this element: propagation is paid
 	// once per burst (descriptors are posted back-to-back), serialization
@@ -514,14 +592,19 @@ func (s *shard) processBatch(jobs []job, decs []*packet.Decoder, ctxs []nf.Ctx, 
 		return
 	}
 
-	// Forward survivors to the next element's shard for their flow.
+	// Forward survivors to the next element's shard for their flow. The
+	// next element's offered meters count every forwarded frame — accepted
+	// or queue-dropped — so its demand reflects arrivals, not grants.
 	next := el.ch.elems[el.pos+1]
 	crossingNext := el.loc.Load() != next.loc.Load()
 	finished, qdrops := 0, 0
+	fwdPkts, fwdBytes := uint64(0), uint64(0)
 	for i := range jobs {
 		if i < len(verdicts) && verdicts[i] == nf.VerdictPass {
 			j := jobs[i]
 			j.crossing = crossingNext
+			fwdPkts++
+			fwdBytes += uint64(len(j.frame))
 			select {
 			case next.shardFor(j.hash).in <- j:
 				continue
@@ -532,6 +615,10 @@ func (s *shard) processBatch(jobs []job, decs []*packet.Decoder, ctxs []nf.Ctx, 
 		}
 		finished++
 		r.recycle(jobs[i].frame)
+	}
+	if fwdPkts > 0 {
+		next.offeredPkts.Add(fwdPkts)
+		next.offeredBytes.Add(fwdBytes)
 	}
 	if qdrops > 0 {
 		dropNow := r.now()
@@ -630,31 +717,41 @@ func (el *element) doMigrate(to device.Kind) (migrate.Report, error) {
 	el.inst = fresh
 	el.mu.Unlock()
 	el.loc.Store(int32(to))
-	el.gate.setRate(bytesPerSec(rate, r.cfg.Scale))
+	// Re-attach to the destination device's shared gate at the catalog rate
+	// there. Attach/detach moves only the resident bookkeeping — the gates'
+	// banked tokens are untouched, so the freeze window neither leaks nor
+	// mints device budget; and because the byte→device-second divisor
+	// changes with the rate, an element migrated fast→slow cannot carry the
+	// old device's cheaper costing into its first post-migration burst.
+	el.place(r.gates[to], bytesPerSec(rate, r.cfg.Scale))
 	rep.Replayed = rep.Buffered // FIFO consumption replays the queues
 	return rep, nil
 }
 
 // Migrate live-moves the named element to the device, searching every
-// hosted chain; the name must be unique across chains (use MigrateChain to
-// disambiguate). Loss-free: frames arriving during the move wait in the
-// element's shard queues (up to QueueDepth in aggregate).
+// hosted chain; the name must be unique across chains. When several chains
+// host the name it returns *AmbiguousElementError listing every one of
+// them, so the caller can disambiguate with MigrateChain. Loss-free: frames
+// arriving during the move wait in the element's shard queues (up to
+// QueueDepth in aggregate).
 func (r *Runtime) Migrate(name string, to device.Kind) (migrate.Report, error) {
-	found := -1
+	var hosts []int
 	for ci, tc := range r.chains {
-		if tc.spec.Index(name) < 0 {
-			continue
+		if tc.spec.Index(name) >= 0 {
+			hosts = append(hosts, ci)
 		}
-		if found >= 0 {
-			return migrate.Report{}, fmt.Errorf("emul: element %q exists in chains %q and %q; use MigrateChain",
-				name, r.chains[found].name, tc.name)
-		}
-		found = ci
 	}
-	if found < 0 {
+	switch len(hosts) {
+	case 0:
 		return migrate.Report{}, fmt.Errorf("emul: no element %q", name)
+	case 1:
+		return r.MigrateChain(hosts[0], name, to)
 	}
-	return r.MigrateChain(found, name, to)
+	names := make([]string, len(hosts))
+	for i, ci := range hosts {
+		names[i] = r.chains[ci].name
+	}
+	return migrate.Report{}, &AmbiguousElementError{Element: name, Chains: names}
 }
 
 // MigrateChain live-moves the named element of the given chain to the
@@ -826,63 +923,17 @@ func (r *Runtime) Results() Result {
 	return agg
 }
 
-// gate is a token bucket throttling a worker to a byte rate. take blocks
-// (sleeps) until the requested bytes are available. Rate changes take
-// effect within maxGateSleep (migration changes the device).
-type gate struct {
-	mu     sync.Mutex
-	rate   float64 // bytes/s
-	tokens float64
-	burst  float64
-	last   time.Time
+// AmbiguousElementError reports a Migrate-by-name call that matched an
+// element in several hosted chains; the caller must disambiguate with
+// MigrateChain. Chains lists the name of every hosting chain in chain-index
+// order, so surfaces like pamctl can print an actionable message.
+type AmbiguousElementError struct {
+	Element string
+	Chains  []string
 }
 
-func (g *gate) setRate(bps float64) {
-	g.mu.Lock()
-	g.rate = bps
-	g.burst = bps / 100 // 10 ms of burst
-	if g.burst < float64(packet.MaxFrameSize) {
-		g.burst = float64(packet.MaxFrameSize)
-	}
-	if g.last.IsZero() {
-		g.last = time.Now()
-		g.tokens = g.burst
-	}
-	g.mu.Unlock()
-}
-
-// maxGateSleep bounds one throttling sleep so that a rate raised mid-wait
-// (a live migration to a faster device) takes effect within milliseconds
-// instead of after the full deficit computed at the old rate.
-const maxGateSleep = 5 * time.Millisecond
-
-// take blocks until n bytes of budget are available. Requests larger than
-// the configured burst (a big batch at a slow device) are still admissible:
-// tokens may accumulate up to the request size.
-func (g *gate) take(n int) {
-	need := float64(n)
-	for {
-		g.mu.Lock()
-		now := time.Now()
-		g.tokens += g.rate * now.Sub(g.last).Seconds()
-		g.last = now
-		limit := g.burst
-		if need > limit {
-			limit = need
-		}
-		if g.tokens > limit {
-			g.tokens = limit
-		}
-		if g.tokens >= need {
-			g.tokens -= need
-			g.mu.Unlock()
-			return
-		}
-		wait := time.Duration((need - g.tokens) / g.rate * float64(time.Second))
-		g.mu.Unlock()
-		if wait > maxGateSleep {
-			wait = maxGateSleep
-		}
-		time.Sleep(wait)
-	}
+// Error implements error.
+func (e *AmbiguousElementError) Error() string {
+	return fmt.Sprintf("emul: element %q exists in chains %q; use MigrateChain to disambiguate",
+		e.Element, e.Chains)
 }

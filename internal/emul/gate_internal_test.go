@@ -1,10 +1,9 @@
 package emul
 
 import (
+	"sync"
 	"testing"
 	"time"
-
-	"repro/internal/packet"
 )
 
 // TestGateRateIncreaseMidWait: a rate raised while take is sleeping (what a
@@ -12,7 +11,7 @@ import (
 // slept the full deficit computed at the old rate.
 func TestGateRateIncreaseMidWait(t *testing.T) {
 	var g gate
-	g.setRate(1000) // 1 kB/s: 5000 B needs ~3.5 s beyond the initial burst
+	g.setRate(1000, 10) // 1 k units/s, tiny burst: 5000 units needs ~5 s
 	done := make(chan time.Duration, 1)
 	start := time.Now()
 	go func() {
@@ -20,44 +19,123 @@ func TestGateRateIncreaseMidWait(t *testing.T) {
 		done <- time.Since(start)
 	}()
 	time.Sleep(50 * time.Millisecond)
-	g.setRate(50e6) // migration to a much faster device
+	g.setRate(50e6, 50e4) // migration to a much faster device
 	select {
 	case elapsed := <-done:
 		if elapsed > time.Second {
-			t.Errorf("take took %v after the rate increase; the old-rate deficit was ~3.5s", elapsed)
+			t.Errorf("take took %v after the rate increase; the old-rate deficit was ~5s", elapsed)
 		}
 	case <-time.After(3 * time.Second):
 		t.Fatal("take still blocked 3s after the rate increase")
 	}
 }
 
-// TestGateAdmitsOversizedBurst: a burst larger than the configured bucket
+// TestGateAdmitsOversizedBurst: a request larger than the configured bucket
 // must be admitted after a proportional wait, not spin forever (the bucket
 // clamp would otherwise keep tokens below the request).
 func TestGateAdmitsOversizedBurst(t *testing.T) {
 	var g gate
-	g.setRate(1e6) // burst = max(10 kB, MaxFrameSize) = 10 kB
-	n := 4 * packet.MaxFrameSize * 16
-	if float64(n) <= g.burst {
-		t.Fatalf("test burst %d not larger than bucket %.0f", n, g.burst)
-	}
+	g.setRate(1e6, 1e4) // 10 ms of bucket
+	const n = 1e5       // 10× the bucket ≈ 90 ms beyond the initial burst
 	start := time.Now()
-	g.take(n) // ~97 kB at 1 MB/s ≈ 90 ms
+	g.take(n)
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Errorf("oversized take took %v", elapsed)
 	}
 }
 
 // TestGateEnforcesRate: batched admission must still meter the configured
-// byte rate over time.
+// unit rate over time.
 func TestGateEnforcesRate(t *testing.T) {
 	var g gate
-	g.setRate(100_000) // 100 kB/s, burst 1514
+	g.setRate(100_000, 1514) // 100 k units/s, small burst
 	start := time.Now()
 	for i := 0; i < 10; i++ {
-		g.take(2000) // 20 kB total, ≈185 ms after the initial burst
+		g.take(2000) // 20 k units total, ≈185 ms after the initial burst
 	}
 	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
-		t.Errorf("20 kB at 100 kB/s admitted in %v; throttle ineffective", elapsed)
+		t.Errorf("20 k units at 100 k/s admitted in %v; throttle ineffective", elapsed)
+	}
+}
+
+// TestGateZeroRateBlocksUntilSetRate is the regression test for the
+// division-by-zero bug: take on a gate whose rate was never set (an element
+// observed before placement, or one paused mid-migration) computed
+// (need-tokens)/0 = +Inf, whose Duration conversion overflows negative and
+// degenerated the wait loop into a busy spin. The fixed gate parks the
+// waiter on a condition until a positive rate arrives.
+func TestGateZeroRateBlocksUntilSetRate(t *testing.T) {
+	var g gate
+	done := make(chan struct{})
+	go func() {
+		g.take(100)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("take returned on a zero-rate gate")
+	case <-time.After(50 * time.Millisecond):
+		// Still blocked — as it must be. (The old code also failed to
+		// return here, but burned a CPU core doing it.)
+	}
+	g.setRate(1e6, 1e4)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("take still blocked after setRate supplied a positive rate")
+	}
+}
+
+// TestGateSetRateClampsTokens is the regression test for the fast→slow
+// retarget bug: a gate carrying a fast device's accumulated tokens across
+// setRate admitted a full old-rate burst before throttling at the new rate,
+// corrupting the first post-migration measurement window. The new burst must
+// clamp the balance.
+func TestGateSetRateClampsTokens(t *testing.T) {
+	var g gate
+	g.setRate(50e6, 50e4) // fast: the bucket seeds with 500k tokens
+	time.Sleep(5 * time.Millisecond)
+	g.setRate(1000, 10) // migrated to a slow device: 10-unit bucket
+
+	// 2000 units at 1000 units/s must take ~2 s; with the carried 500k
+	// balance it would return instantly.
+	start := time.Now()
+	g.take(2000)
+	if elapsed := time.Since(start); elapsed < 500*time.Millisecond {
+		t.Errorf("take of 2000 units at 1000/s returned in %v; old tokens not clamped to the new burst", elapsed)
+	}
+}
+
+// TestGateFIFOFairness: two concurrent takers of equal bursts must share the
+// grant roughly evenly — tickets are served in arrival order, so neither
+// worker can starve the other by winning every wakeup race.
+func TestGateFIFOFairness(t *testing.T) {
+	var g gate
+	g.setRate(100_000, 1000) // 100 k units/s, 10 ms bucket
+	const per = 1000         // each take is 10 ms of budget
+	stop := time.Now().Add(300 * time.Millisecond)
+	counts := make([]int, 2)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				g.take(per)
+				counts[w]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	a, b := counts[0], counts[1]
+	if a == 0 || b == 0 {
+		t.Fatalf("a taker starved: %d vs %d grants", a, b)
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if float64(lo) < 0.5*float64(hi) {
+		t.Errorf("unfair grant split: %d vs %d (want within 2×)", a, b)
 	}
 }

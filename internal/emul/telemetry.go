@@ -4,15 +4,23 @@ package emul
 // plane: LoadSampler turns window deltas of the runtime's per-element and
 // egress meters into the per-device load picture the overload detector
 // consumes ("periodically query the load of SmartNIC and CPU", §2 of the
-// paper). Where the discrete-event simulator reports a server's busy
-// fraction, the emulator reports fluid-model demand — Σ θ̂_i/θd_i with θ̂_i
-// the element's *measured* served rate — which, unlike a busy fraction, can
-// exceed 1 under overload. With several hosted chains the sum runs over
-// every element resident on the device regardless of chain, which is what
-// makes a summed-utilization hot spot visible even when every single chain
-// is individually feasible; per-chain delivered/loss rides alongside in
-// LoadSample.Chains. The detector's threshold semantics are unchanged
-// either way; loss rate remains the sharper saturation signal.
+// paper). With the shared per-device capacity gates the sampler is
+// contention-aware and reports both sides of an overload:
+//
+//   - *Demand* — Σ offered_i/θd_i over resident elements, with offered_i the
+//     rate at which traffic arrived at element i's queues (including frames
+//     the full queue rejected). Demand exceeds 1 under overload and is what
+//     DeviceLoad.Utilization carries to the detector.
+//   - *Grant* — Σ served_i/θd_i, plus the device gate's own grant-rate
+//     accounting in normalized device-seconds per second. The gate caps the
+//     grant at ~1.0, which is exactly why delivered throughput physically
+//     collapses while demand keeps climbing.
+//
+// With several hosted chains both sums run over every element resident on
+// the device regardless of chain, which is what makes a summed-utilization
+// hot spot visible even when every single chain is individually feasible;
+// per-chain delivered/loss rides alongside in LoadSample.Chains. Loss rate
+// remains the sharper saturation signal.
 
 import (
 	"sync"
@@ -33,21 +41,45 @@ type ElementLoad struct {
 	ServedGbps float64
 	// ServedPkts counts frames processed in the window.
 	ServedPkts uint64
+	// OfferedGbps is the rate at which traffic arrived at the element's
+	// queues during the window — including frames the full queue rejected —
+	// in catalog units. Under contention it exceeds ServedGbps.
+	OfferedGbps float64
+	// OfferedPkts counts frames that arrived in the window.
+	OfferedPkts uint64
 	// Drops counts frames lost entering this element's queues in the window
 	// (queue-full rejections, plus ingress rejections for the head element).
 	Drops uint64
 	// Utilization is ServedGbps over the element's catalog capacity on its
-	// current device: the measured form of the paper's θcur/θd_i term.
+	// current device: the share of the shared device budget the element was
+	// actually granted.
 	Utilization float64
+	// Demand is OfferedGbps over the same capacity: the measured form of the
+	// paper's θcur/θd_i term that keeps climbing when the device gate can no
+	// longer grant it. The device sums Demand for overload detection.
+	Demand float64
 }
 
 // DeviceLoad aggregates the elements resident on one device — across every
 // hosted chain, because tenants share the devices and utilization is
 // additive in the linear model.
 type DeviceLoad struct {
-	ServedGbps  float64 // Σ per-element served rate, catalog units
-	Utilization float64 // Σ per-element utilization (fluid-model demand)
-	Drops       uint64  // frames lost entering resident elements' queues
+	ServedGbps float64 // Σ per-element served rate, catalog units
+	// Utilization is the device's offered *demand*: Σ per-element Demand.
+	// It exceeds 1 under overload even though the shared capacity gate
+	// physically caps service at the device budget — this is the value the
+	// detector consumes, so Σ demand > 1 stays visible while delivered
+	// throughput collapses.
+	Utilization float64
+	// GrantUtilization is Σ per-element Utilization (served/θ): the share of
+	// the device budget residents actually received, ≈ min(demand, 1) plus
+	// whatever burst the gate had banked.
+	GrantUtilization float64
+	// GrantRate is the device gate's own measured grant rate over the window
+	// in normalized device-seconds per second — the authoritative form of
+	// the same quantity, taken from the gate's cumulative grant counter.
+	GrantRate float64
+	Drops     uint64 // frames lost entering resident elements' queues
 }
 
 // ChainLoad is one hosted chain's delivered traffic over a sampling window,
@@ -85,7 +117,10 @@ type LoadSample struct {
 	Chains []ChainLoad
 }
 
-// Telemetry converts the sample into the detector's input form.
+// Telemetry converts the sample into the detector's input form. The
+// utilizations are the demand form, so the detector sees Σ offered/θ > 1
+// during an overload whose delivered throughput the device gates have
+// already collapsed.
 func (s LoadSample) Telemetry() telemetry.Sample {
 	return telemetry.Sample{
 		At:            s.At,
@@ -98,9 +133,11 @@ func (s LoadSample) Telemetry() telemetry.Sample {
 
 // meterCursor is a sampler's per-meter position at the last sample.
 type meterCursor struct {
-	bytes uint64
-	pkts  uint64
-	drops uint64
+	bytes        uint64
+	pkts         uint64
+	drops        uint64
+	offeredBytes uint64
+	offeredPkts  uint64
 }
 
 // LoadSampler produces LoadSamples from a runtime by differencing its meters
@@ -110,10 +147,11 @@ type meterCursor struct {
 type LoadSampler struct {
 	rt *Runtime
 
-	mu     sync.Mutex
-	last   time.Duration
-	elems  [][]meterCursor // per chain, per element
-	chains []meterCursor   // per chain egress meter
+	mu      sync.Mutex
+	last    time.Duration
+	elems   [][]meterCursor // per chain, per element
+	chains  []meterCursor   // per chain egress meter
+	granted map[device.Kind]float64
 }
 
 // NewLoadSampler attaches a sampler to the runtime. The first Sample call
@@ -121,17 +159,24 @@ type LoadSampler struct {
 // running).
 func NewLoadSampler(rt *Runtime) *LoadSampler {
 	s := &LoadSampler{
-		rt:     rt,
-		elems:  make([][]meterCursor, len(rt.chains)),
-		chains: make([]meterCursor, len(rt.chains)),
-		last:   rt.Elapsed(),
+		rt:      rt,
+		elems:   make([][]meterCursor, len(rt.chains)),
+		chains:  make([]meterCursor, len(rt.chains)),
+		granted: make(map[device.Kind]float64, len(rt.gates)),
+		last:    rt.Elapsed(),
 	}
 	for ci, tc := range rt.chains {
 		s.elems[ci] = make([]meterCursor, len(tc.elems))
 		for i, el := range tc.elems {
-			s.elems[ci][i] = meterCursor{bytes: el.meter.Bytes(), pkts: el.meter.Packets(), drops: el.meter.Drops()}
+			s.elems[ci][i] = meterCursor{
+				bytes: el.meter.Bytes(), pkts: el.meter.Packets(), drops: el.meter.Drops(),
+				offeredBytes: el.offeredBytes.Load(), offeredPkts: el.offeredPkts.Load(),
+			}
 		}
 		s.chains[ci] = meterCursor{bytes: tc.meter.Bytes(), pkts: tc.meter.Packets(), drops: tc.meter.Drops()}
+	}
+	for kind, dg := range rt.gates {
+		s.granted[kind] = dg.grantedUnits()
 	}
 	return s
 }
@@ -160,21 +205,28 @@ func (s *LoadSampler) Sample() LoadSample {
 	for ci, tc := range r.chains {
 		for i, el := range tc.elems {
 			bytes, pkts, drops := el.meter.Bytes(), el.meter.Packets(), el.meter.Drops()
+			offBytes, offPkts := el.offeredBytes.Load(), el.offeredPkts.Load()
 			cur := &s.elems[ci][i]
 			loc := device.Kind(el.loc.Load())
 			load := ElementLoad{
-				Chain:      tc.name,
-				Name:       el.name,
-				Type:       el.typ,
-				Loc:        loc,
-				ServedGbps: toGbps(bytes - cur.bytes),
-				ServedPkts: pkts - cur.pkts,
-				Drops:      drops - cur.drops,
+				Chain:       tc.name,
+				Name:        el.name,
+				Type:        el.typ,
+				Loc:         loc,
+				ServedGbps:  toGbps(bytes - cur.bytes),
+				ServedPkts:  pkts - cur.pkts,
+				OfferedGbps: toGbps(offBytes - cur.offeredBytes),
+				OfferedPkts: offPkts - cur.offeredPkts,
+				Drops:       drops - cur.drops,
 			}
 			if cap, err := r.cfg.Catalog.Lookup(el.typ, loc); err == nil && cap > 0 {
 				load.Utilization = load.ServedGbps / float64(cap)
+				load.Demand = load.OfferedGbps / float64(cap)
 			}
-			*cur = meterCursor{bytes: bytes, pkts: pkts, drops: drops}
+			*cur = meterCursor{
+				bytes: bytes, pkts: pkts, drops: drops,
+				offeredBytes: offBytes, offeredPkts: offPkts,
+			}
 			out.Elements = append(out.Elements, load)
 
 			dev := &out.NIC
@@ -182,7 +234,8 @@ func (s *LoadSampler) Sample() LoadSample {
 				dev = &out.CPU
 			}
 			dev.ServedGbps += load.ServedGbps
-			dev.Utilization += load.Utilization
+			dev.Utilization += load.Demand
+			dev.GrantUtilization += load.Utilization
 			dev.Drops += load.Drops
 		}
 
@@ -206,6 +259,17 @@ func (s *LoadSampler) Sample() LoadSample {
 	}
 	if t := out.Drops + out.DeliveredPkts; t > 0 {
 		out.LossRate = float64(out.Drops) / float64(t)
+	}
+	for kind, dg := range r.gates {
+		total := dg.grantedUnits()
+		rate := (total - s.granted[kind]) / sec
+		s.granted[kind] = total
+		switch kind {
+		case device.KindSmartNIC:
+			out.NIC.GrantRate = rate
+		case device.KindCPU:
+			out.CPU.GrantRate = rate
+		}
 	}
 	s.last = now
 	return out

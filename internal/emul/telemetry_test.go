@@ -41,8 +41,10 @@ func TestLoadSamplerMeasuresWindow(t *testing.T) {
 		t.Errorf("head served %d pkts, want %d", got, sent)
 	}
 	// Device aggregation: Figure 1 places LB on the CPU and the rest on the
-	// NIC, and utilization must be the sum of served/θ per resident element.
-	var nicU, cpuU float64
+	// NIC. Device Utilization (what the detector sees) must be the sum of
+	// offered demand per resident element, and GrantUtilization the sum of
+	// what they were actually granted (served/θ).
+	var nicD, cpuD, nicG, cpuG float64
 	for _, el := range s.Elements {
 		cap, err := device.Table1().Lookup(el.Type, el.Loc)
 		if err != nil {
@@ -51,19 +53,35 @@ func TestLoadSamplerMeasuresWindow(t *testing.T) {
 		if el.ServedPkts == 0 {
 			t.Errorf("element %s served nothing", el.Name)
 		}
-		want := el.ServedGbps / float64(cap)
-		if math.Abs(el.Utilization-want) > 1e-9 {
+		if el.OfferedPkts < el.ServedPkts {
+			t.Errorf("%s offered %d pkts < served %d", el.Name, el.OfferedPkts, el.ServedPkts)
+		}
+		if want := el.ServedGbps / float64(cap); math.Abs(el.Utilization-want) > 1e-9 {
 			t.Errorf("%s utilization = %v, want %v", el.Name, el.Utilization, want)
 		}
+		if want := el.OfferedGbps / float64(cap); math.Abs(el.Demand-want) > 1e-9 {
+			t.Errorf("%s demand = %v, want %v", el.Name, el.Demand, want)
+		}
 		if el.Loc == device.KindCPU {
-			cpuU += el.Utilization
+			cpuD += el.Demand
+			cpuG += el.Utilization
 		} else {
-			nicU += el.Utilization
+			nicD += el.Demand
+			nicG += el.Utilization
 		}
 	}
-	if math.Abs(s.NIC.Utilization-nicU) > 1e-9 || math.Abs(s.CPU.Utilization-cpuU) > 1e-9 {
-		t.Errorf("device utilization NIC=%v CPU=%v, want %v / %v",
-			s.NIC.Utilization, s.CPU.Utilization, nicU, cpuU)
+	if math.Abs(s.NIC.Utilization-nicD) > 1e-9 || math.Abs(s.CPU.Utilization-cpuD) > 1e-9 {
+		t.Errorf("device demand NIC=%v CPU=%v, want %v / %v",
+			s.NIC.Utilization, s.CPU.Utilization, nicD, cpuD)
+	}
+	if math.Abs(s.NIC.GrantUtilization-nicG) > 1e-9 || math.Abs(s.CPU.GrantUtilization-cpuG) > 1e-9 {
+		t.Errorf("device grant NIC=%v CPU=%v, want %v / %v",
+			s.NIC.GrantUtilization, s.CPU.GrantUtilization, nicG, cpuG)
+	}
+	// The device gate's own grant-rate accounting must agree with the
+	// metered form within the window's measurement slack.
+	if s.NIC.GrantRate <= 0 {
+		t.Error("NIC gate granted nothing over a window with served traffic")
 	}
 	if s.CPU.ServedGbps <= 0 {
 		t.Error("LB on the CPU served nothing")

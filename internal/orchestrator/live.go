@@ -35,6 +35,11 @@ type Live struct {
 	// per hosted chain (catalog units) — the per-chain mix the selection
 	// view apportions the smoothed throughput by.
 	perChain []float64
+	// nicUtil/cpuUtil are the last window's measured *demand* utilizations
+	// (Σ offered/θ per device). They ride into the selection view so the
+	// overload recheck sees the demand the shared device gates could not
+	// grant — delivered throughput alone goes blind during a collapse.
+	nicUtil, cpuUtil float64
 
 	stop chan struct{}
 	done chan struct{}
@@ -57,7 +62,10 @@ func NewLive(rt *emul.Runtime, cfg Config, viewTemplate core.View) (*Live, error
 		for i, c := range placements {
 			loads[i] = core.Load{Chain: c, Throughput: device.Gbps(per[i])}
 		}
-		return multiViewFrom(viewTemplate, loads)
+		o.smu.Lock()
+		nicU, cpuU := o.nicUtil, o.cpuUtil
+		o.smu.Unlock()
+		return multiViewFrom(viewTemplate, loads, nicU, cpuU)
 	}
 	l, err := newLoop(cfg, view, o.execute)
 	if err != nil {
@@ -107,6 +115,7 @@ func (o *Live) Poll() {
 	}
 	o.smu.Lock()
 	o.samples = append(o.samples, ls)
+	o.nicUtil, o.cpuUtil = ls.NIC.Utilization, ls.CPU.Utilization
 	if len(ls.Chains) > 0 {
 		if o.perChain == nil {
 			o.perChain = make([]float64, len(ls.Chains))

@@ -26,7 +26,12 @@ import (
 
 // multiViewFrom assembles the loop's native view around live per-chain
 // loads, copying the shared device/catalog parameters from the template.
-func multiViewFrom(t core.View, loads []core.Load) core.MultiView {
+// nicUtil/cpuUtil, when positive, carry the backend's measured demand
+// utilizations into the selector's overload check (the live emulator's
+// shared device gates collapse delivered throughput, so the fluid model at
+// θcur goes blind during the very overload being handled); the DES backend
+// passes zero and keeps the pure-model check.
+func multiViewFrom(t core.View, loads []core.Load, nicUtil, cpuUtil float64) core.MultiView {
 	return core.MultiView{
 		Loads:             loads,
 		Catalog:           t.Catalog,
@@ -34,6 +39,8 @@ func multiViewFrom(t core.View, loads []core.Load) core.MultiView {
 		CPU:               t.CPU,
 		BorderMode:        t.BorderMode,
 		OverloadThreshold: t.OverloadThreshold,
+		MeasuredNICUtil:   nicUtil,
+		MeasuredCPUUtil:   cpuUtil,
 	}
 }
 
@@ -50,7 +57,7 @@ type Orchestrator struct {
 func New(sim *chainsim.Sim, cfg Config, viewTemplate core.View) (*Orchestrator, error) {
 	o := &Orchestrator{sim: sim}
 	view := func() core.MultiView {
-		return multiViewFrom(viewTemplate, []core.Load{{Chain: sim.Placement()}})
+		return multiViewFrom(viewTemplate, []core.Load{{Chain: sim.Placement()}}, 0, 0)
 	}
 	l, err := newLoop(cfg, view, o.execute)
 	if err != nil {

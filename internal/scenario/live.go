@@ -2,12 +2,14 @@ package scenario
 
 // The live-hotspot scenario: the paper's closed loop run end to end on the
 // batched execution emulator instead of the discrete-event simulator. Real
-// frames ramp from a calm rate to Params.OverloadGbps, the control plane
-// detects the SmartNIC hot spot from measured meter windows, PAM pushes a
-// border vNF aside via a real UNO-style migration, and served throughput
-// recovers. The one runner backs the hotspot_mitigation example,
-// `pamctl -engine emul live`, and the -race control-loop tests, so they all
-// exercise an identical configuration (see DESIGN.md §4).
+// frames ramp from a calm rate to LiveOverloadGbps; the shared per-device
+// capacity gate collapses delivered throughput to the Figure-1 NIC
+// residents' aggregate saturation while the control plane sees the
+// SmartNIC's measured *demand* climb past the threshold, PAM pushes a
+// border vNF aside via a real UNO-style migration, and delivery recovers
+// to the offered rate. The one runner backs the hotspot_mitigation
+// example, `pamctl -engine emul live`, and the -race control-loop tests,
+// so they all exercise an identical configuration (see DESIGN.md §4).
 
 import (
 	"fmt"
@@ -32,11 +34,11 @@ type LiveParams struct {
 	Scale float64
 	// BatchSize and Workers configure the burst dataplane (defaults 8, 2).
 	// The default batch is smaller than the emulator's usual 32: a burst is
-	// admitted through an element's token gate in one transaction, so its
-	// bytes must fit the gate's 10 ms burst budget or the worker stalls for
-	// tens of milliseconds per burst. At Scale 1000 the slowest Figure-1
-	// gates hold ~4-5 KB of budget — 8 frames of 512 B, not 32 (at the
-	// benchmarks' Scale 200 the budget is 5× larger and batch 32 is fine).
+	// admitted through the shared device gate in one transaction at a cost
+	// of bytes/rate device-seconds, so at Scale 1000 a Logger burst of
+	// 8×512 B already occupies the NIC for ~16 ms — larger batches stall
+	// every co-resident element for tens of milliseconds per burst and blur
+	// the 25 ms sampling windows (DESIGN.md §4).
 	BatchSize int
 	Workers   int
 	// QueueDepth bounds each element's input queue (default 128 — shallow
@@ -59,13 +61,27 @@ type LiveParams struct {
 	Cooldown time.Duration
 	// Phases is the offered-load schedule in catalog Gbps. Nil selects the
 	// default hotspot ramp: calm at Params.ProbeGbps, then overload at
-	// Params.OverloadGbps.
+	// LiveOverloadGbps (not Params.OverloadGbps: with the emulator's shared
+	// device gates the DES overload rate of 4 Gbps would demand-overload
+	// the CPU too, turning the episode into the paper's scale-out terminal
+	// case — see DESIGN.md §5).
 	Phases []traffic.Phase
 	// SleepPCIe makes the emulator really sleep PCIe crossings and state
 	// transfers. Off by default: at Scale ≫ 1 real microsecond sleeps would
 	// be out of proportion to the slowed-down dataplane.
 	SleepPCIe bool
 }
+
+// LiveOverloadGbps is the live hotspot schedule's overload rate (provenance
+// in DESIGN.md §5). It must sit between the shared-NIC saturation of the
+// Figure-1 placement (≈1.096 Gbps: under the per-device capacity gate the
+// whole chain collapses there, not at the Logger's private 2 Gbps) and the
+// rate whose offered demand would overload the CPU as well — the LB's
+// θC = 4 before the push, the LB+Logger's combined 1/(1/4+1/4) = 2 Gbps
+// after it. At 1.8 Gbps the NIC's measured demand reaches ≈1.4 while the
+// CPU stays ≤ 0.9 before and after the migration, so the episode detects,
+// relieves and settles cleanly.
+const LiveOverloadGbps = 1.8
 
 // DefaultLiveParams returns the calibrated live-loop defaults (DESIGN.md §4).
 func DefaultLiveParams() LiveParams {
@@ -110,7 +126,7 @@ func (lp LiveParams) withDefaults(p Params) LiveParams {
 	if lp.Phases == nil {
 		lp.Phases = []traffic.Phase{
 			{RateGbps: p.ProbeGbps, Duration: 300 * time.Millisecond},
-			{RateGbps: p.OverloadGbps, Duration: 1200 * time.Millisecond},
+			{RateGbps: LiveOverloadGbps, Duration: 1200 * time.Millisecond},
 		}
 	}
 	return lp

@@ -16,8 +16,13 @@ import (
 // fires exactly once and pushes the Figure-1 border vNF (logger0) aside via
 // a real migration, a second overload episode inside the cooldown is
 // suppressed, and served throughput recovers past the pre-migration
-// ceiling. Wall-clock (about 1.7 s) and concurrent, so it doubles as a
-// race-detector workout for the whole stack.
+// ceiling. With the shared per-device capacity gates the pre-migration
+// ceiling is the *whole NIC's* saturation under the Figure-1 residents
+// (≈1.1 Gbps — no longer the Logger's private 2 Gbps), detection rides on
+// measured demand (offered/θ, which keeps climbing while delivered
+// collapses), and recovery lifts delivered to the offered rate. Wall-clock
+// (about 1.7 s) and concurrent, so it doubles as a race-detector workout
+// for the whole stack.
 func TestLiveHotspotClosedLoop(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock closed-loop run")
@@ -27,9 +32,14 @@ func TestLiveHotspotClosedLoop(t *testing.T) {
 	lp.Cooldown = time.Hour // any later episode must be suppressed
 	lp.Phases = []traffic.Phase{
 		{RateGbps: p.ProbeGbps, Duration: 250 * time.Millisecond},
-		{RateGbps: p.OverloadGbps, Duration: 700 * time.Millisecond},
+		{RateGbps: scenario.LiveOverloadGbps, Duration: 700 * time.Millisecond},
 		{RateGbps: 0.3, Duration: 300 * time.Millisecond}, // clears the detector
-		{RateGbps: p.OverloadGbps, Duration: 400 * time.Millisecond},
+		// The post-migration placement absorbs LiveOverloadGbps cleanly
+		// (that is what recovery means under shared gates), and its CPU-side
+		// saturation (LB+Logger, 2 Gbps) now caps what can even reach the
+		// NIC — so the second episode is driven by the DES overload rate,
+		// whose LB-queue overflow fires the detector's loss trigger.
+		{RateGbps: p.OverloadGbps, Duration: 500 * time.Millisecond},
 	}
 
 	res, err := scenario.RunLiveHotspot(p, lp, core.PAM{})
@@ -76,14 +86,16 @@ func TestLiveHotspotClosedLoop(t *testing.T) {
 		t.Errorf("no cooldown suppression recorded\nevents:\n%+v", res.Events)
 	}
 
-	// Recovery: pre-migration delivery is capped by the Logger's 2 Gbps NIC
-	// capacity; with the Logger pushed aside the Monitor's 3.2 Gbps is the
-	// new ceiling. Generous margins keep a loaded CI machine from flaking.
-	if res.PreGbps <= 0 || res.PreGbps > 2.5 {
-		t.Errorf("pre-migration delivered %.2f Gbps, want (0, 2.5] (logger-capped)", res.PreGbps)
+	// Recovery: pre-migration delivery is capped by the shared NIC gate at
+	// the Figure-1 residents' aggregate saturation, 1/(1/2+1/3.2+1/10) ≈
+	// 1.1 Gbps; with the Logger pushed aside the chain can carry the full
+	// 1.8 Gbps offered load (NIC ≈ 2.4, CPU = 2.0 post-move saturations).
+	// Generous margins keep a loaded CI machine from flaking.
+	if res.PreGbps <= 0 || res.PreGbps > 1.5 {
+		t.Errorf("pre-migration delivered %.2f Gbps, want (0, 1.5] (shared-NIC-capped)", res.PreGbps)
 	}
-	if res.PostGbps < 2.4 {
-		t.Errorf("post-migration delivered %.2f Gbps, want >= 2.4 (recovered)", res.PostGbps)
+	if res.PostGbps < 1.5 {
+		t.Errorf("post-migration delivered %.2f Gbps, want >= 1.5 (recovered)", res.PostGbps)
 	}
 	if res.PostGbps < res.PreGbps*1.15 {
 		t.Errorf("throughput did not recover: %.2f -> %.2f Gbps", res.PreGbps, res.PostGbps)

@@ -10,15 +10,17 @@ import (
 )
 
 // TestLiveMultiTenantClosedLoop is the acceptance run of the multi-tenant
-// control plane: three tenants share one emulated SmartNIC+CPU pair, the
-// background tenants hold steady while one tenant ramps, and although every
-// chain is individually feasible the summed NIC utilization crosses the
-// threshold. Multi-PAM must relieve the hot spot by pushing a border vNF of
-// some chain aside via a real chain-scoped migration, and every background
-// tenant's measured delivered throughput must stay within 10% of its
-// pre-episode level — the whole point of scoping the migration freeze to
-// the migrating chain. Wall-clock and concurrent, so it doubles as a
-// race-detector workout for the multi-chain stack.
+// control plane over the shared-capacity dataplane: three tenants share one
+// emulated SmartNIC+CPU pair, the background tenants hold steady while one
+// tenant ramps, and although every chain is individually feasible the
+// summed NIC *demand* crosses the threshold. Because the emulator throttles
+// at one capacity gate per device, the overload is physical: the background
+// tenants' delivered throughput must genuinely collapse (≥20% below their
+// calm-phase baseline) while the ramp tenant's bursts consume the NIC's
+// budget, and must recover to within 10% of the baseline once Multi-PAM
+// pushes the ramp tenant's border vNF aside via a real chain-scoped
+// migration. Wall-clock and concurrent, so it doubles as a race-detector
+// workout for the multi-chain stack.
 func TestLiveMultiTenantClosedLoop(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock closed-loop run")
@@ -84,35 +86,49 @@ func TestLiveMultiTenantClosedLoop(t *testing.T) {
 	}
 
 	// The hot spot must have been a *summed* one: some pre-migration window
-	// crossed the threshold in aggregate, and the episode's relief shows in
-	// the final windows.
-	var peak, final float64
+	// crossed the threshold in aggregate demand while the shared gate capped
+	// the granted share near the device budget, and the episode's relief
+	// shows in the final windows.
+	var peakDemand, peakGrant, final float64
 	for _, s := range res.Samples {
-		if s.At < mig.At && s.NIC.Utilization > peak {
-			peak = s.NIC.Utilization
+		if s.At < mig.At {
+			if s.NIC.Utilization > peakDemand {
+				peakDemand = s.NIC.Utilization
+			}
+			if s.NIC.GrantUtilization > peakGrant {
+				peakGrant = s.NIC.GrantUtilization
+			}
 		}
 	}
 	if len(res.Samples) > 0 {
 		final = res.Samples[len(res.Samples)-1].NIC.Utilization
 	}
-	if peak < 0.95 {
-		t.Errorf("aggregate NIC utilization never crossed the threshold before the migration: peak %.2f", peak)
+	if peakDemand < 0.95 {
+		t.Errorf("aggregate NIC demand never crossed the threshold before the migration: peak %.2f", peakDemand)
+	}
+	if peakGrant > 1.5 {
+		t.Errorf("NIC granted %.2f device budget pre-migration; the shared gate should cap near 1.0", peakGrant)
 	}
 	if final >= 0.95 {
-		t.Errorf("aggregate NIC utilization not relieved: final %.2f", final)
+		t.Errorf("aggregate NIC demand not relieved: final %.2f", final)
 	}
 
-	// Background tenants (every tenant but the ramping last one) must stay
-	// within 10% of their pre-episode delivered throughput.
+	// The collapse must be real and the recovery complete: every background
+	// tenant (all but the ramping last one) delivers ≥20% below its calm
+	// baseline during the overload, then returns to within 10% of it.
 	for ti := 0; ti < len(res.Tenants)-1; ti++ {
-		pre, post := res.PreGbps[ti], res.PostGbps[ti]
-		if pre < 0.5*scenario.MultiBackgroundGbps {
-			t.Errorf("tenant %q pre-episode delivered %.2f Gbps, implausibly low", res.Tenants[ti], pre)
+		base, during, post := res.BaselineGbps[ti], res.PreGbps[ti], res.PostGbps[ti]
+		if base < 0.5*scenario.MultiBackgroundGbps {
+			t.Errorf("tenant %q calm baseline %.2f Gbps, implausibly low", res.Tenants[ti], base)
 			continue
 		}
-		if math.Abs(post-pre) > 0.10*pre {
-			t.Errorf("tenant %q delivered moved %.3f -> %.3f Gbps (>10%%) across the migration",
-				res.Tenants[ti], pre, post)
+		if during > 0.80*base {
+			t.Errorf("tenant %q delivered %.3f Gbps during the overload (baseline %.3f): no real collapse (<20%%)",
+				res.Tenants[ti], during, base)
+		}
+		if math.Abs(post-base) > 0.10*base {
+			t.Errorf("tenant %q did not recover: %.3f Gbps after migration vs %.3f baseline (>10%%)",
+				res.Tenants[ti], post, base)
 		}
 	}
 	if len(res.Samples) < 10 {
