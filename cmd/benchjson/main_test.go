@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDataplane/batch=8-8         	  100000	     10523 ns/op	 95012 frames/s	     144 B/op	       2 allocs/op
+BenchmarkPCIeDMAContention/chains=4-8 	       1	 363770313 ns/op	         2.041 agg_Gbps	         4.083 crossing_Gbps	         0.857 fairness
+BenchmarkSharedDeviceContention/elems=16-8 	       1	 201000000 ns/op	         3.1 agg_Gbps	         0.92 fairness
+PASS
+ok  	repro	1.425s
+`
+
+func TestParseExtractsMetrics(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3\n%+v", len(rep.Benchmarks), rep)
+	}
+	dp := rep.Benchmarks[0]
+	if dp.Name != "BenchmarkDataplane/batch=8" {
+		t.Errorf("name = %q; the GOMAXPROCS suffix must be stripped", dp.Name)
+	}
+	if dp.Iterations != 100000 {
+		t.Errorf("iterations = %d, want 100000", dp.Iterations)
+	}
+	if dp.Metrics["frames/s"] != 95012 || dp.Metrics["allocs/op"] != 2 {
+		t.Errorf("dataplane metrics = %v", dp.Metrics)
+	}
+	dma := rep.Benchmarks[1]
+	if dma.Metrics["crossing_Gbps"] != 4.083 || dma.Metrics["fairness"] != 0.857 {
+		t.Errorf("dma metrics = %v", dma.Metrics)
+	}
+	if _, ok := rep.Benchmarks[2].Metrics["agg_Gbps"]; !ok {
+		t.Errorf("shared-device metrics = %v", rep.Benchmarks[2].Metrics)
+	}
+}
+
+func TestParseIgnoresNonBenchLines(t *testing.T) {
+	rep, err := Parse(strings.NewReader("PASS\nok  \trepro\t1.2s\nrandom log line\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("benchmarks = %+v, want none", rep.Benchmarks)
+	}
+}

@@ -17,6 +17,7 @@
 //	pamctl plan                 # print the PAM plan for the Figure-1 chain
 //	pamctl live                 # closed loop: detect → select → migrate
 //	pamctl multi                # multi-tenant: N chains share one NIC+CPU
+//	pamctl crossing             # crossing storm: the DMA engine saturates
 //
 // The live command runs the full control plane on the engine selected with
 // -engine: "chainsim" replays the hotspot scenario in deterministic virtual
@@ -32,6 +33,13 @@
 // model (deterministic, instant); with -engine emul the whole episode runs
 // live on the multi-chain emulator, with a real chain-scoped migration that
 // leaves background tenants forwarding undisturbed (DESIGN.md §4).
+//
+// The crossing command moves the hot spot onto the interconnect itself: a
+// split chain plus crossing-heavy tenants saturate the shared PCIe DMA
+// engine while both devices stay feasible, and the relief is a
+// crossing-reducing border migration. With -engine emul the episode runs on
+// the emulator's shared DMA-engine gate, detected from the measured
+// per-direction crossing demand (DESIGN.md §4).
 //
 // Flags:
 //
@@ -86,6 +94,8 @@ func main() {
 		err = runLive(*engine, p)
 	case "multi":
 		err = runMulti(*engine, p)
+	case "crossing":
+		err = runCrossing(*engine, p)
 	default:
 		err = run(cmd, p, *csv)
 	}
@@ -193,7 +203,7 @@ func run(cmd string, p scenario.Params, csv bool) error {
 			fmt.Printf("%-18s %v\n", sel.Name()+":", plan)
 		}
 	default:
-		return fmt.Errorf("unknown command %q (try: all, table1, figure1, figure2a, figure2b, pcie, headline, ablation-pcie, ablation-naive, future-fpga, multistep, plan, live, multi)", cmd)
+		return fmt.Errorf("unknown command %q (try: all, table1, figure1, figure2a, figure2b, pcie, headline, ablation-pcie, ablation-naive, future-fpga, multistep, plan, live, multi, crossing)", cmd)
 	}
 	return nil
 }

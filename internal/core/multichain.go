@@ -37,6 +37,11 @@ type MultiView struct {
 	// detected.
 	MeasuredNICUtil float64
 	MeasuredCPUUtil float64
+	// MeasuredDMAUtil as in View: the measured PCIe DMA-engine demand
+	// summed over every chain's crossings. The engine is one budget shared
+	// by all tenants, so a crossing-bound hot spot can exist in the sum
+	// alone.
+	MeasuredDMAUtil float64
 }
 
 // MultiPlan is a plan over several chains: per-chain migration steps plus
@@ -109,6 +114,7 @@ func (a singleAsMulti) SelectMulti(v MultiView) (MultiPlan, error) {
 		OverloadThreshold: v.OverloadThreshold,
 		MeasuredNICUtil:   v.MeasuredNICUtil,
 		MeasuredCPUUtil:   v.MeasuredCPUUtil,
+		MeasuredDMAUtil:   v.MeasuredDMAUtil,
 	})
 	if err != nil {
 		return MultiPlan{}, err
@@ -147,6 +153,17 @@ func cpuUtilAll(loads []Load, cat device.Catalog, results []*chain.Chain, cpu de
 		u += ui
 	}
 	return u, nil
+}
+
+// dmaUtilAll sums the fluid model's DMA-engine utilization over all chains
+// at their respective throughputs: every tenant's crossings draw on the one
+// shared engine. Zero when the NIC device models no DMA engines.
+func dmaUtilAll(loads []Load, results []*chain.Chain, nic device.Device) float64 {
+	var u float64
+	for i, l := range loads {
+		u += nic.DMAUtilization(l.Throughput, results[i].Crossings())
+	}
+	return u
 }
 
 // MultiPAM runs the PAM loop over a multi-chain view: while the SmartNIC's
@@ -198,7 +215,16 @@ func (m MultiPAM) Select(v MultiView) (MultiPlan, error) {
 			return MultiPlan{}, err
 		}
 	}
-	if u < th {
+	// The shared DMA engine is the third contended resource: its demand
+	// sums over every tenant's crossings, so a crossing-bound hot spot can
+	// exist in the sum alone while both devices stay feasible — and a
+	// border migration that merges segments is exactly the relief.
+	dmaU := v.MeasuredDMAUtil
+	if dmaU <= 0 {
+		dmaU = dmaUtilAll(v.Loads, results, v.NIC)
+	}
+	overDMA := dmaU >= th
+	if u < th && !overDMA {
 		return MultiPlan{}, ErrNotOverloaded
 	}
 	// Measured both-overloaded terminal case, as in PAM.Select: with every
@@ -266,6 +292,18 @@ func (m MultiPAM) Select(v MultiView) (MultiPlan, error) {
 				excluded[fmt.Sprintf("%d/%s", cd.chainIdx, e.Name)] = true
 				continue
 			}
+			// A DMA-triggered episode must relieve the interconnect: exclude
+			// candidates whose move would add crossings (see PAM.Select).
+			if overDMA {
+				before := c.Crossings()
+				c.SetLoc(cd.pos, device.KindCPU)
+				added := c.Crossings() > before
+				c.SetLoc(cd.pos, device.KindSmartNIC)
+				if added {
+					excluded[fmt.Sprintf("%d/%s", cd.chainIdx, e.Name)] = true
+					continue
+				}
+			}
 			c.SetLoc(cd.pos, device.KindCPU)
 			steps = append(steps, MultiStepEntry{
 				ChainIndex: cd.chainIdx,
@@ -278,12 +316,14 @@ func (m MultiPAM) Select(v MultiView) (MultiPlan, error) {
 			return MultiPlan{}, ErrBothOverloaded
 		}
 
-		// Aggregate Eq. 3.
+		// Aggregate Eq. 3, with the model's post-migration crossing load
+		// required to cool when the episode was DMA-triggered.
 		u, err := nicUtilAll(v.Loads, v.Catalog, results)
 		if err != nil {
 			return MultiPlan{}, err
 		}
-		if u < 1 {
+		dmaCool := !overDMA || dmaUtilAll(v.Loads, results, v.NIC) < 1
+		if u < 1 && dmaCool {
 			return MultiPlan{Selector: m.Name(), Steps: steps, Results: results}, nil
 		}
 	}

@@ -37,11 +37,19 @@ func (p PAM) Select(v View) (Plan, error) {
 	if err := v.Chain.Validate(); err != nil {
 		return Plan{}, err
 	}
-	overloaded, err := v.NICOverloaded()
+	overNIC, err := v.NICOverloaded()
 	if err != nil {
 		return Plan{}, err
 	}
-	if !overloaded {
+	// A crossing-bound overload — the shared DMA engine saturated while the
+	// NIC itself stays feasible — also triggers selection: a border
+	// migration that merges device segments removes crossings, which is
+	// exactly the relief the interconnect needs.
+	overDMA, err := v.DMAOverloaded()
+	if err != nil {
+		return Plan{}, err
+	}
+	if !overNIC && !overDMA {
 		return Plan{}, ErrNotOverloaded
 	}
 	// The paper's terminal case, detected from measurement: when the
@@ -109,6 +117,20 @@ func (p PAM) Select(v View) (Plan, error) {
 				excluded[elem.Name] = true
 				continue // back to Step 2
 			}
+			// A DMA-triggered episode must relieve the interconnect: a
+			// candidate whose move *adds* crossings (possible for the paper
+			// mode's head/tail borders) would deepen the very overload being
+			// handled, so it is excluded like an Eq. 2 failure.
+			if overDMA {
+				before := work.Crossings()
+				work.SetLoc(b0, device.KindCPU)
+				added := work.Crossings() > before
+				work.SetLoc(b0, device.KindSmartNIC)
+				if added {
+					excluded[elem.Name] = true
+					continue
+				}
+			}
 			break
 		}
 
@@ -118,14 +140,18 @@ func (p PAM) Select(v View) (Plan, error) {
 		steps = append(steps, Step{Element: elem.Name, From: device.KindSmartNIC, To: device.KindCPU})
 
 		// Step 3 check 2 (Eq. 3): Σ_{i on S, i≠b0} θcur/θS_i < 1.
-		// The paper's equation sums plain vNF utilizations; the DMA charge
-		// for crossings is a dataplane effect the algorithm does not see.
+		// The paper's equation sums plain vNF utilizations; in a
+		// NIC-triggered episode the DMA charge for crossings stays a
+		// dataplane effect the algorithm does not see. A DMA-triggered
+		// episode additionally requires the model's post-migration crossing
+		// load to cool below the engine budget before terminating.
 		nicU, err := device.Device{Kind: device.KindSmartNIC}.
 			Utilization(v.Catalog, work.TypesOn(device.KindSmartNIC), v.Throughput)
 		if err != nil {
 			return Plan{}, fmt.Errorf("pam: %w", err)
 		}
-		if nicU < 1 {
+		dmaCool := !overDMA || v.NIC.DMAUtilization(v.Throughput, work.Crossings()) < 1
+		if nicU < 1 && dmaCool {
 			return finishPlan(p.Name(), v, work, steps)
 		}
 		// Otherwise loop: border sets are recomputed from the updated

@@ -50,6 +50,14 @@ type View struct {
 	// from measurement rather than from the model's collapsed θcur. The
 	// selection equations themselves consult the model.
 	MeasuredCPUUtil float64
+	// MeasuredDMAUtil, when positive, is the telemetry-measured PCIe
+	// DMA-engine demand (offered crossing load over the shared engine
+	// budget, in engine-seconds per second). A crossing-bound overload —
+	// the engine saturated while both devices stay feasible — triggers
+	// selection through it, and the selectors then refuse any candidate
+	// whose move would *add* crossings and require the model's
+	// post-migration DMA estimate to cool before terminating.
+	MeasuredDMAUtil float64
 }
 
 // DefaultOverloadThreshold declares the NIC hot when the linear model puts
@@ -141,6 +149,24 @@ func (v View) NICOverloaded() (bool, error) {
 		return false, err
 	}
 	return a.NICUtil >= th, nil
+}
+
+// DMAOverloaded reports whether the PCIe/DMA-engine utilization reaches the
+// overload threshold: the measured demand when the backend supplied one,
+// otherwise the fluid model's crossings×θcur/θ_DMA estimate (zero when the
+// NIC device models no DMA engines).
+func (v View) DMAOverloaded() (bool, error) {
+	th := v.OverloadThreshold
+	if th <= 0 {
+		th = DefaultOverloadThreshold
+	}
+	if v.MeasuredDMAUtil > 0 {
+		return v.MeasuredDMAUtil >= th, nil
+	}
+	if err := v.Chain.Validate(); err != nil {
+		return false, err
+	}
+	return v.NIC.DMAUtilization(v.Throughput, v.Chain.Crossings()) >= th, nil
 }
 
 // Step is one vNF migration.

@@ -26,6 +26,14 @@ const (
 	KindFPGA
 )
 
+// Kinds lists every device kind, in declaration order. Registries that key
+// per-device resources by kind (the emulator's shared capacity gates) build
+// from this list, so adding a kind here automatically materializes its
+// entry everywhere instead of leaving a nil lookup to trip over.
+func Kinds() []Kind {
+	return []Kind{KindSmartNIC, KindCPU, KindFPGA}
+}
+
 // String names the kind.
 func (k Kind) String() string {
 	switch k {

@@ -16,6 +16,7 @@ package emul
 // share the budget burst-by-burst instead of racing wakeups.
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -165,12 +166,27 @@ func (dg *deviceGate) detach()       { dg.residents.Add(-1) }
 func (dg *deviceGate) resident() int { return int(dg.residents.Load()) }
 
 // newDeviceGates builds the runtime's registry: one shared gate per device
-// kind, keyed by device.Kind. All kinds are materialized upfront so a live
-// migration can target a device no element started on.
+// kind. All kinds are materialized upfront so a live migration can target a
+// device no element started on. The list comes from device.Kinds — the
+// registry used to hard-code three kinds, so a kind added to the device
+// package was silently absent here and the first placement on it
+// dereferenced a nil gate.
 func newDeviceGates(burst time.Duration) map[device.Kind]*deviceGate {
-	return map[device.Kind]*deviceGate{
-		device.KindSmartNIC: newDeviceGate(device.KindSmartNIC, burst),
-		device.KindCPU:      newDeviceGate(device.KindCPU, burst),
-		device.KindFPGA:     newDeviceGate(device.KindFPGA, burst),
+	gates := make(map[device.Kind]*deviceGate, len(device.Kinds()))
+	for _, k := range device.Kinds() {
+		gates[k] = newDeviceGate(k, burst)
 	}
+	return gates
+}
+
+// UnknownDeviceKindError reports a placement or migration that targets a
+// device kind the gate registry does not carry — a kind outside
+// device.Kinds. Callers get a typed error instead of a nil-gate panic.
+type UnknownDeviceKindError struct {
+	Kind device.Kind
+}
+
+// Error implements error.
+func (e *UnknownDeviceKindError) Error() string {
+	return fmt.Sprintf("emul: no capacity gate for device kind %v (known kinds: %v)", e.Kind, device.Kinds())
 }

@@ -7,6 +7,7 @@ package emul
 // and the migration coordinator all run concurrently.
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -148,6 +149,72 @@ func TestDeviceGateAttachDetachDuringFreeze(t *testing.T) {
 	}
 }
 
+// TestDeviceGateRegistryCoversAllKinds guards the registry construction:
+// one gate per device.Kinds entry (the map used to hard-code three kinds,
+// so a kind added to the device package was silently absent) and a typed
+// error — not a nil deref — for a kind outside the list.
+func TestDeviceGateRegistryCoversAllKinds(t *testing.T) {
+	r := twoTenantRuntime(t, device.TypeMonitor, device.TypeMonitor, pcie.DefaultLink(), false)
+	for _, k := range device.Kinds() {
+		g, err := r.gateFor(k)
+		if err != nil || g == nil {
+			t.Errorf("gateFor(%v) = %v, %v; every declared kind must have a gate", k, g, err)
+		}
+		if g != nil && g.kind != k {
+			t.Errorf("gateFor(%v) returned the %v gate", k, g.kind)
+		}
+	}
+	var unknown *UnknownDeviceKindError
+	if _, err := r.gateFor(device.Kind(99)); !errors.As(err, &unknown) {
+		t.Fatalf("gateFor(99) err = %v, want *UnknownDeviceKindError", err)
+	} else if unknown.Kind != device.Kind(99) {
+		t.Errorf("error kind = %v, want 99", unknown.Kind)
+	}
+}
+
+// TestCloseReleasesParkedWorker is the shutdown regression: Close must not
+// hang while a worker is parked in chargeFor on a rate-less element with
+// frames in flight. Close wakes the park, the worker abandons (and
+// accounts) its burst, and Drain completes.
+func TestCloseReleasesParkedWorker(t *testing.T) {
+	r := twoTenantRuntime(t, device.TypeMonitor, device.TypeMonitor, pcie.DefaultLink(), false)
+	r.Start()
+
+	// Simulate the pre-placement state: the worker that picks these frames
+	// up must park on the rate condition.
+	el := r.chains[0].elems[0]
+	el.rateMu.Lock()
+	el.rateBps = 0
+	el.rateMu.Unlock()
+
+	synth := traffic.NewSynth(4, 5)
+	accepted := 0
+	for i := 0; i < 4; i++ {
+		if r.SendChain(0, synth.Frame(uint64(i), 256)) {
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("no frame accepted")
+	}
+	time.Sleep(20 * time.Millisecond) // let the worker reach the park
+
+	done := make(chan struct{})
+	go func() {
+		r.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a worker parked in a zero-rate element")
+	}
+	// The abandoned burst is accounted as this element's drops.
+	if got := el.meter.Drops(); got != uint64(accepted) {
+		t.Errorf("abandoned frames dropped = %d, want %d", got, accepted)
+	}
+}
+
 // TestZeroRateElementParks covers the element-side zero-rate path: a worker
 // observing an element before its first placement must park on the rate
 // condition (not spin in 5 ms slices) and wake when place supplies a rate.
@@ -167,7 +234,10 @@ func TestZeroRateElementParks(t *testing.T) {
 	}
 	done := make(chan res, 1)
 	go func() {
-		c, d := el.chargeFor(1000)
+		c, d, ok := el.chargeFor(1000)
+		if !ok {
+			t.Error("chargeFor aborted without a close")
+		}
 		done <- res{c, d}
 	}()
 	select {

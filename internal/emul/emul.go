@@ -5,7 +5,9 @@
 // both the Table-1 capacity asymmetry between SmartNIC and CPU and the
 // paper's linear contention model (co-resident vNFs whose summed demand
 // exceeds the device budget physically collapse each other's throughput) —
-// with PCIe crossings emulated as latency and live UNO-style migration
+// with PCIe crossings drawing on one shared DMA-engine budget in
+// link-seconds (so simultaneous crossings contend for the interconnect just
+// as co-resident vNFs contend for a device) and live UNO-style migration
 // (freeze → state transfer → restore → replay) while traffic flows.
 //
 // The dataplane is batch-granular, in the style of a DPDK burst loop: each
@@ -67,7 +69,11 @@ type Config struct {
 	// Migrate-by-name stays unambiguous).
 	Chains  []*chain.Chain
 	Catalog device.Catalog
-	// Link models PCIe crossings (slept as latency).
+	// Link models PCIe crossings. Every crossing burst draws
+	// PropDelay + scaled serialization from the runtime's one shared
+	// DMA-engine budget (see dmagate.go), so concurrent crossings contend
+	// for the link instead of each seeing it unloaded; a zero Link makes
+	// crossings free. SleepPCIe additionally sleeps the unloaded latency.
 	Link pcie.Link
 	// Scale divides catalog rates so the host can saturate them: an NF with
 	// θ = 2 Gbps and Scale = 1000 is throttled to 2 Mbps. Default 1000.
@@ -97,8 +103,10 @@ type Config struct {
 	// AcquireFrame and must not retain frames in an egress tap beyond the
 	// call. Off by default: frames are left to the GC.
 	PoolFrames bool
-	// SleepPCIe enables real sleeps for PCIe crossings. Off, crossings are
-	// only accounted (useful for fast tests).
+	// SleepPCIe enables real sleeps for the unloaded PCIe crossing latency
+	// on top of the shared DMA-engine charge (which models occupancy and
+	// contention, not the latency floor). Off, crossings cost only their
+	// engine budget.
 	SleepPCIe bool
 }
 
@@ -128,6 +136,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Catalog == nil {
 		return c, errors.New("emul: nil catalog")
+	}
+	// chainsim validates its link up front; the emulator historically did
+	// not, silently accepting a negative PropDelay or bandwidth that later
+	// produced negative sleeps and negative gate costs.
+	if err := c.Link.Validate(); err != nil {
+		return c, fmt.Errorf("emul: %w", err)
 	}
 	if c.Scale <= 0 {
 		c.Scale = 1000
@@ -211,20 +225,38 @@ type element struct {
 	offeredBytes atomic.Uint64
 	offeredPkts  atomic.Uint64
 
+	// epochMu guards epochs: the element's cumulative meter totals at each
+	// past migration, recorded while the shards are frozen. A LoadSampler
+	// splits its window at these cuts so the slice served on the old device
+	// is attributed to — and priced at the catalog capacity of — that
+	// device, instead of the whole window being charged to wherever the
+	// element sits at sample time. Append-only (migrations are rare and
+	// cooldown-bounded); samplers keep their own consumption cursor.
+	epochMu sync.Mutex
+	epochs  []locEpoch
+
 	migMu sync.Mutex // serializes migrations of this element
 }
 
 // chargeFor blocks until the element has a positive rate and returns the
 // burst's cost in normalized device-seconds plus the gate to charge it to.
-func (el *element) chargeFor(totalBytes int) (float64, *deviceGate) {
+// It reports ok=false when the runtime closed while the worker was parked
+// on a non-positive rate: Close broadcasts the rate conditions after
+// setting closed, and an abandoned park must release its burst instead of
+// stranding Drain on frames nobody will ever serve.
+func (el *element) chargeFor(totalBytes int) (cost float64, dev *deviceGate, ok bool) {
 	el.rateMu.Lock()
 	for el.rateBps <= 0 {
+		if el.parent.closed.Load() {
+			el.rateMu.Unlock()
+			return 0, nil, false
+		}
 		el.rateCond.Wait()
 	}
-	cost := float64(totalBytes) / el.rateBps
-	dev := el.dev
+	cost = float64(totalBytes) / el.rateBps
+	dev = el.dev
 	el.rateMu.Unlock()
-	return cost, dev
+	return cost, dev, true
 }
 
 // place points the element at a device gate with its scaled catalog rate
@@ -280,6 +312,9 @@ type Runtime struct {
 	// instance, keyed by device.Kind, shared by every resident element
 	// across all hosted chains. Built once in New; the map is immutable.
 	gates map[device.Kind]*deviceGate
+	// dma is the shared DMA-engine budget every PCIe crossing of every
+	// chain draws on — the interconnect analogue of the per-device gates.
+	dma *dmaGate
 
 	start   time.Time
 	started atomic.Bool
@@ -303,6 +338,7 @@ func New(cfg Config) (*Runtime, error) {
 	r := &Runtime{
 		cfg:      cfg,
 		gates:    newDeviceGates(cfg.DeviceBurst),
+		dma:      newDMAGate(cfg.Link, cfg.Scale, cfg.DeviceBurst),
 		frames:   packet.NewFramePool(),
 		decoders: packet.NewDecoderPool(),
 	}
@@ -334,7 +370,11 @@ func New(cfg Config) (*Runtime, error) {
 			}
 			el.loc.Store(int32(e.Loc))
 			el.rateCond = sync.NewCond(&el.rateMu)
-			el.place(r.gates[e.Loc], bytesPerSec(rate, cfg.Scale))
+			gate, err := r.gateFor(e.Loc)
+			if err != nil {
+				return nil, fmt.Errorf("emul: chain %q element %d: %w", spec.Name, i, err)
+			}
+			el.place(gate, bytesPerSec(rate, cfg.Scale))
 			nshards := 1
 			if inst.ConcurrencySafe() {
 				nshards = cfg.Workers
@@ -357,6 +397,17 @@ func New(cfg Config) (*Runtime, error) {
 // bytesPerSec converts a catalog rate to the emulated throttle rate.
 func bytesPerSec(g device.Gbps, scale float64) float64 {
 	return float64(g) * 1e9 / 8 / scale
+}
+
+// gateFor resolves the shared capacity gate of a device kind, returning a
+// typed *UnknownDeviceKindError instead of a nil gate for a kind outside
+// device.Kinds (the registry is built from that list, so this only trips
+// when a caller fabricates a Kind value).
+func (r *Runtime) gateFor(k device.Kind) (*deviceGate, error) {
+	if g, ok := r.gates[k]; ok {
+		return g, nil
+	}
+	return nil, &UnknownDeviceKindError{Kind: k}
 }
 
 // Start launches the element workers. It must be called once before Send.
@@ -418,11 +469,21 @@ func (r *Runtime) SendChain(ci int, frame []byte) bool {
 	// it even when the shared device gate cannot grant it.
 	first.offeredPkts.Add(1)
 	first.offeredBytes.Add(uint64(len(frame)))
+	headCPU := device.Kind(first.loc.Load()) == device.KindCPU
+	if headCPU {
+		// DMA demand is metered at arrival too: this frame must cross to
+		// reach the CPU-resident head, and — when the head is also the tail —
+		// cross back on egress, whether or not the engine ever grants it.
+		r.dma.offer(dmaToCPU, uint64(len(frame)))
+		if len(tc.elems) == 1 {
+			r.dma.offer(dmaToNIC, uint64(len(frame)))
+		}
+	}
 	j := job{
 		frame:    frame,
 		hash:     packet.FlowHash(frame),
 		ingress:  r.now(),
-		crossing: device.Kind(first.loc.Load()) == device.KindCPU, // NIC ingress → CPU
+		crossing: headCPU, // NIC ingress → CPU
 	}
 	r.inFlight.Add(1)
 	select {
@@ -450,6 +511,16 @@ func (r *Runtime) Close() {
 		return
 	}
 	r.closeMu.Unlock()
+	// Wake any worker parked on a non-positive rate: chargeFor re-checks
+	// closed on wakeup and abandons its burst, so Drain below cannot hang on
+	// frames a rate-less element will never serve.
+	for _, tc := range r.chains {
+		for _, el := range tc.elems {
+			el.rateMu.Lock()
+			el.rateCond.Broadcast()
+			el.rateMu.Unlock()
+		}
+	}
 	r.Drain()
 	for _, tc := range r.chains {
 		for _, el := range tc.elems {
@@ -560,14 +631,35 @@ func (s *shard) processBatch(jobs []job, decs []*packet.Decoder, ctxs []nf.Ctx, 
 			crossBytes += len(jobs[i].frame)
 		}
 	}
-	cost, dev := el.chargeFor(total)
+	cost, dev, ok := el.chargeFor(total)
+	if !ok {
+		// Runtime closed while this burst was parked on a rate-less element:
+		// abandon it so Close's Drain completes. The frames are accounted as
+		// this element's queue drops — they were accepted but never served.
+		dropNow := r.now()
+		el.drops.Add(uint64(n))
+		el.meter.DropN(uint64(n), dropNow)
+		el.ch.meter.DropN(uint64(n), dropNow)
+		for i := range jobs {
+			r.recycle(jobs[i].frame)
+		}
+		r.inFlight.Add(-n)
+		return
+	}
 	dev.take(cost)
 
-	// PCIe crossing latency to reach this element: propagation is paid
-	// once per burst (descriptors are posted back-to-back), serialization
-	// per crossing frame.
-	if crossed && r.cfg.SleepPCIe {
-		time.Sleep(r.cfg.Link.PropDelay + r.cfg.Link.SerializationTime(crossBytes))
+	// PCIe crossings to reach this element draw on the runtime's shared
+	// DMA-engine budget — one charge per burst (descriptors are posted
+	// back-to-back, so the fixed overhead is paid once; serialization is per
+	// crossing byte). Contention blocks here, which is how N shards or N
+	// tenant chains crossing at once physically share one link. SleepPCIe
+	// additionally sleeps the unloaded crossing latency (the gate models
+	// occupancy and queueing, not the latency floor).
+	if crossed {
+		r.dma.cross(dirTo(device.Kind(el.loc.Load())), crossBytes)
+		if r.cfg.SleepPCIe {
+			time.Sleep(r.cfg.Link.PropDelay + r.cfg.Link.SerializationTime(crossBytes))
+		}
 	}
 
 	now := r.now()
@@ -619,6 +711,16 @@ func (s *shard) processBatch(jobs []job, decs []*packet.Decoder, ctxs []nf.Ctx, 
 	if fwdPkts > 0 {
 		next.offeredPkts.Add(fwdPkts)
 		next.offeredBytes.Add(fwdBytes)
+		// Crossing demand at arrival, queue-dropped frames included: the hop
+		// to a cross-device neighbour, plus the egress hop a CPU-resident
+		// tail will owe.
+		nextLoc := device.Kind(next.loc.Load())
+		if crossingNext {
+			r.dma.offer(dirTo(nextLoc), fwdBytes)
+		}
+		if next.pos == len(el.ch.elems)-1 && nextLoc == device.KindCPU {
+			r.dma.offer(dmaToNIC, fwdBytes)
+		}
 	}
 	if qdrops > 0 {
 		dropNow := r.now()
@@ -636,15 +738,21 @@ func (s *shard) processBatch(jobs []job, decs []*packet.Decoder, ctxs []nf.Ctx, 
 func (s *shard) egressBatch(jobs []job, verdicts []nf.Verdict, lats *[]int64) {
 	el := s.el
 	r := el.parent
-	if device.Kind(el.loc.Load()) == device.KindCPU && r.cfg.SleepPCIe {
+	if device.Kind(el.loc.Load()) == device.KindCPU {
 		bytes := 0
 		for i := range jobs {
 			if i < len(verdicts) && verdicts[i] == nf.VerdictPass {
 				bytes += len(jobs[i].frame)
 			}
 		}
+		// The egress hop back to the NIC draws on the same shared DMA-engine
+		// budget as every other crossing (demand was metered when the frames
+		// arrived at this tail).
 		if bytes > 0 {
-			time.Sleep(r.cfg.Link.PropDelay + r.cfg.Link.SerializationTime(bytes))
+			r.dma.cross(dmaToNIC, bytes)
+			if r.cfg.SleepPCIe {
+				time.Sleep(r.cfg.Link.PropDelay + r.cfg.Link.SerializationTime(bytes))
+			}
 		}
 	}
 	now := r.now()
@@ -682,6 +790,10 @@ func (el *element) doMigrate(to device.Kind) (migrate.Report, error) {
 	if err != nil {
 		return migrate.Report{}, err
 	}
+	gate, err := r.gateFor(to)
+	if err != nil {
+		return migrate.Report{}, err
+	}
 	fresh, err := nf.New(el.name, el.typ)
 	if err != nil {
 		return migrate.Report{}, err
@@ -716,6 +828,22 @@ func (el *element) doMigrate(to device.Kind) (migrate.Report, error) {
 	el.mu.Lock()
 	el.inst = fresh
 	el.mu.Unlock()
+	// Cut the telemetry attribution before the placement flips: everything
+	// metered up to this instant was served on — and must be priced at the
+	// catalog capacity of — the old device. The shards are still paused, so
+	// the served meters are stable; offered counters may tick from upstream
+	// forwarding into the freeze buffers, which only shifts frames neither
+	// device has served yet.
+	el.epochMu.Lock()
+	el.epochs = append(el.epochs, locEpoch{
+		loc:          from,
+		bytes:        el.meter.Bytes(),
+		pkts:         el.meter.Packets(),
+		drops:        el.meter.Drops(),
+		offeredBytes: el.offeredBytes.Load(),
+		offeredPkts:  el.offeredPkts.Load(),
+	})
+	el.epochMu.Unlock()
 	el.loc.Store(int32(to))
 	// Re-attach to the destination device's shared gate at the catalog rate
 	// there. Attach/detach moves only the resident bookkeeping — the gates'
@@ -723,7 +851,7 @@ func (el *element) doMigrate(to device.Kind) (migrate.Report, error) {
 	// mints device budget; and because the byte→device-second divisor
 	// changes with the rate, an element migrated fast→slow cannot carry the
 	// old device's cheaper costing into its first post-migration burst.
-	el.place(r.gates[to], bytesPerSec(rate, r.cfg.Scale))
+	el.place(gate, bytesPerSec(rate, r.cfg.Scale))
 	rep.Replayed = rep.Buffered // FIFO consumption replays the queues
 	return rep, nil
 }

@@ -221,3 +221,29 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("missing catalog accepted")
 	}
 }
+
+func TestConfigValidatesLink(t *testing.T) {
+	// Regression: withDefaults never called Link.Validate (chainsim does),
+	// so a negative PropDelay or bandwidth was silently accepted and later
+	// produced negative sleeps and negative DMA-gate costs.
+	base := func() emul.Config {
+		return emul.Config{Chain: scenario.Figure1Chain(), Catalog: device.Table1()}
+	}
+	bad := base()
+	bad.Link = pcie.Link{PropDelay: -time.Microsecond}
+	if _, err := emul.New(bad); err == nil {
+		t.Error("negative PropDelay accepted")
+	}
+	bad = base()
+	bad.Link = pcie.Link{BandwidthGbps: -64}
+	if _, err := emul.New(bad); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+	good := base()
+	good.Link = pcie.DefaultLink()
+	r, err := emul.New(good)
+	if err != nil {
+		t.Fatalf("default link rejected: %v", err)
+	}
+	_ = r
+}

@@ -30,12 +30,31 @@ import (
 	"repro/internal/telemetry"
 )
 
-// ElementLoad is one element's measured load over a sampling window.
+// locEpoch is the attribution cut a migration records on its element while
+// the shards are frozen: the element's cumulative meter totals at the
+// moment it left loc. The LoadSampler splits any window spanning the cut so
+// the slice up to it is attributed to — and priced at the catalog capacity
+// of — the old device. Without the cut the sampler read the element's
+// placement at sample time and charged the entire window, including the
+// part served before the move, to the post-migration device.
+type locEpoch struct {
+	loc          device.Kind
+	bytes        uint64
+	pkts         uint64
+	drops        uint64
+	offeredBytes uint64
+	offeredPkts  uint64
+}
+
+// ElementLoad is one element's measured load over a sampling window. A
+// window that spans a live migration yields one entry per placement
+// segment (the slice served on the old device, then the slice on the new
+// one), each priced at its own device's catalog capacity.
 type ElementLoad struct {
 	Chain string // hosting chain's name
 	Name  string
 	Type  string
-	Loc   device.Kind // placement at sample time
+	Loc   device.Kind // placement during this segment of the window
 	// ServedGbps is the rate the element actually processed during the
 	// window, rescaled by Config.Scale into catalog (Table-1) units.
 	ServedGbps float64
@@ -82,6 +101,41 @@ type DeviceLoad struct {
 	Drops     uint64 // frames lost entering resident elements' queues
 }
 
+// DMADirLoad is one crossing direction's measured DMA-engine load over a
+// sampling window.
+type DMADirLoad struct {
+	// DemandGbps is the rate at which traffic arrived wanting to cross in
+	// this direction — including frames a full queue later dropped — in
+	// catalog units. Under engine saturation it exceeds GrantGbps.
+	DemandGbps float64
+	// Demand is the offered share of the engine budget (link-seconds per
+	// second): the serialization time the offered crossings would occupy.
+	Demand float64
+	// GrantGbps is the crossing rate the engine actually admitted, catalog
+	// units.
+	GrantGbps float64
+	// Grant is the granted share of the engine budget, including the
+	// per-burst descriptor overhead (PropDelay) the demand meter cannot
+	// anticipate. The shared gate pins Σ Grant near 1.0.
+	Grant float64
+}
+
+// DMALoad is the shared DMA engine's measured load over a sampling window:
+// both directions' demand and grant, plus the totals the detector and the
+// selection recheck consume. The engine is one shared budget (DESIGN §4) —
+// the per-direction split is attribution, not separate capacity.
+type DMALoad struct {
+	ToCPU DMADirLoad // NIC/FPGA side → host CPU
+	ToNIC DMADirLoad // host CPU → NIC side, including final egress
+	// Utilization is the total offered demand in link-seconds per second —
+	// the crossing analogue of DeviceLoad.Utilization, exceeding 1 while a
+	// crossing-bound overload keeps the grant pinned at the budget.
+	Utilization float64
+	// GrantRate is the gate's own measured total grant over the window in
+	// link-seconds per second, from its cumulative grant counter.
+	GrantRate float64
+}
+
 // ChainLoad is one hosted chain's delivered traffic over a sampling window,
 // the per-tenant view multi-chain selection and tenant-flatness assertions
 // consume.
@@ -103,6 +157,9 @@ type LoadSample struct {
 	Window time.Duration
 	NIC    DeviceLoad
 	CPU    DeviceLoad
+	// DMA is the shared PCIe DMA engine's measured load — the third
+	// contended resource alongside the two devices.
+	DMA DMALoad
 	// DeliveredGbps is the aggregate egress rate over the window (Σ over
 	// chains; the single chain's θcur when one chain is hosted).
 	DeliveredGbps float64
@@ -126,18 +183,22 @@ func (s LoadSample) Telemetry() telemetry.Sample {
 		At:            s.At,
 		NICUtil:       s.NIC.Utilization,
 		CPUUtil:       s.CPU.Utilization,
+		DMAUtil:       s.DMA.Utilization,
 		DeliveredGbps: s.DeliveredGbps,
 		LossRate:      s.LossRate,
 	}
 }
 
-// meterCursor is a sampler's per-meter position at the last sample.
+// meterCursor is a sampler's per-meter position at the last sample. epoch
+// counts the element's migration epochs already consumed, so each window is
+// split at exactly the cuts that fell inside it.
 type meterCursor struct {
 	bytes        uint64
 	pkts         uint64
 	drops        uint64
 	offeredBytes uint64
 	offeredPkts  uint64
+	epoch        int
 }
 
 // LoadSampler produces LoadSamples from a runtime by differencing its meters
@@ -152,6 +213,7 @@ type LoadSampler struct {
 	elems   [][]meterCursor // per chain, per element
 	chains  []meterCursor   // per chain egress meter
 	granted map[device.Kind]float64
+	dma     dmaCounters
 }
 
 // NewLoadSampler attaches a sampler to the runtime. The first Sample call
@@ -168,9 +230,13 @@ func NewLoadSampler(rt *Runtime) *LoadSampler {
 	for ci, tc := range rt.chains {
 		s.elems[ci] = make([]meterCursor, len(tc.elems))
 		for i, el := range tc.elems {
+			el.epochMu.Lock()
+			epoch := len(el.epochs)
+			el.epochMu.Unlock()
 			s.elems[ci][i] = meterCursor{
 				bytes: el.meter.Bytes(), pkts: el.meter.Packets(), drops: el.meter.Drops(),
 				offeredBytes: el.offeredBytes.Load(), offeredPkts: el.offeredPkts.Load(),
+				epoch: epoch,
 			}
 		}
 		s.chains[ci] = meterCursor{bytes: tc.meter.Bytes(), pkts: tc.meter.Packets(), drops: tc.meter.Drops()}
@@ -178,6 +244,7 @@ func NewLoadSampler(rt *Runtime) *LoadSampler {
 	for kind, dg := range rt.gates {
 		s.granted[kind] = dg.grantedUnits()
 	}
+	s.dma = rt.dma.counters()
 	return s
 }
 
@@ -204,39 +271,71 @@ func (s *LoadSampler) Sample() LoadSample {
 	out.Chains = make([]ChainLoad, len(r.chains))
 	for ci, tc := range r.chains {
 		for i, el := range tc.elems {
+			cur := &s.elems[ci][i]
+			// Read order matters against a concurrent migration: placement
+			// first, then epochs, then meters. A migration landing after the
+			// loc read either also lands its epoch cut in this snapshot
+			// (bounding any misattribution to the cut instant) or shows up
+			// whole in the *next* window; the meters, read last, can never
+			// predate an epoch in the snapshot (segment deltas saturate at
+			// zero regardless).
+			loc := device.Kind(el.loc.Load())
+			el.epochMu.Lock()
+			epochs := append([]locEpoch(nil), el.epochs[cur.epoch:]...)
+			el.epochMu.Unlock()
 			bytes, pkts, drops := el.meter.Bytes(), el.meter.Packets(), el.meter.Drops()
 			offBytes, offPkts := el.offeredBytes.Load(), el.offeredPkts.Load()
-			cur := &s.elems[ci][i]
-			loc := device.Kind(el.loc.Load())
-			load := ElementLoad{
-				Chain:       tc.name,
-				Name:        el.name,
-				Type:        el.typ,
-				Loc:         loc,
-				ServedGbps:  toGbps(bytes - cur.bytes),
-				ServedPkts:  pkts - cur.pkts,
-				OfferedGbps: toGbps(offBytes - cur.offeredBytes),
-				OfferedPkts: offPkts - cur.offeredPkts,
-				Drops:       drops - cur.drops,
+
+			// One segment per placement the element held during the window:
+			// each migration epoch recorded since the last sample cuts the
+			// window, and the final segment runs to the current totals on the
+			// current device.
+			segs := append(epochs, locEpoch{
+				loc: loc, bytes: bytes, pkts: pkts, drops: drops,
+				offeredBytes: offBytes, offeredPkts: offPkts,
+			})
+			prev := locEpoch{
+				bytes: cur.bytes, pkts: cur.pkts, drops: cur.drops,
+				offeredBytes: cur.offeredBytes, offeredPkts: cur.offeredPkts,
 			}
-			if cap, err := r.cfg.Catalog.Lookup(el.typ, loc); err == nil && cap > 0 {
-				load.Utilization = load.ServedGbps / float64(cap)
-				load.Demand = load.OfferedGbps / float64(cap)
+			for si, seg := range segs {
+				load := ElementLoad{
+					Chain:       tc.name,
+					Name:        el.name,
+					Type:        el.typ,
+					Loc:         seg.loc,
+					ServedGbps:  toGbps(sub(seg.bytes, prev.bytes)),
+					ServedPkts:  sub(seg.pkts, prev.pkts),
+					OfferedGbps: toGbps(sub(seg.offeredBytes, prev.offeredBytes)),
+					OfferedPkts: sub(seg.offeredPkts, prev.offeredPkts),
+					Drops:       sub(seg.drops, prev.drops),
+				}
+				prev = seg
+				// Idle pre-migration segments carry no information; the final
+				// (current-placement) segment is always emitted.
+				if si < len(segs)-1 && load.ServedPkts == 0 && load.OfferedPkts == 0 && load.Drops == 0 {
+					continue
+				}
+				if cap, err := r.cfg.Catalog.Lookup(el.typ, seg.loc); err == nil && cap > 0 {
+					load.Utilization = load.ServedGbps / float64(cap)
+					load.Demand = load.OfferedGbps / float64(cap)
+				}
+				out.Elements = append(out.Elements, load)
+
+				dev := &out.NIC
+				if seg.loc == device.KindCPU {
+					dev = &out.CPU
+				}
+				dev.ServedGbps += load.ServedGbps
+				dev.Utilization += load.Demand
+				dev.GrantUtilization += load.Utilization
+				dev.Drops += load.Drops
 			}
 			*cur = meterCursor{
 				bytes: bytes, pkts: pkts, drops: drops,
 				offeredBytes: offBytes, offeredPkts: offPkts,
+				epoch: cur.epoch + len(epochs),
 			}
-			out.Elements = append(out.Elements, load)
-
-			dev := &out.NIC
-			if loc == device.KindCPU {
-				dev = &out.CPU
-			}
-			dev.ServedGbps += load.ServedGbps
-			dev.Utilization += load.Demand
-			dev.GrantUtilization += load.Utilization
-			dev.Drops += load.Drops
 		}
 
 		bytes, pkts, drops := tc.meter.Bytes(), tc.meter.Packets(), tc.meter.Drops()
@@ -271,6 +370,30 @@ func (s *LoadSampler) Sample() LoadSample {
 			out.CPU.GrantRate = rate
 		}
 	}
+	dc := r.dma.counters()
+	dir := func(i dmaDir) DMADirLoad {
+		return DMADirLoad{
+			DemandGbps: toGbps(sub(dc.demandBytes[i], s.dma.demandBytes[i])),
+			Demand:     (dc.demandUnits[i] - s.dma.demandUnits[i]) / sec,
+			GrantGbps:  toGbps(sub(dc.grantBytes[i], s.dma.grantBytes[i])),
+			Grant:      (dc.grantUnits[i] - s.dma.grantUnits[i]) / sec,
+		}
+	}
+	out.DMA.ToCPU = dir(dmaToCPU)
+	out.DMA.ToNIC = dir(dmaToNIC)
+	out.DMA.Utilization = out.DMA.ToCPU.Demand + out.DMA.ToNIC.Demand
+	out.DMA.GrantRate = (dc.granted - s.dma.granted) / sec
+	s.dma = dc
 	s.last = now
 	return out
+}
+
+// sub is saturating uint64 subtraction: cumulative counters read at
+// slightly different instants (meters vs. a concurrent migration's epoch
+// cut) must difference to zero, not wrap.
+func sub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
 }

@@ -5,8 +5,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chain"
 	"repro/internal/device"
 	"repro/internal/emul"
+	"repro/internal/pcie"
 	"repro/internal/scenario"
 	"repro/internal/traffic"
 )
@@ -116,6 +118,144 @@ func TestLoadSamplerMeasuresWindow(t *testing.T) {
 	}
 	if q.At <= s.At {
 		t.Errorf("sample time did not advance: %v then %v", s.At, q.At)
+	}
+}
+
+func TestLoadSamplerAttributesMigrationWindowPerDevice(t *testing.T) {
+	// Regression: the sampler used to read the element's placement at
+	// sample time and charge the entire window's served/offered bytes — and
+	// the catalog-capacity denominator — to the post-migration device. A
+	// migration must cut the window so the slice served on the old device
+	// is attributed to it, priced at its own capacity.
+	c, err := chain.New("t", chain.Element{Name: "m0", Type: device.TypeMonitor, Loc: device.KindSmartNIC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := emul.New(emul.Config{
+		Chain:   c,
+		Catalog: device.Table1(),
+		Link:    pcie.DefaultLink(),
+		Scale:   10, // generous: nothing throttles, counts are exact
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	defer r.Close()
+	ls := emul.NewLoadSampler(r)
+
+	synth := traffic.NewSynth(8, 1)
+	const size, nNIC, nCPU = 512, 100, 40
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			if !r.Send(synth.Frame(uint64(i%8), size)) {
+				t.Fatal("ingress drop in an unthrottled runtime")
+			}
+		}
+		r.Drain()
+	}
+	send(nNIC)
+	if _, err := r.Migrate("m0", device.KindCPU); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	send(nCPU)
+	time.Sleep(2 * time.Millisecond)
+	s := ls.Sample()
+
+	// The window spans the migration: one ElementLoad per placement
+	// segment, each priced at its own device's capacity.
+	if len(s.Elements) != 2 {
+		t.Fatalf("elements = %+v, want 2 segments (pre- and post-migration)", s.Elements)
+	}
+	nicSeg, cpuSeg := s.Elements[0], s.Elements[1]
+	if nicSeg.Loc != device.KindSmartNIC || cpuSeg.Loc != device.KindCPU {
+		t.Fatalf("segment locs = %v, %v; want SmartNIC then CPU", nicSeg.Loc, cpuSeg.Loc)
+	}
+	if nicSeg.ServedPkts != nNIC || cpuSeg.ServedPkts != nCPU {
+		t.Errorf("served split = %d / %d pkts, want %d / %d",
+			nicSeg.ServedPkts, cpuSeg.ServedPkts, nNIC, nCPU)
+	}
+	// Capacity denominators follow the segment's device: Monitor runs at
+	// θS = 3.2 on the NIC and θC = 10 on the CPU.
+	if want := nicSeg.ServedGbps / 3.2; math.Abs(nicSeg.Utilization-want) > 1e-9 {
+		t.Errorf("NIC segment utilization = %v, want served/3.2 = %v", nicSeg.Utilization, want)
+	}
+	if want := cpuSeg.ServedGbps / 10; math.Abs(cpuSeg.Utilization-want) > 1e-9 {
+		t.Errorf("CPU segment utilization = %v, want served/10 = %v", cpuSeg.Utilization, want)
+	}
+	// Device aggregation sees both sides of the move.
+	if s.NIC.ServedGbps <= 0 {
+		t.Error("pre-migration service vanished from the old device")
+	}
+	if s.CPU.ServedGbps <= 0 {
+		t.Error("post-migration service missing from the new device")
+	}
+	wantNIC := float64(nNIC) / float64(nNIC+nCPU)
+	if got := s.NIC.ServedGbps / (s.NIC.ServedGbps + s.CPU.ServedGbps); math.Abs(got-wantNIC) > 1e-9 {
+		t.Errorf("NIC share of served = %v, want %v", got, wantNIC)
+	}
+
+	// The next window is all post-migration: a single CPU segment.
+	send(10)
+	time.Sleep(2 * time.Millisecond)
+	q := ls.Sample()
+	if len(q.Elements) != 1 || q.Elements[0].Loc != device.KindCPU {
+		t.Fatalf("follow-up elements = %+v, want one CPU segment", q.Elements)
+	}
+	if q.Elements[0].ServedPkts != 10 {
+		t.Errorf("follow-up served = %d, want 10", q.Elements[0].ServedPkts)
+	}
+}
+
+func TestLoadSamplerMeasuresDMADirections(t *testing.T) {
+	// Figure-1 traffic crosses twice before the NIC segment: NIC ingress →
+	// LB on the CPU (toCPU), then LB → Logger (toNIC). The sampler must
+	// report both directions' demand and grant, and with an unloaded link
+	// the grant must track the demand.
+	r := newRuntime(t, 1)
+	r.Start()
+	defer r.Close()
+	ls := emul.NewLoadSampler(r)
+
+	synth := traffic.NewSynth(8, 1)
+	const n, size = 300, 512
+	sent := 0
+	for i := 0; i < n; i++ {
+		if r.Send(synth.Frame(uint64(i%8), size)) {
+			sent++
+		}
+	}
+	r.Drain()
+	time.Sleep(2 * time.Millisecond)
+	s := ls.Sample()
+
+	if s.DMA.ToCPU.DemandGbps <= 0 || s.DMA.ToNIC.DemandGbps <= 0 {
+		t.Fatalf("DMA demand = %+v, want both directions positive", s.DMA)
+	}
+	// Every *arrival* wants to cross to the CPU-resident head — including
+	// the frames the full ingress queue rejected — so demand is metered on
+	// all n, while the grant covers only the accepted frames.
+	toGbps := func(frames int) float64 {
+		return float64(frames) * size * 8 * r.Scale() / s.Window.Seconds() / 1e9
+	}
+	if want := toGbps(n); math.Abs(s.DMA.ToCPU.DemandGbps-want)/want > 0.01 {
+		t.Errorf("toCPU demand = %v Gbps, want ~%v (all arrivals)", s.DMA.ToCPU.DemandGbps, want)
+	}
+	if want := toGbps(sent); math.Abs(s.DMA.ToCPU.GrantGbps-want)/want > 0.01 {
+		t.Errorf("toCPU grant = %v Gbps, want ~%v (accepted frames)", s.DMA.ToCPU.GrantGbps, want)
+	}
+	if s.DMA.Utilization <= 0 || s.DMA.GrantRate <= 0 {
+		t.Errorf("DMA utilization/grant rate = %v/%v, want both positive", s.DMA.Utilization, s.DMA.GrantRate)
+	}
+	// The grant rate includes the per-burst descriptor overhead, so it is
+	// at least the demand's serialization share.
+	if s.DMA.GrantRate < s.DMA.ToCPU.Demand+s.DMA.ToNIC.Demand-1e-9 {
+		t.Errorf("grant rate %v below offered serialization %v",
+			s.DMA.GrantRate, s.DMA.ToCPU.Demand+s.DMA.ToNIC.Demand)
+	}
+	ts := s.Telemetry()
+	if ts.DMAUtil != s.DMA.Utilization {
+		t.Errorf("Telemetry DMAUtil = %v, want %v", ts.DMAUtil, s.DMA.Utilization)
 	}
 }
 

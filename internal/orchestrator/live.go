@@ -35,11 +35,14 @@ type Live struct {
 	// per hosted chain (catalog units) — the per-chain mix the selection
 	// view apportions the smoothed throughput by.
 	perChain []float64
-	// nicUtil/cpuUtil are the last window's measured *demand* utilizations
-	// (Σ offered/θ per device). They ride into the selection view so the
-	// overload recheck sees the demand the shared device gates could not
-	// grant — delivered throughput alone goes blind during a collapse.
-	nicUtil, cpuUtil float64
+	// nicUtil/cpuUtil/dmaUtil are the last window's measured *demand*
+	// utilizations (Σ offered/θ per device; offered crossing load over the
+	// shared engine budget for dmaUtil). They ride into the selection view
+	// so the overload recheck sees the demand the shared gates could not
+	// grant — delivered throughput alone goes blind during a collapse, and
+	// a crossing-bound overload is invisible to the device utilizations
+	// entirely.
+	nicUtil, cpuUtil, dmaUtil float64
 
 	stop chan struct{}
 	done chan struct{}
@@ -63,9 +66,9 @@ func NewLive(rt *emul.Runtime, cfg Config, viewTemplate core.View) (*Live, error
 			loads[i] = core.Load{Chain: c, Throughput: device.Gbps(per[i])}
 		}
 		o.smu.Lock()
-		nicU, cpuU := o.nicUtil, o.cpuUtil
+		nicU, cpuU, dmaU := o.nicUtil, o.cpuUtil, o.dmaUtil
 		o.smu.Unlock()
-		return multiViewFrom(viewTemplate, loads, nicU, cpuU)
+		return multiViewFrom(viewTemplate, loads, nicU, cpuU, dmaU)
 	}
 	l, err := newLoop(cfg, view, o.execute)
 	if err != nil {
@@ -115,7 +118,7 @@ func (o *Live) Poll() {
 	}
 	o.smu.Lock()
 	o.samples = append(o.samples, ls)
-	o.nicUtil, o.cpuUtil = ls.NIC.Utilization, ls.CPU.Utilization
+	o.nicUtil, o.cpuUtil, o.dmaUtil = ls.NIC.Utilization, ls.CPU.Utilization, ls.DMA.Utilization
 	if len(ls.Chains) > 0 {
 		if o.perChain == nil {
 			o.perChain = make([]float64, len(ls.Chains))

@@ -26,12 +26,14 @@ import (
 
 // multiViewFrom assembles the loop's native view around live per-chain
 // loads, copying the shared device/catalog parameters from the template.
-// nicUtil/cpuUtil, when positive, carry the backend's measured demand
-// utilizations into the selector's overload check (the live emulator's
-// shared device gates collapse delivered throughput, so the fluid model at
-// θcur goes blind during the very overload being handled); the DES backend
-// passes zero and keeps the pure-model check.
-func multiViewFrom(t core.View, loads []core.Load, nicUtil, cpuUtil float64) core.MultiView {
+// nicUtil/cpuUtil/dmaUtil, when positive, carry the backend's measured
+// demand utilizations into the selector's overload check (the live
+// emulator's shared device gates collapse delivered throughput, so the
+// fluid model at θcur goes blind during the very overload being handled;
+// dmaUtil makes a crossing-bound overload — the shared DMA engine
+// saturated while both devices stay feasible — selectable at all); the DES
+// backend passes zeros and keeps the pure-model check.
+func multiViewFrom(t core.View, loads []core.Load, nicUtil, cpuUtil, dmaUtil float64) core.MultiView {
 	return core.MultiView{
 		Loads:             loads,
 		Catalog:           t.Catalog,
@@ -41,6 +43,7 @@ func multiViewFrom(t core.View, loads []core.Load, nicUtil, cpuUtil float64) cor
 		OverloadThreshold: t.OverloadThreshold,
 		MeasuredNICUtil:   nicUtil,
 		MeasuredCPUUtil:   cpuUtil,
+		MeasuredDMAUtil:   dmaUtil,
 	}
 }
 
@@ -57,7 +60,7 @@ type Orchestrator struct {
 func New(sim *chainsim.Sim, cfg Config, viewTemplate core.View) (*Orchestrator, error) {
 	o := &Orchestrator{sim: sim}
 	view := func() core.MultiView {
-		return multiViewFrom(viewTemplate, []core.Load{{Chain: sim.Placement()}}, 0, 0)
+		return multiViewFrom(viewTemplate, []core.Load{{Chain: sim.Placement()}}, 0, 0, 0)
 	}
 	l, err := newLoop(cfg, view, o.execute)
 	if err != nil {

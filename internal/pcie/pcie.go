@@ -49,6 +49,31 @@ func (l Link) CrossingTime(frameBytes int) time.Duration {
 	return l.PropDelay + l.SerializationTime(frameBytes)
 }
 
+// EngineSeconds returns the DMA-engine occupancy of one burst crossing of n
+// bytes, in seconds of the shared engine budget: the fixed per-burst
+// descriptor overhead (PropDelay — post, doorbell, completion) plus the
+// serialization time at the link slowed by scale. An emulator dividing its
+// catalog rates by scale must multiply the size-proportional term by the
+// same factor so that crossings saturate the engine at the same
+// catalog-unit throughput the real link would.
+func (l Link) EngineSeconds(bytes int, scale float64) float64 {
+	if scale <= 0 {
+		scale = 1
+	}
+	return l.PropDelay.Seconds() + l.SerializationTime(bytes).Seconds()*scale
+}
+
+// SerializationSeconds is SerializationTime at the link slowed by scale, as
+// a float — the size-proportional share of EngineSeconds, used to meter
+// offered crossing demand before a burst forms (the per-burst descriptor
+// overhead is only knowable at admission).
+func (l Link) SerializationSeconds(bytes int, scale float64) float64 {
+	if scale <= 0 {
+		scale = 1
+	}
+	return l.SerializationTime(bytes).Seconds() * scale
+}
+
 // Validate rejects nonsensical parameters.
 func (l Link) Validate() error {
 	if l.PropDelay < 0 {

@@ -1,6 +1,7 @@
 package pcie_test
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 	"time"
@@ -47,6 +48,30 @@ func TestValidate(t *testing.T) {
 	}
 	if err := pcie.DefaultLink().Validate(); err != nil {
 		t.Errorf("default link invalid: %v", err)
+	}
+}
+
+func TestEngineSeconds(t *testing.T) {
+	const tol = 1e-12
+	close := func(a, b float64) bool { return math.Abs(a-b) < tol }
+	l := pcie.Link{PropDelay: 40 * time.Microsecond, BandwidthGbps: 64}
+	// 1024B at 64 Gbps = 128 ns of serialization; at scale 1000 the scaled
+	// link serializes 1000× slower, so one burst occupies the engine for
+	// prop + 128 µs.
+	if got, want := l.EngineSeconds(1024, 1000), 40e-6+128e-9*1000; !close(got, want) {
+		t.Errorf("EngineSeconds = %v, want %v", got, want)
+	}
+	// Scale ≤ 0 falls back to the unscaled link.
+	if got, want := l.EngineSeconds(1024, 0), 40e-6+128e-9; !close(got, want) {
+		t.Errorf("unscaled EngineSeconds = %v, want %v", got, want)
+	}
+	// A zero link costs nothing: the gate degenerates to a no-op.
+	if got := (pcie.Link{}).EngineSeconds(1024, 1000); got != 0 {
+		t.Errorf("zero link EngineSeconds = %v, want 0", got)
+	}
+	// The serialization share excludes the per-burst descriptor overhead.
+	if got, want := l.SerializationSeconds(1024, 1000), 128e-9*1000; !close(got, want) {
+		t.Errorf("SerializationSeconds = %v, want %v", got, want)
 	}
 }
 

@@ -1,0 +1,145 @@
+package scenario
+
+// The live crossing-storm scenario: the overload lives on the PCIe
+// interconnect, not on either device. One "split" tenant weaves
+// CPU→NIC→CPU — four DMA crossings per frame — while crossing-heavy
+// background tenants run entirely on the CPU, paying ingress and egress
+// crossings for every frame. Individually and even summed, the SmartNIC
+// and CPU stay comfortably feasible; only the shared DMA engine saturates,
+// and because the emulator charges every crossing burst against one
+// link-seconds budget (emul dmagate), the saturation is physical: crossing
+// tenants' delivered throughput collapses while the LoadSampler's measured
+// DMA demand keeps climbing. The detector fires on that demand, Multi-PAM
+// sees the crossing-bound overload through MeasuredDMAUtil, and its border
+// migration — which never adds crossings — pushes the split tenant's
+// Logger to the CPU, merging the two CPU segments and halving the split
+// chain's crossings. The engine cools and every crossing tenant recovers.
+// The one runner backs the crossing_storm example, `pamctl -engine emul
+// crossing`, and the e2e test (see DESIGN.md §4 and §5).
+
+import (
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/emul"
+	"repro/internal/pcie"
+	"repro/internal/traffic"
+)
+
+// Calibrated crossing-storm defaults (provenance in DESIGN.md §5): both
+// devices stay far below threshold at every phase; only the summed crossing
+// load saturates the DMA engine, and only during the split tenant's
+// overload phase.
+const (
+	// CrossLinkGbps is the storm's DMA-engine budget (the emulated link's
+	// effective bandwidth): small enough that the calibrated rates saturate
+	// it while the devices idle.
+	CrossLinkGbps = 4.4
+	// CrossBackgroundGbps is each background tenant's steady offered load.
+	CrossBackgroundGbps = 0.4
+	// CrossSplitCalmGbps is the split tenant's pre-overload offered load.
+	CrossSplitCalmGbps = 0.25
+	// CrossSplitOverloadGbps is the split tenant's overload offered load.
+	CrossSplitOverloadGbps = 1.0
+	// CrossFrameSize is every storm tenant's frame size.
+	CrossFrameSize = 256
+)
+
+// SplitChainName and the split tenant's element names.
+const (
+	SplitChainName  = "split"
+	NameSplitLB0    = "slb0"
+	NameSplitLogger = "slog0"
+	NameSplitLB1    = "slb1"
+)
+
+// CrossingTenants returns the calibrated storm population: two CPU-resident
+// Monitor tenants whose every frame crosses PCIe twice (ingress and
+// egress), plus the split tenant — LB on the CPU, Logger on the NIC, LB on
+// the CPU again, four crossings per frame — ramping into overload last, by
+// the DefaultTenants convention.
+func CrossingTenants(p Params) []Tenant {
+	calm := 400 * time.Millisecond
+	overload := 1100 * time.Millisecond
+	total := calm + overload
+	bgA, err := chain.New("bg-xing-a",
+		chain.Element{Name: "xma0", Type: device.TypeMonitor, Loc: device.KindCPU},
+	)
+	if err != nil {
+		panic("scenario: bg-xing-a chain invalid: " + err.Error()) // impossible by construction
+	}
+	bgB, err := chain.New("bg-xing-b",
+		chain.Element{Name: "xmb0", Type: device.TypeMonitor, Loc: device.KindCPU},
+	)
+	if err != nil {
+		panic("scenario: bg-xing-b chain invalid: " + err.Error())
+	}
+	split, err := chain.New(SplitChainName,
+		chain.Element{Name: NameSplitLB0, Type: device.TypeLoadBalancer, Loc: device.KindCPU},
+		chain.Element{Name: NameSplitLogger, Type: device.TypeLogger, Loc: device.KindSmartNIC},
+		chain.Element{Name: NameSplitLB1, Type: device.TypeLoadBalancer, Loc: device.KindCPU},
+	)
+	if err != nil {
+		panic("scenario: split chain invalid: " + err.Error())
+	}
+	steady := []traffic.Phase{{RateGbps: CrossBackgroundGbps, Duration: total}}
+	return []Tenant{
+		{Chain: bgA, Phases: steady, FrameSize: CrossFrameSize},
+		{Chain: bgB, Phases: steady, FrameSize: CrossFrameSize},
+		{Chain: split, FrameSize: CrossFrameSize, Phases: []traffic.Phase{
+			{RateGbps: CrossSplitCalmGbps, Duration: calm},
+			{RateGbps: CrossSplitOverloadGbps, Duration: overload},
+		}},
+	}
+}
+
+// CrossView is the storm's selection-view template: the standard devices
+// and catalog, but with the NIC's modelled DMA-engine capacity pinned to
+// the emulated link's budget, so the fluid model's post-migration crossing
+// estimate (Multi-PAM's termination check) predicts the same engine the
+// dataplane actually charges.
+func CrossView(p Params) core.View {
+	v := View(nil, p, 0)
+	v.NIC.DMAEngineGbps = CrossLinkGbps
+	return v
+}
+
+// LiveCrossingRuntime builds the storm tenants' chains on one batched
+// emulator whose PCIe link carries the storm's constrained DMA budget.
+func LiveCrossingRuntime(p Params, lp LiveParams, tenants []Tenant) (*emul.Runtime, error) {
+	lp = lp.withDefaults(p)
+	chains := make([]*chain.Chain, len(tenants))
+	for i, t := range tenants {
+		chains[i] = t.Chain
+	}
+	return emul.New(emul.Config{
+		Chains:     chains,
+		Catalog:    device.Table1(),
+		Link:       pcie.Link{PropDelay: p.PCIeLatency, BandwidthGbps: CrossLinkGbps},
+		Scale:      lp.Scale,
+		QueueDepth: lp.QueueDepth,
+		BatchSize:  lp.BatchSize,
+		Workers:    lp.Workers,
+		PoolFrames: true,
+		SleepPCIe:  lp.SleepPCIe,
+	})
+}
+
+// RunLiveCrossingStorm drives the crossing-bound closed loop end to end on
+// the live emulator: paced storm traffic, measured telemetry (the DMA
+// demand visible per direction), detection, a crossing-reducing Multi-PAM
+// push-aside executed as a real chain-scoped migration, and recovery. A
+// nil tenants slice selects CrossingTenants; a nil selector core.MultiPAM.
+func RunLiveCrossingStorm(p Params, lp LiveParams, tenants []Tenant, sel core.MultiSelector) (*LiveMultiTenantResult, error) {
+	lp = lp.withDefaults(p)
+	if tenants == nil {
+		tenants = CrossingTenants(p)
+	}
+	rt, err := LiveCrossingRuntime(p, lp, tenants)
+	if err != nil {
+		return nil, err
+	}
+	return runTenantLoop(p, lp, tenants, sel, rt, CrossView(p))
+}

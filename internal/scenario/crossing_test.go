@@ -1,0 +1,122 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/orchestrator"
+	"repro/internal/scenario"
+)
+
+// TestLiveCrossingStormClosedLoop is the acceptance run of the
+// crossing-bound control plane: the overload lives on the shared PCIe DMA
+// engine, not on either device. Three tenants' crossings draw on one
+// link-seconds budget; during the split tenant's ramp the measured DMA
+// demand crosses the threshold while the SmartNIC and CPU demands stay
+// feasible, the detector fires on the DMA utilization, and Multi-PAM —
+// seeing the crossing-bound overload through MeasuredDMAUtil — pushes the
+// split tenant's Logger to the CPU. The move is crossing-reducing (4 → 2),
+// the engine cools below threshold, and the split tenant's delivered
+// throughput recovers from its collapse to the offered rate. Wall-clock and
+// concurrent: it doubles as a -race workout for the DMA gate.
+func TestLiveCrossingStormClosedLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock closed-loop run")
+	}
+	p := scenario.DefaultParams()
+	lp := scenario.DefaultLiveParams()
+
+	res, err := scenario.RunLiveCrossingStorm(p, lp, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var migrated int
+	var mig orchestrator.Event
+	for _, e := range res.Events {
+		if e.Kind == orchestrator.EventMigrated {
+			if migrated == 0 {
+				mig = e
+			}
+			migrated++
+		}
+	}
+	if migrated != 1 {
+		t.Fatalf("migrations = %d, want exactly 1\nevents:\n%+v", migrated, res.Events)
+	}
+
+	// The plan must be the crossing-neutral relief: the split tenant's
+	// Logger — the only NIC-resident border in the storm — pushed to the
+	// CPU, merging the chain's two CPU segments.
+	if mig.Plan.Selector != "Multi-PAM" || len(mig.Plan.Steps) != 1 {
+		t.Fatalf("plan = %v, want one Multi-PAM step", mig.Plan)
+	}
+	step := mig.Plan.Steps[0]
+	splitIdx := len(res.Tenants) - 1
+	if step.ChainIndex != splitIdx || step.Step.Element != scenario.NameSplitLogger || step.Step.To != device.KindCPU {
+		t.Fatalf("step = %+v, want %s of the split tenant -> CPU", step, scenario.NameSplitLogger)
+	}
+	if got := res.Placements[splitIdx].Crossings(); got != 2 {
+		t.Errorf("split chain crossings after the push-aside = %d, want 2 (was 4)", got)
+	}
+
+	// The overload must have been crossing-bound, detected from measured
+	// telemetry: some pre-migration window shows DMA demand past the
+	// threshold while both device demands stay clearly below it, and the
+	// engine's grant is pinned near its 1.0 link-seconds/s budget.
+	var hot bool
+	var peakDMA float64
+	for _, s := range res.Samples {
+		if s.At >= mig.At {
+			break
+		}
+		if s.DMA.Utilization > peakDMA {
+			peakDMA = s.DMA.Utilization
+		}
+		if s.DMA.Utilization >= 0.95 {
+			hot = true
+			if s.NIC.Utilization >= 0.80 {
+				t.Errorf("window %v: NIC demand %.2f during the DMA-hot phase; the overload should be crossing-bound",
+					s.At, s.NIC.Utilization)
+			}
+			if s.CPU.Utilization >= 0.95 {
+				t.Errorf("window %v: CPU demand %.2f during the DMA-hot phase", s.At, s.CPU.Utilization)
+			}
+			if s.DMA.GrantRate > 1.6 {
+				t.Errorf("window %v: engine granted %.2f link-seconds/s; the shared gate should cap near 1.0",
+					s.At, s.DMA.GrantRate)
+			}
+			if s.DMA.ToCPU.Demand <= 0 || s.DMA.ToNIC.Demand <= 0 {
+				t.Errorf("window %v: per-direction DMA demand = %+v, want both sides loaded", s.At, s.DMA)
+			}
+		}
+	}
+	if !hot {
+		t.Errorf("measured DMA demand never crossed the threshold before the migration: peak %.2f", peakDMA)
+	}
+
+	// Relief: the engine cools below threshold and the split tenant's
+	// delivered throughput recovers from the collapse to the offered rate.
+	if len(res.Samples) == 0 {
+		t.Fatal("no telemetry samples")
+	}
+	final := res.Samples[len(res.Samples)-1]
+	if final.DMA.Utilization >= 0.95 {
+		t.Errorf("DMA demand not relieved: final %.2f", final.DMA.Utilization)
+	}
+	pre, post := res.PreGbps[splitIdx], res.PostGbps[splitIdx]
+	if pre > 0.85*scenario.CrossSplitOverloadGbps {
+		t.Errorf("split tenant delivered %.2f Gbps during the storm (offered %.2f): no real crossing collapse",
+			pre, scenario.CrossSplitOverloadGbps)
+	}
+	if post < 0.85*scenario.CrossSplitOverloadGbps {
+		t.Errorf("split tenant did not recover: %.2f Gbps after the push-aside (offered %.2f)",
+			post, scenario.CrossSplitOverloadGbps)
+	}
+	if post <= pre {
+		t.Errorf("no recovery: %.2f Gbps during vs %.2f after", pre, post)
+	}
+	if len(res.Samples) < 10 {
+		t.Errorf("telemetry timeline too short: %d windows", len(res.Samples))
+	}
+}

@@ -245,12 +245,20 @@ func RunLiveMultiTenant(p Params, lp LiveParams, tenants []Tenant, sel core.Mult
 	if tenants == nil {
 		tenants = DefaultTenants(p)
 	}
-	if sel == nil {
-		sel = core.MultiPAM{}
-	}
 	rt, err := LiveMultiRuntime(p, lp, tenants)
 	if err != nil {
 		return nil, err
+	}
+	return runTenantLoop(p, lp, tenants, sel, rt, View(nil, p, 0))
+}
+
+// runTenantLoop is the shared driver behind RunLiveMultiTenant and
+// RunLiveCrossingStorm: attach the live control plane to a started runtime
+// under the given view template, pace every tenant's schedule, and collect
+// the per-tenant collapse/recovery metrics. It owns (and closes) rt.
+func runTenantLoop(p Params, lp LiveParams, tenants []Tenant, sel core.MultiSelector, rt *emul.Runtime, tmpl core.View) (*LiveMultiTenantResult, error) {
+	if sel == nil {
+		sel = core.MultiPAM{}
 	}
 	rt.Start()
 	defer rt.Close()
@@ -261,7 +269,7 @@ func RunLiveMultiTenant(p Params, lp LiveParams, tenants []Tenant, sel core.Mult
 		Detector:      lp.Detector,
 		MaxMigrations: lp.MaxMigrations,
 		Cooldown:      lp.Cooldown,
-	}, View(nil, p, 0))
+	}, tmpl)
 	if err != nil {
 		return nil, err
 	}

@@ -13,9 +13,14 @@ import (
 
 // Sample is one polling window's measurements.
 type Sample struct {
-	At            time.Duration
-	NICUtil       float64
-	CPUUtil       float64
+	At      time.Duration
+	NICUtil float64
+	CPUUtil float64
+	// DMAUtil is the measured PCIe/DMA-engine demand utilization (offered
+	// crossing load over the shared engine budget). Zero when the backend
+	// does not measure the interconnect; a crossing-bound overload shows up
+	// here while both device utilizations stay feasible.
+	DMAUtil       float64
 	DeliveredGbps float64
 	LossRate      float64
 }
@@ -88,11 +93,15 @@ func (c DetectorConfig) withDefaults() DetectorConfig {
 }
 
 // Detector turns a stream of samples into overload events with hysteresis.
-// Safe for concurrent use.
+// NIC utilization and DMA-engine utilization are smoothed separately and
+// either reaching the threshold makes a window hot — a crossing-bound
+// overload must fire the loop even when both devices stay feasible. Safe
+// for concurrent use.
 type Detector struct {
 	mu     sync.Mutex
 	cfg    DetectorConfig
 	util   EWMA
+	dma    EWMA
 	thr    EWMA
 	hot    int
 	fired  bool
@@ -102,7 +111,7 @@ type Detector struct {
 // NewDetector builds a detector.
 func NewDetector(cfg DetectorConfig) *Detector {
 	cfg = cfg.withDefaults()
-	return &Detector{cfg: cfg, util: EWMA{Alpha: cfg.Alpha}, thr: EWMA{Alpha: cfg.Alpha}}
+	return &Detector{cfg: cfg, util: EWMA{Alpha: cfg.Alpha}, dma: EWMA{Alpha: cfg.Alpha}, thr: EWMA{Alpha: cfg.Alpha}}
 }
 
 // Observe folds in one sample. It returns fire=true exactly once per
@@ -114,11 +123,12 @@ func (d *Detector) Observe(s Sample) (fire bool, throughput float64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	u := d.util.Observe(s.NICUtil)
+	du := d.dma.Observe(s.DMAUtil)
 	throughput = d.thr.Observe(s.DeliveredGbps)
 
-	hotWindow := u >= d.cfg.Threshold || s.LossRate >= d.cfg.LossTrigger
+	hotWindow := u >= d.cfg.Threshold || du >= d.cfg.Threshold || s.LossRate >= d.cfg.LossTrigger
 	if d.fired {
-		if u < d.cfg.ClearThreshold && s.LossRate < d.cfg.LossTrigger {
+		if u < d.cfg.ClearThreshold && du < d.cfg.ClearThreshold && s.LossRate < d.cfg.LossTrigger {
 			d.fired = false
 			d.hot = 0
 		}
@@ -169,4 +179,11 @@ func (d *Detector) SmoothedUtil() float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.util.Value()
+}
+
+// SmoothedDMAUtil returns the current smoothed DMA-engine utilization.
+func (d *Detector) SmoothedDMAUtil() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dma.Value()
 }

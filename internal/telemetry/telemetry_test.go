@@ -72,6 +72,45 @@ func TestDetectorColdWindowResetsStreak(t *testing.T) {
 	}
 }
 
+func TestDetectorFiresOnDMAOnlyOverload(t *testing.T) {
+	// A crossing-bound overload: both device utilizations stay low, only
+	// the DMA-engine demand is past threshold. The detector must fire, and
+	// must not clear while the engine stays hot.
+	d := telemetry.NewDetector(telemetry.DetectorConfig{Threshold: 0.9, Consecutive: 3, Alpha: 1})
+	dmaSample := func(at int, dma float64) telemetry.Sample {
+		return telemetry.Sample{At: time.Duration(at) * time.Second, NICUtil: 0.3, CPUUtil: 0.2, DMAUtil: dma, DeliveredGbps: 1}
+	}
+	for i := 0; i < 2; i++ {
+		if fire, _ := d.Observe(dmaSample(i, 1.2)); fire {
+			t.Fatalf("fired after %d windows", i+1)
+		}
+	}
+	if fire, _ := d.Observe(dmaSample(2, 1.2)); !fire {
+		t.Fatal("did not fire after 3 DMA-hot windows")
+	}
+	if got := d.SmoothedDMAUtil(); got != 1.2 {
+		t.Errorf("SmoothedDMAUtil = %v, want 1.2 at alpha 1", got)
+	}
+	// NIC cooling below the clear threshold does not clear the episode
+	// while the engine stays hot: the next observation must not re-fire
+	// (hysteresis) and the detector must still report the episode.
+	d.Observe(dmaSample(3, 1.2))
+	if !d.Fired() {
+		t.Fatal("episode cleared while the DMA engine stayed hot")
+	}
+	// Once the engine cools the episode clears and can fire again.
+	d.Observe(dmaSample(4, 0.1))
+	if d.Fired() {
+		t.Fatal("episode did not clear after the engine cooled")
+	}
+	for i := 5; i < 8; i++ {
+		d.Observe(dmaSample(i, 1.2))
+	}
+	if d.Events() != 2 {
+		t.Errorf("events = %d, want 2", d.Events())
+	}
+}
+
 func TestDetectorHysteresisFiresOncePerEpisode(t *testing.T) {
 	d := telemetry.NewDetector(telemetry.DetectorConfig{Threshold: 0.9, ClearThreshold: 0.5, Consecutive: 1, Alpha: 1})
 	fire, _ := d.Observe(sample(0, 0.99, 1))
