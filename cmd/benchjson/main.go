@@ -1,81 +1,31 @@
 // Command benchjson turns `go test -bench` output into a machine-readable
 // JSON artifact, so the perf trajectory — frames/s, aggregate Gbps,
 // crossing Gbps, fairness, allocs/op — can be compared across commits
-// without scraping logs. CI pipes the bench smoke through it and uploads
-// the result as BENCH.json:
+// without scraping logs. CI pipes the bench smoke through it, uploads the
+// result as BENCH.json, and feeds it to cmd/benchdiff against the
+// checked-in baseline:
 //
 //	go test -run xxx -bench=. -benchtime=1x -benchmem . | go run ./cmd/benchjson -o BENCH.json
 //
-// Every benchmark line becomes one entry: the benchmark's name (GOMAXPROCS
-// suffix stripped), its iteration count, and a metrics map keyed by unit
-// (ns/op, B/op, allocs/op, plus any custom b.ReportMetric units). Non-bench
-// lines (the goos/goarch preamble, PASS, logs) are ignored.
+// The parsing lives in internal/benchfmt (shared with benchdiff): every
+// benchmark line becomes one entry with the package it ran in, its
+// iteration count, and a metrics map keyed by unit.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"regexp"
-	"strconv"
-	"strings"
+
+	"repro/internal/benchfmt"
 )
-
-// Entry is one benchmark result.
-type Entry struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-}
-
-// Report is the artifact's top-level shape.
-type Report struct {
-	Benchmarks []Entry `json:"benchmarks"`
-}
-
-// benchLineRE matches "BenchmarkName-8   	 123	 456 ns/op	 7.8 unit ...".
-var benchLineRE = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
-
-// Parse reads `go test -bench` output and extracts every benchmark entry.
-func Parse(r io.Reader) (Report, error) {
-	var rep Report
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		m := benchLineRE.FindStringSubmatch(sc.Text())
-		if m == nil {
-			continue
-		}
-		iters, err := strconv.ParseInt(m[2], 10, 64)
-		if err != nil {
-			continue
-		}
-		e := Entry{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
-		// The tail alternates value/unit pairs: "123 ns/op 0.5 fairness".
-		fields := strings.Fields(m[3])
-		for i := 0; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				break // not a metric tail (e.g. a stray log line)
-			}
-			e.Metrics[fields[i+1]] = v
-		}
-		if len(e.Metrics) == 0 {
-			continue
-		}
-		rep.Benchmarks = append(rep.Benchmarks, e)
-	}
-	return rep, sc.Err()
-}
 
 func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	flag.Parse()
 
-	rep, err := Parse(os.Stdin)
+	rep, err := benchfmt.Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)

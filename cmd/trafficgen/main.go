@@ -10,6 +10,7 @@
 //	           [-dur 10ms] [-flows 16] [-mode schedule|frames|pcap|emulate]
 //	           [-n 10] [-o out.pcap]
 //	           [-batch 32] [-workers 1] [-scale 200]
+//	           [-cpuprofile cpu.pprof] [-mutexprofile mutex.pprof]
 //
 // -mode pcap materializes the schedule into real frames and writes a
 // tcpdump-compatible capture. -mode emulate pushes the schedule through the
@@ -17,6 +18,14 @@
 // size, -workers the shard count per concurrency-safe NF, and -scale the
 // Table-1 capacity divisor; delivered throughput, loss and the latency
 // summary are printed at the end.
+//
+// -cpuprofile and -mutexprofile write pprof profiles covering the run —
+// the intended workflow is profiling the emulator's hot path under a real
+// workload (`-mode emulate -cpuprofile cpu.pprof -mutexprofile
+// mutex.pprof`, then `go tool pprof`): the CPU profile shows where the
+// dataplane burns cycles, the mutex profile whether the shared gates'
+// slow-path locks are contended at all when the lock-free fast path is
+// doing its job.
 package main
 
 import (
@@ -25,6 +34,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/device"
@@ -49,12 +60,62 @@ func main() {
 	batch := flag.Int("batch", 32, "emulate: dataplane burst size (frames per wakeup)")
 	workers := flag.Int("workers", 1, "emulate: worker shards per concurrency-safe NF")
 	scale := flag.Float64("scale", 200, "emulate: divisor applied to Table-1 device rates")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile covering the run to this file")
 	flag.Parse()
 
-	if err := run(*rate, *size, *imix, *process, *dur, *flows, *mode, *n, *out, *seed, *batch, *workers, *scale); err != nil {
+	stop, err := startProfiles(*cpuprofile, *mutexprofile)
+	if err == nil {
+		err = run(*rate, *size, *imix, *process, *dur, *flows, *mode, *n, *out, *seed, *batch, *workers, *scale)
+		if perr := stop(); err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "trafficgen: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles arms the requested pprof profiles and returns the function
+// that flushes them once the run is over. CPU sampling starts immediately;
+// mutex profiling records every contention event (fraction 1 — this is a
+// one-shot diagnostic run, not a production server) and is snapshotted at
+// stop time.
+func startProfiles(cpu, mutex string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpu != "" {
+		if cpuF, err = os.Create(cpu); err != nil {
+			return nil, err
+		}
+		if err = pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	if mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	return func() error {
+		var err error
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			err = cpuF.Close()
+		}
+		if mutex != "" {
+			f, ferr := os.Create(mutex)
+			if ferr != nil {
+				return ferr
+			}
+			if perr := pprof.Lookup("mutex").WriteTo(f, 0); perr != nil && err == nil {
+				err = perr
+			}
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}, nil
 }
 
 func run(rate float64, size int, imix bool, process string, dur time.Duration, flows uint64, mode string, n int, out string, seed int64, batch, workers int, scale float64) error {

@@ -12,11 +12,24 @@ package emul
 // wall-clock second — so a lone element is capped at its own θd_i (it can
 // never consume more than one device-second per second), while Σ demand > 1
 // physically collapses every resident's delivered throughput, which is the
-// premise PAM reacts to. Grants are FIFO by ticket so co-resident elements
-// share the budget burst-by-burst instead of racing wakeups.
+// premise PAM reacts to.
+//
+// The gate is two-tier. The *fast path* keeps the balance in an
+// atomic.Int64 of nano-units (1 unit = 1e9 nano-units) and grants an
+// uncontended burst with one CAS — no mutex, no condition variable, no
+// clock read unless the balance has run dry. Every burst of every chain
+// crosses a gate, so this path bounds the whole dataplane's throughput.
+// The *slow path* is the historic mutex+cond FIFO ticket queue: takers fall
+// back to it when the balance cannot cover them (token exhaustion — the
+// contended regime where fairness matters) or when the rate is
+// non-positive (zero-rate parking). Grants there are FIFO by ticket so
+// co-resident elements share the budget burst-by-burst instead of racing
+// wakeups; while any waiter is queued, the fast path stands down so
+// newcomers cannot barge past the queue.
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,31 +37,70 @@ import (
 	"repro/internal/device"
 )
 
+// gateEpoch anchors the gates' monotonic clock: balances accrue against
+// time.Since(gateEpoch), which reads the runtime's monotonic clock without
+// allocating.
+var gateEpoch = time.Now()
+
+// gateNanos is the gates' monotonic clock in nanoseconds.
+func gateNanos() int64 { return int64(time.Since(gateEpoch)) }
+
+// nanoUnits converts a unit quantity (device-seconds, link-seconds, bytes —
+// the gate is unit-agnostic) into the int64 nano-unit fixed point the fast
+// path CASes on. Rounding up means a grant can never admit more than was
+// asked cheaper than budgeted — the gate may overcharge by at most one
+// nano-unit (1e-9 device-seconds) per burst, never undercharge.
+func nanoUnits(n float64) int64 {
+	return int64(math.Ceil(n * 1e9))
+}
+
 // gate is a token bucket over abstract units (bytes for the legacy
-// per-element form, normalized device-seconds for deviceGate). take blocks
-// until the requested units are available; waiters are served FIFO by
-// ticket. Two historic bugs are fixed here and guarded by regression tests:
+// per-element form, normalized device-seconds for deviceGate, link-seconds
+// for dmaGate). take blocks until the requested units are available. Three
+// historic bugs remain fixed here and guarded by regression tests:
 //
 //  1. take with rate == 0 (a gate constructed before its first setRate)
 //     divided by zero — time.Duration(+Inf) overflows to a negative sleep,
 //     degenerating the wait loop into a busy spin. A non-positive rate now
-//     blocks on a condition until setRate supplies one.
+//     parks the waiter on the slow path's condition until setRate supplies
+//     one.
 //  2. setRate did not clamp an existing token balance to the new burst: a
 //     gate retargeted fast→slow carried the old rate's accumulated tokens
 //     and admitted a full old-rate burst before throttling, corrupting the
 //     first post-change measurement window.
+//  3. Close could hang on workers parked in a zero-rate wait (fixed at the
+//     element layer; the gate's park is always wakeable by broadcast).
+//
+// Invariants the fast path must preserve (see DESIGN §4):
+//   - No minting: the balance only grows through refill, and refill is
+//     serialized by a CAS on the last-accrual timestamp — exactly one
+//     winner credits each elapsed interval, capped at the limit.
+//   - FIFO under contention: tryTake declines whenever waiters > 0, so the
+//     ticket queue drains in arrival order (modulo the benign race of a
+//     taker that passed the waiter check just before the first ticket was
+//     issued — bounded to one burst).
+//   - Zero-rate and clamp semantics are unchanged: both live behind the
+//     slow path and setRate, which the fast path never bypasses (a
+//     non-positive rate fails the fast path's rate check).
 type gate struct {
-	mu   sync.Mutex
-	cond *sync.Cond // lazily bound to mu; wakes zero-rate and FIFO waiters
+	// Fast-path state: everything the uncontended grant touches is atomic.
+	balance atomic.Int64  // banked budget, nano-units
+	lastAcc atomic.Int64  // gateNanos() at the last refill accrual
+	limitN  atomic.Int64  // refill cap, nano-units: the burst, or an oversized head request
+	burstN  atomic.Int64  // configured burst, nano-units (limitN's resting value)
+	rateB   atomic.Uint64 // math.Float64bits of the rate in units/s
+	granted atomic.Int64  // cumulative nano-units granted, net of returned leases
+	waiters atomic.Int32  // slow-path FIFO population; fast path stands down when > 0
 
-	rate    float64 // units per second
-	tokens  float64
-	burst   float64 // token cap; requests larger than it are still admissible
-	last    time.Time
-	granted float64 // cumulative units granted, for grant-rate telemetry
+	mu     sync.Mutex
+	cond   *sync.Cond // lazily bound to mu; wakes zero-rate and FIFO waiters
+	seeded bool       // first setRate seeds the bucket full
 
 	head, tail uint64 // FIFO tickets: tail issues, head serves
 }
+
+// loadRate reads the configured rate without the mutex.
+func (g *gate) loadRate() float64 { return math.Float64frombits(g.rateB.Load()) }
 
 // ensureCond binds the condition variable on first use. Callers hold mu.
 func (g *gate) ensureCond() {
@@ -65,14 +117,20 @@ func (g *gate) ensureCond() {
 func (g *gate) setRate(rate, burst float64) {
 	g.mu.Lock()
 	g.ensureCond()
-	g.rate = rate
-	g.burst = burst
-	if g.last.IsZero() {
-		g.last = time.Now()
-		g.tokens = burst
+	g.rateB.Store(math.Float64bits(rate))
+	bn := nanoUnits(burst)
+	g.burstN.Store(bn)
+	g.limitN.Store(bn)
+	if !g.seeded {
+		g.seeded = true
+		g.lastAcc.Store(gateNanos())
+		g.balance.Store(bn)
 	}
-	if g.tokens > g.burst {
-		g.tokens = g.burst
+	for {
+		b := g.balance.Load()
+		if b <= bn || g.balance.CompareAndSwap(b, bn) {
+			break
+		}
 	}
 	g.cond.Broadcast()
 	g.mu.Unlock()
@@ -83,47 +141,136 @@ func (g *gate) setRate(rate, burst float64) {
 // instead of after the full deficit computed at the old rate.
 const maxGateSleep = 5 * time.Millisecond
 
-// take blocks until n units of budget are available. Requests larger than
-// the configured burst (a big batch at a slow device) are still admissible:
-// tokens may accumulate up to the request size. Waiters are granted in
-// arrival order, so concurrent takers share the budget fairly rather than
-// racing each other's wakeups. A non-positive rate blocks on the condition
-// until setRate supplies one (bugfix 1).
+// refill credits the balance with the budget accrued since the last refill,
+// capped at the current limit. Lock-free: the CAS on lastAcc elects exactly
+// one winner per elapsed interval, so concurrent refills cannot credit the
+// same nanoseconds twice (no minting); the balance CAS loop tolerates
+// concurrent grants and lease returns.
+func (g *gate) refill() {
+	now := gateNanos()
+	last := g.lastAcc.Load()
+	if now <= last || !g.lastAcc.CompareAndSwap(last, now) {
+		return
+	}
+	rate := g.loadRate()
+	if rate <= 0 {
+		return // the interval accrues nothing; rate checks park takers
+	}
+	lim := g.limitN.Load()
+	for {
+		b := g.balance.Load()
+		if b >= lim {
+			return
+		}
+		// Float math bounds the credit before it meets int64: a gate idle
+		// for hours at a high unit rate must saturate at the limit, not
+		// overflow.
+		nb := float64(b) + rate*float64(now-last)
+		if nb > float64(lim) {
+			nb = float64(lim)
+		}
+		if g.balance.CompareAndSwap(b, int64(nb)) {
+			return
+		}
+	}
+}
+
+// casTake debits need nano-units iff the balance covers them.
+func (g *gate) casTake(need int64) bool {
+	for {
+		b := g.balance.Load()
+		if b < need {
+			return false
+		}
+		if g.balance.CompareAndSwap(b, b-need) {
+			return true
+		}
+	}
+}
+
+// tryTake is the lock-free fast path: grant need nano-units now or report
+// false. It declines whenever FIFO waiters are queued (fairness: newcomers
+// must not barge past the ticket queue) or the rate is non-positive
+// (zero-rate parking lives on the slow path). The clock is read only when
+// the banked balance has run dry — the steady-state grant is balance check,
+// CAS, grant counter: three uncontended atomics.
+func (g *gate) tryTake(need int64) bool {
+	if g.waiters.Load() != 0 || g.loadRate() <= 0 {
+		return false
+	}
+	if g.casTake(need) {
+		g.granted.Add(need)
+		return true
+	}
+	g.refill()
+	if g.casTake(need) {
+		g.granted.Add(need)
+		return true
+	}
+	return false
+}
+
+// take blocks until n units of budget are available: the CAS fast path when
+// the banked balance covers the burst, the FIFO slow path on exhaustion.
+// Requests larger than the configured burst (a big batch at a slow device)
+// are still admissible: the slow path raises the refill cap to the request
+// size while it is at the head of the queue.
 func (g *gate) take(n float64) {
 	if n <= 0 {
 		return
 	}
+	g.takeNanos(nanoUnits(n))
+}
+
+// takeNanos is take in the fixed-point form the lease machinery uses.
+func (g *gate) takeNanos(need int64) {
+	if need <= 0 {
+		return
+	}
+	if g.tryTake(need) {
+		return
+	}
+	g.slowTake(need)
+}
+
+// slowTake is the contended path: FIFO tickets under the mutex, bounded
+// sleeps against the deficit, parking on the condition while the rate is
+// non-positive (bugfix 1). Token accounting still goes through the shared
+// atomic balance, so the fast and slow paths can never double-spend.
+func (g *gate) slowTake(need int64) {
 	g.mu.Lock()
 	g.ensureCond()
+	g.waiters.Add(1)
 	ticket := g.tail
 	g.tail++
 	for g.head != ticket {
 		g.cond.Wait()
 	}
 	for {
-		for g.rate <= 0 {
+		for g.loadRate() <= 0 {
 			g.cond.Wait()
 		}
-		now := time.Now()
-		g.tokens += g.rate * now.Sub(g.last).Seconds()
-		g.last = now
-		limit := g.burst
-		if n > limit {
-			limit = n
+		// An oversized request (need > burst) raises the refill cap while
+		// it is being served; only the FIFO head mutates limitN, and the
+		// grant below restores it.
+		if need > g.limitN.Load() {
+			g.limitN.Store(need)
 		}
-		if g.tokens > limit {
-			g.tokens = limit
-		}
-		if g.tokens >= n {
-			g.tokens -= n
-			g.granted += n
+		g.refill()
+		if g.casTake(need) {
+			g.granted.Add(need)
+			if bn := g.burstN.Load(); need > bn {
+				g.limitN.Store(bn)
+			}
 			g.head++
+			g.waiters.Add(-1)
 			g.cond.Broadcast()
 			g.mu.Unlock()
 			return
 		}
-		wait := time.Duration((n - g.tokens) / g.rate * float64(time.Second))
-		if wait > maxGateSleep {
+		deficit := need - g.balance.Load()
+		wait := time.Duration(float64(deficit) / g.loadRate())
+		if wait > maxGateSleep || wait <= 0 {
 			wait = maxGateSleep
 		}
 		g.mu.Unlock()
@@ -132,13 +279,46 @@ func (g *gate) take(n float64) {
 	}
 }
 
-// grantedUnits returns the cumulative units granted so far; the LoadSampler
-// differences it between windows into a grant rate.
-func (g *gate) grantedUnits() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.granted
+// returnNanos banks an unused lease remainder back into the balance, capped
+// at the current limit (tokens above the cap are forfeited, never minted),
+// and credits the grant counter by exactly the amount banked — so
+// grantedUnits stays an upper bound on real accrual and, once every lease
+// is returned, an exact account of budget actually consumed. Lock-free; a
+// FIFO waiter sleeping against an empty bucket re-checks the balance within
+// maxGateSleep.
+func (g *gate) returnNanos(n int64) {
+	if n <= 0 {
+		return
+	}
+	var banked int64
+	for {
+		b := g.balance.Load()
+		room := g.limitN.Load() - b
+		if room <= 0 {
+			return
+		}
+		banked = n
+		if banked > room {
+			banked = room
+		}
+		if g.balance.CompareAndSwap(b, b+banked) {
+			break
+		}
+	}
+	g.granted.Add(-banked)
 }
+
+// grantedUnits returns the cumulative units granted so far, net of returned
+// leases; the LoadSampler differences it between windows into a grant rate.
+func (g *gate) grantedUnits() float64 {
+	return float64(g.granted.Load()) / 1e9
+}
+
+// leaseDiv sets the lease quantum: each worker's local bank is at most
+// burst/(leaseDiv·residents), so even with every resident worker holding a
+// full lease the outstanding budget stays a fraction of the fairness burst
+// and a newly contended gate reaches the FIFO path within one quantum.
+const leaseDiv = 8
 
 // deviceGate is one emulated device instance's shared capacity: a gate in
 // normalized device-seconds at a fixed rate of 1.0 (one device-second per
@@ -164,6 +344,40 @@ func newDeviceGate(kind device.Kind, burst time.Duration) *deviceGate {
 func (dg *deviceGate) attach()       { dg.residents.Add(1) }
 func (dg *deviceGate) detach()       { dg.residents.Add(-1) }
 func (dg *deviceGate) resident() int { return int(dg.residents.Load()) }
+
+// drawLease grants need nano-units plus a small lease quantum the calling
+// worker banks locally and charges later bursts against without touching
+// the gate — the amortization that makes the steady uncontended path free
+// of shared-memory traffic. Strictly non-blocking and fast-path-only: under
+// contention (waiters queued, balance dry) it declines entirely so the
+// caller falls back to the blocking FIFO take and fairness is preserved.
+//
+// Leases are drawn only while the bucket is healthy: the draw must leave at
+// least half the burst banked. Near saturation a pocketed lease would let a
+// worker serve bursts out of tokens granted in an earlier telemetry window,
+// smoothing the very collapse the shared gate exists to produce (and
+// spiking served/θ past the window's grants) — so an unhealthy bucket
+// degrades to per-burst grants with exactly the pre-lease FIFO dynamics.
+// The balance check races with concurrent takers, but it only ever errs by
+// declining a lease or dipping one quantum past the watermark: no tokens
+// are minted either way.
+//
+// extra is the lease actually drawn (0 when only the burst itself fit).
+func (dg *deviceGate) drawLease(need int64) (extra int64, ok bool) {
+	res := int64(dg.residents.Load())
+	if res < 1 {
+		res = 1
+	}
+	quantum := dg.burstN.Load() / (leaseDiv * res)
+	if quantum > 0 && dg.balance.Load() >= need+quantum+dg.burstN.Load()/2 &&
+		dg.tryTake(need+quantum) {
+		return quantum, true
+	}
+	if dg.tryTake(need) {
+		return 0, true
+	}
+	return 0, false
+}
 
 // newDeviceGates builds the runtime's registry: one shared gate per device
 // kind. All kinds are materialized upfront so a live migration can target a

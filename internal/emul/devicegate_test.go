@@ -234,7 +234,7 @@ func TestZeroRateElementParks(t *testing.T) {
 	}
 	done := make(chan res, 1)
 	go func() {
-		c, d, ok := el.chargeFor(1000)
+		c, d, _, ok := el.chargeFor(1000)
 		if !ok {
 			t.Error("chargeFor aborted without a close")
 		}

@@ -26,6 +26,11 @@ package emul
 // (serialization share only, including frames a full queue later drops), so
 // the LoadSampler can report crossing demand that keeps climbing while the
 // engine's grant is pinned at ~1.0 link-second per second.
+//
+// Every counter on the crossing path — demand at frame arrival, grant at
+// burst admission — is a lock-free atomic: an uncontended crossing costs
+// the gate's CAS fast path plus two atomic adds, and the LoadSampler folds
+// the cells only at window boundaries.
 
 import (
 	"sync/atomic"
@@ -60,13 +65,14 @@ type dmaGate struct {
 	link  pcie.Link
 	scale float64
 
-	// Offered demand is metered per frame on the ingress/forward hot paths,
-	// so it uses lock-free byte counters; the link-seconds form is derived
-	// in counters() (serialization is linear in bytes). Grant accounting is
-	// per burst and stays under the gate's mu (never held across take).
+	// Offered demand is metered per frame on the ingress/forward hot paths;
+	// the link-seconds form is derived in counters() (serialization is
+	// linear in bytes). Grant accounting is per burst, in the gate's own
+	// nano-unit fixed point, and equally lock-free: the crossing hot path
+	// never takes a mutex.
 	demandBytes [2]atomic.Uint64
-	grantUnits  [2]float64
-	grantBytes  [2]uint64
+	grantNanos  [2]atomic.Int64 // granted link-time per direction, nano-units
+	grantBytes  [2]atomic.Uint64
 }
 
 // newDMAGate builds the shared engine for the runtime's link at its rate
@@ -106,11 +112,12 @@ func (d *dmaGate) serializationUnits(bytes uint64) float64 {
 // nothing and never blocks; the byte counters still record the crossing.
 func (d *dmaGate) cross(dir dmaDir, bytes int) {
 	cost := d.link.EngineSeconds(bytes, d.scale)
-	d.take(cost) // no-op for a free link (take ignores non-positive costs)
-	d.mu.Lock()
-	d.grantUnits[dir] += cost
-	d.grantBytes[dir] += uint64(bytes)
-	d.mu.Unlock()
+	if cost > 0 {
+		need := nanoUnits(cost)
+		d.takeNanos(need)
+		d.grantNanos[dir].Add(need)
+	}
+	d.grantBytes[dir].Add(uint64(bytes))
 }
 
 // dmaCounters is a snapshot of the gate's cumulative per-direction
@@ -124,19 +131,17 @@ type dmaCounters struct {
 	granted     float64 // the gate's own total grant, link-seconds
 }
 
-// counters snapshots the cumulative accounting.
+// counters snapshots the cumulative accounting. Pure atomic loads — the
+// cells are written lock-free on the hot path and folded here, at window
+// boundaries only.
 func (d *dmaGate) counters() dmaCounters {
-	d.mu.Lock()
-	c := dmaCounters{
-		grantUnits: d.grantUnits,
-		grantBytes: d.grantBytes,
-		granted:    d.granted,
-	}
-	d.mu.Unlock()
+	c := dmaCounters{granted: d.grantedUnits()}
 	for i := range c.demandBytes {
 		b := d.demandBytes[i].Load()
 		c.demandBytes[i] = b
 		c.demandUnits[i] = d.serializationUnits(b)
+		c.grantUnits[i] = float64(d.grantNanos[i].Load()) / 1e9
+		c.grantBytes[i] = d.grantBytes[i].Load()
 	}
 	return c
 }

@@ -182,10 +182,13 @@ type tenantChain struct {
 	spec  *chain.Chain
 	elems []*element
 
-	latency      *metrics.Histogram
-	meter        *metrics.Meter // egress deliveries + this chain's drops
-	offered      atomic.Uint64  // frames offered at this chain's ingress
-	ingressDrops atomic.Uint64  // SendChain rejections (first queue full)
+	latency *metrics.Histogram
+	// meter carries egress deliveries + this chain's drops, sharded into
+	// per-worker cells (cell 0 for writers without a worker identity) so
+	// the tail shards never contend on one counter line.
+	meter        *metrics.ShardedMeter
+	offered      atomic.Uint64 // frames offered at this chain's ingress
+	ingressDrops atomic.Uint64 // SendChain rejections (first queue full)
 }
 
 // element is one chain position: its NF instance, current placement, worker
@@ -201,12 +204,16 @@ type element struct {
 	// rateMu guards the element's placement on the shared capacity model:
 	// rateBps is its catalog capacity on the current device scaled to
 	// bytes/s (the divisor that converts a burst's bytes into normalized
-	// device-seconds), dev the device gate those seconds are charged to.
+	// device-seconds), dev the device gate those seconds are charged to,
+	// and rateGen a generation counter place bumps on every retarget — a
+	// worker holding a token lease from an older generation must return
+	// it to the gate it was drawn from instead of spending stale budget.
 	// rateCond wakes workers blocked on a non-positive rate (an element
 	// observed before its first placement must park, not spin).
 	rateMu   sync.Mutex
 	rateCond *sync.Cond
 	rateBps  float64
+	rateGen  uint64
 	dev      *deviceGate
 
 	shards []*shard
@@ -217,11 +224,14 @@ type element struct {
 
 	// meter measures this element's served load: ObserveN counts every burst
 	// the element actually processed (its granted rate), Drop/DropN every
-	// frame lost entering its queues. offeredBytes/offeredPkts count every
-	// frame that *arrived* at the element's queues — including frames the
-	// full queue rejected — so the LoadSampler can report offered demand
-	// separately from the device gate's grant.
-	meter        *metrics.Meter
+	// frame lost entering its queues. It is sharded into per-worker cells
+	// (shard i writes cell i+1; cell 0 takes ingress and upstream-forwarder
+	// writes), folded only when the LoadSampler samples.
+	// offeredBytes/offeredPkts count every frame that *arrived* at the
+	// element's queues — including frames the full queue rejected — so the
+	// LoadSampler can report offered demand separately from the device
+	// gate's grant.
+	meter        *metrics.ShardedMeter
 	offeredBytes atomic.Uint64
 	offeredPkts  atomic.Uint64
 
@@ -239,30 +249,36 @@ type element struct {
 }
 
 // chargeFor blocks until the element has a positive rate and returns the
-// burst's cost in normalized device-seconds plus the gate to charge it to.
-// It reports ok=false when the runtime closed while the worker was parked
-// on a non-positive rate: Close broadcasts the rate conditions after
-// setting closed, and an abandoned park must release its burst instead of
+// burst's cost in normalized device-seconds, the gate to charge it to and
+// the placement generation the cost was computed under (a lease drawn for
+// this burst is valid only while that generation holds). It reports
+// ok=false when the runtime closed while the worker was parked on a
+// non-positive rate: Close broadcasts the rate conditions after setting
+// closed, and an abandoned park must release its burst instead of
 // stranding Drain on frames nobody will ever serve.
-func (el *element) chargeFor(totalBytes int) (cost float64, dev *deviceGate, ok bool) {
+func (el *element) chargeFor(totalBytes int) (cost float64, dev *deviceGate, gen uint64, ok bool) {
 	el.rateMu.Lock()
 	for el.rateBps <= 0 {
 		if el.parent.closed.Load() {
 			el.rateMu.Unlock()
-			return 0, nil, false
+			return 0, nil, 0, false
 		}
 		el.rateCond.Wait()
 	}
 	cost = float64(totalBytes) / el.rateBps
 	dev = el.dev
+	gen = el.rateGen
 	el.rateMu.Unlock()
-	return cost, dev, true
+	return cost, dev, gen, true
 }
 
 // place points the element at a device gate with its scaled catalog rate
 // there, moving the resident bookkeeping. Attach/detach never touches the
 // gates' banked tokens, so re-placement (a live migration) cannot leak or
-// mint device budget. The broadcast releases any worker parked on a
+// mint device budget. Bumping the generation invalidates every worker's
+// outstanding token lease: a lease drawn under the old rate (or from the
+// old gate) is returned, never spent — the lease form of the setRate
+// fast→slow clamp guarantee. The broadcast releases any worker parked on a
 // zero-rate element.
 func (el *element) place(dev *deviceGate, bps float64) {
 	el.rateMu.Lock()
@@ -274,6 +290,7 @@ func (el *element) place(dev *deviceGate, bps float64) {
 		el.dev = dev
 	}
 	el.rateBps = bps
+	el.rateGen++
 	el.rateCond.Broadcast()
 	el.rateMu.Unlock()
 }
@@ -283,8 +300,61 @@ func (el *element) place(dev *deviceGate, bps float64) {
 // work.
 type shard struct {
 	el   *element
+	idx  int // shard index within the element; meter cell idx+1 is ours
 	in   chan job
 	ctrl chan pauseReq
+
+	// The worker's token lease: device budget drawn from leaseDev in bulk
+	// (drawLease) and charged burst-by-burst with plain local arithmetic —
+	// the amortization that keeps the steady uncontended path free of
+	// shared-memory traffic. Owned exclusively by the worker goroutine
+	// (pause and the run loop's exit both execute on it), so no
+	// synchronization applies. leaseGen pins the placement generation the
+	// lease was drawn under; a stale lease is returned to leaseDev, never
+	// spent.
+	leaseDev   *deviceGate
+	leaseGen   uint64
+	leaseNanos int64
+}
+
+// charge admits a burst of cost device-seconds against dev: first from the
+// worker's local lease (free), then by drawing a fresh lease on the CAS
+// fast path, and only on exhaustion through the gate's blocking FIFO path.
+// gen is the placement generation the cost was computed under; a lease
+// from any other generation (element migrated, rate retargeted) is
+// returned to its own gate first so stale budget is never spent.
+func (s *shard) charge(cost float64, dev *deviceGate, gen uint64) {
+	need := nanoUnits(cost)
+	if s.leaseDev == dev && s.leaseGen == gen {
+		if s.leaseNanos >= need {
+			s.leaseNanos -= need
+			return
+		}
+		// Spend the remainder toward this burst; the rest comes fresh.
+		need -= s.leaseNanos
+		s.leaseNanos = 0
+	} else if s.leaseDev != nil {
+		s.releaseLease()
+	}
+	if extra, ok := dev.drawLease(need); ok {
+		s.leaseDev, s.leaseGen, s.leaseNanos = dev, gen, extra
+		return
+	}
+	// Token exhaustion: the contended regime. Block on the FIFO path with
+	// no lease — under contention per-burst grants are what keeps
+	// co-resident elements sharing the budget fairly.
+	dev.takeNanos(need)
+}
+
+// releaseLease returns the worker's unspent lease to the gate it was drawn
+// from. Called on migration freeze, on a stale generation, and on worker
+// exit, so banked budget can never outlive the placement it was drawn
+// under — gate budget conservation stays exact.
+func (s *shard) releaseLease() {
+	if s.leaseDev != nil && s.leaseNanos > 0 {
+		s.leaseDev.returnNanos(s.leaseNanos)
+	}
+	s.leaseDev, s.leaseGen, s.leaseNanos = nil, 0, 0
 }
 
 // pauseReq quiesces a shard worker: the worker signals acked once it is
@@ -348,7 +418,7 @@ func New(cfg Config) (*Runtime, error) {
 			name:    spec.Name,
 			spec:    spec.Clone(),
 			latency: metrics.NewHistogram(),
-			meter:   metrics.NewMeter(0),
+			meter:   metrics.NewShardedMeter(cfg.Workers+1, 0),
 		}
 		for i, e := range spec.Elems {
 			inst, err := nf.New(e.Name, e.Type)
@@ -366,7 +436,7 @@ func New(cfg Config) (*Runtime, error) {
 				parent: r,
 				ch:     tc,
 				pos:    i,
-				meter:  metrics.NewMeter(0),
+				meter:  metrics.NewShardedMeter(cfg.Workers+1, 0),
 			}
 			el.loc.Store(int32(e.Loc))
 			el.rateCond = sync.NewCond(&el.rateMu)
@@ -383,6 +453,7 @@ func New(cfg Config) (*Runtime, error) {
 			for s := 0; s < nshards; s++ {
 				el.shards = append(el.shards, &shard{
 					el:   el,
+					idx:  s,
 					in:   make(chan job, depth),
 					ctrl: make(chan pauseReq),
 				})
@@ -493,8 +564,9 @@ func (r *Runtime) SendChain(ci int, frame []byte) bool {
 		r.inFlight.Done()
 		tc.ingressDrops.Add(1)
 		now := r.now()
-		tc.meter.Drop(now)
-		first.meter.Drop(now)
+		// Senders have no worker identity: ingress drops land in cell 0.
+		tc.meter.Cell(0).Drop(now)
+		first.meter.Cell(0).Drop(now)
 		return false
 	}
 }
@@ -555,6 +627,7 @@ func (s *shard) run() {
 	for i := range decs {
 		decs[i] = r.decoders.Get()
 	}
+	defer s.releaseLease() // worker exit returns any banked device budget
 	defer func() {
 		for _, d := range decs {
 			r.decoders.Put(d)
@@ -603,8 +676,12 @@ func (s *shard) run() {
 }
 
 // pause acknowledges a freeze and blocks until the migration coordinator
-// resumes the shard.
+// resumes the shard. The worker returns its token lease before acking: a
+// frozen shard's banked budget flows back to the gate (where co-resident
+// tenants can be granted it), and after the resume the post-migration
+// generation forces a fresh draw at the new placement's costing anyway.
 func (s *shard) pause(req pauseReq) {
+	s.releaseLease()
 	req.acked <- struct{}{}
 	<-req.resume
 }
@@ -631,22 +708,22 @@ func (s *shard) processBatch(jobs []job, decs []*packet.Decoder, ctxs []nf.Ctx, 
 			crossBytes += len(jobs[i].frame)
 		}
 	}
-	cost, dev, ok := el.chargeFor(total)
+	cost, dev, gen, ok := el.chargeFor(total)
 	if !ok {
 		// Runtime closed while this burst was parked on a rate-less element:
 		// abandon it so Close's Drain completes. The frames are accounted as
 		// this element's queue drops — they were accepted but never served.
 		dropNow := r.now()
 		el.drops.Add(uint64(n))
-		el.meter.DropN(uint64(n), dropNow)
-		el.ch.meter.DropN(uint64(n), dropNow)
+		el.meter.Cell(s.idx+1).DropN(uint64(n), dropNow)
+		el.ch.meter.Cell(s.idx+1).DropN(uint64(n), dropNow)
 		for i := range jobs {
 			r.recycle(jobs[i].frame)
 		}
 		r.inFlight.Add(-n)
 		return
 	}
-	dev.take(cost)
+	s.charge(cost, dev, gen)
 
 	// PCIe crossings to reach this element draw on the runtime's shared
 	// DMA-engine budget — one charge per burst (descriptors are posted
@@ -663,7 +740,7 @@ func (s *shard) processBatch(jobs []job, decs []*packet.Decoder, ctxs []nf.Ctx, 
 	}
 
 	now := r.now()
-	el.meter.ObserveN(uint64(n), uint64(total), now)
+	el.meter.Cell(s.idx+1).ObserveN(uint64(n), uint64(total), now)
 	for i := range jobs {
 		dec := decs[i]
 		_, _ = dec.Decode(jobs[i].frame) // NFs tolerate partial decodes
@@ -724,8 +801,10 @@ func (s *shard) processBatch(jobs []job, decs []*packet.Decoder, ctxs []nf.Ctx, 
 	}
 	if qdrops > 0 {
 		dropNow := r.now()
-		el.ch.meter.DropN(uint64(qdrops), dropNow)
-		next.meter.DropN(uint64(qdrops), dropNow)
+		// This worker's identity is element-scoped: the chain meter takes
+		// our cell, the downstream element's meter the foreign cell 0.
+		el.ch.meter.Cell(s.idx+1).DropN(uint64(qdrops), dropNow)
+		next.meter.Cell(0).DropN(uint64(qdrops), dropNow)
 	}
 	if finished > 0 {
 		r.inFlight.Add(-finished)
@@ -770,7 +849,7 @@ func (s *shard) egressBatch(jobs []job, verdicts []nf.Verdict, lats *[]int64) {
 		r.recycle(jobs[i].frame)
 	}
 	el.ch.latency.RecordBatch(*lats)
-	el.ch.meter.ObserveN(delivered, deliveredBytes, now)
+	el.ch.meter.Cell(s.idx+1).ObserveN(delivered, deliveredBytes, now)
 	r.inFlight.Add(-len(jobs))
 }
 

@@ -1,0 +1,120 @@
+package metrics_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestShardedMeterFold checks that per-cell writes fold into the same
+// totals, rates and loss the single-cell Meter would report: counters sum
+// across cells, the interval end is the max across cells.
+func TestShardedMeterFold(t *testing.T) {
+	m := metrics.NewShardedMeter(3, 0)
+	if m.Cells() != 3 {
+		t.Fatalf("cells = %d, want 3", m.Cells())
+	}
+	// 1000 packets × 1250 bytes over 10 ms = 1 Gbps, spread round-robin
+	// across the cells; the last write lands the interval end on cell 1.
+	for i := 0; i < 1000; i++ {
+		m.Cell(i % 3).ObserveN(1, 1250, time.Duration(i+1)*10*time.Microsecond)
+	}
+	if m.Packets() != 1000 || m.Bytes() != 1000*1250 {
+		t.Errorf("fold: pkts=%d bytes=%d", m.Packets(), m.Bytes())
+	}
+	if m.Elapsed() != 10*time.Millisecond {
+		t.Errorf("elapsed = %v, want 10ms (max across cells)", m.Elapsed())
+	}
+	if got := m.Gbps(); math.Abs(got-1.0) > 0.001 {
+		t.Errorf("Gbps = %v, want 1.0", got)
+	}
+	if got := m.PPS(); math.Abs(got-100000) > 100 {
+		t.Errorf("PPS = %v, want 100000", got)
+	}
+	m.Cell(2).DropN(8, 11*time.Millisecond)
+	if m.Drops() != 8 {
+		t.Errorf("drops = %d", m.Drops())
+	}
+	if got := m.LossRate(); math.Abs(got-8.0/1008) > 1e-12 {
+		t.Errorf("loss = %v", got)
+	}
+	if m.Elapsed() != 11*time.Millisecond {
+		t.Errorf("elapsed after drop = %v, want 11ms", m.Elapsed())
+	}
+}
+
+// TestShardedMeterEndMonotonic checks the CAS-max on the interval end: an
+// observation at an earlier virtual time must never move the end backwards,
+// and zero-count observations must not move it at all.
+func TestShardedMeterEndMonotonic(t *testing.T) {
+	m := metrics.NewShardedMeter(2, 0)
+	m.Cell(0).ObserveN(1, 100, 5*time.Millisecond)
+	m.Cell(1).ObserveN(1, 100, 2*time.Millisecond) // earlier, other cell
+	m.Cell(0).ObserveN(1, 100, 3*time.Millisecond) // earlier, same cell
+	if m.Elapsed() != 5*time.Millisecond {
+		t.Errorf("elapsed = %v, want 5ms: end moved backwards", m.Elapsed())
+	}
+	m.Cell(0).ObserveN(0, 0, time.Second) // no packets: must not advance
+	m.Cell(1).DropN(0, time.Second)
+	if m.Elapsed() != 5*time.Millisecond {
+		t.Errorf("elapsed = %v after zero-count writes, want 5ms", m.Elapsed())
+	}
+}
+
+// TestShardedMeterStartOffset mirrors the single-cell Meter's interval
+// semantics: elapsed is measured from the construction-time start, clamped
+// at zero when nothing has been observed past it.
+func TestShardedMeterStartOffset(t *testing.T) {
+	m := metrics.NewShardedMeter(1, 2*time.Millisecond)
+	if m.Elapsed() != 0 || m.Gbps() != 0 || m.PPS() != 0 {
+		t.Error("fresh meter must report an empty interval")
+	}
+	m.Cell(0).ObserveN(1, 100, 3*time.Millisecond)
+	if m.Elapsed() != time.Millisecond {
+		t.Errorf("elapsed = %v, want 1ms past start", m.Elapsed())
+	}
+}
+
+// TestShardedMeterCellClamp guards the constructor's floor: fewer than one
+// cell is clamped to one so Cell(0) — the shared overflow cell — always
+// exists.
+func TestShardedMeterCellClamp(t *testing.T) {
+	m := metrics.NewShardedMeter(0, 0)
+	if m.Cells() != 1 {
+		t.Fatalf("cells = %d, want 1", m.Cells())
+	}
+	m.Cell(0).Drop(time.Millisecond)
+	if m.Drops() != 1 {
+		t.Error("overflow cell lost a drop")
+	}
+}
+
+// TestShardedMeterConcurrent hammers every cell — including cell 0, the
+// multi-writer overflow cell — from concurrent goroutines and checks no
+// update is lost. Run under -race: this is the hot-path write pattern of
+// the shard workers.
+func TestShardedMeterConcurrent(t *testing.T) {
+	const workers, writes = 8, 1000
+	m := metrics.NewShardedMeter(workers+1, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < writes; i++ {
+				m.Cell(g + 1).ObserveN(4, 4*100, time.Duration(i))
+				m.Cell(0).DropN(1, time.Duration(i)) // everyone shares cell 0
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Packets() != workers*writes*4 || m.Drops() != workers*writes {
+		t.Errorf("lost updates: pkts=%d drops=%d", m.Packets(), m.Drops())
+	}
+	if m.Elapsed() != time.Duration(writes-1) {
+		t.Errorf("elapsed = %v, want %v", m.Elapsed(), time.Duration(writes-1))
+	}
+}

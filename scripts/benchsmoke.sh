@@ -1,0 +1,25 @@
+#!/bin/sh
+# benchsmoke.sh — run the perf-trajectory bench smoke and write the
+# machine-readable artifact to the path given as $1 (default bench_current.json).
+#
+# This is the single definition of "the smoke": CI runs it to produce the
+# artifact it diffs against the checked-in BENCH.json baseline, and a
+# baseline refresh is the same script pointed at the baseline itself:
+#
+#	./scripts/benchsmoke.sh BENCH.json   # refresh the checked-in baseline
+#
+# The emulation benches average 10 iterations and the whole smoke repeats
+# 3 times (-count=3): single iterations of a wall-clock emulation on a
+# shared runner swing by 2×, so the artifact carries all three samples and
+# benchdiff ratchets best-of-3 against best-of-3. The gate micro-benchmark
+# runs a fixed 2M iterations so its frames/s is measured over tens of
+# milliseconds, not one 20 ns call.
+set -eu
+out="${1:-bench_current.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run xxx -bench='Dataplane|MultiChainSelect|SharedDeviceContention|PCIeDMAContention' \
+	-benchtime=10x -count=3 -benchmem . | tee "$tmp"
+go test -run xxx -bench='GateContention' -benchtime=2000000x -count=3 -benchmem ./internal/emul/ | tee -a "$tmp"
+go run ./cmd/benchjson -o "$out" < "$tmp"
