@@ -18,6 +18,7 @@
 //	pamctl live                 # closed loop: detect → select → migrate
 //	pamctl multi                # multi-tenant: N chains share one NIC+CPU
 //	pamctl crossing             # crossing storm: the DMA engine saturates
+//	pamctl stability            # stochastic hover: prove no ping-pong
 //
 // The live command runs the full control plane on the engine selected with
 // -engine: "chainsim" replays the hotspot scenario in deterministic virtual
@@ -41,6 +42,13 @@
 // the emulator's shared DMA-engine gate, detected from the measured
 // per-direction crossing demand (DESIGN.md §4).
 //
+// The stability command (emul only) runs the control-loop stability
+// harness: a seeded stochastic workload hovers around the overload
+// threshold, the loop runs Multi-PAM with the offload-reclaim policy, and
+// the command exits non-zero if any element ping-pongs between devices or
+// the detector never fires — the CI seed sweep (scripts/stabilityseeds.sh)
+// relies on that exit code (DESIGN.md §5).
+//
 // Flags:
 //
 //	-csv       also print each table as CSV
@@ -48,6 +56,7 @@
 //	-overload  overload offered load in Gbps (default 4.0)
 //	-pcie      per-crossing PCIe latency (default 43µs)
 //	-engine    live-loop backend: chainsim or emul (default chainsim)
+//	-seed      seed for every randomized component (default 42)
 package main
 
 import (
@@ -71,6 +80,7 @@ func main() {
 	overload := flag.Float64("overload", 0, "overload offered load (Gbps)")
 	pcieLat := flag.Duration("pcie", 0, "per-crossing PCIe latency")
 	engine := flag.String("engine", "chainsim", "live-loop backend: chainsim or emul")
+	seed := flag.Int64("seed", 0, "seed for every randomized component")
 	flag.Parse()
 
 	p := scenario.DefaultParams()
@@ -82,6 +92,9 @@ func main() {
 	}
 	if *pcieLat > 0 {
 		p.PCIeLatency = *pcieLat
+	}
+	if *seed != 0 {
+		p.Seed = *seed
 	}
 
 	cmd := flag.Arg(0)
@@ -96,6 +109,8 @@ func main() {
 		err = runMulti(*engine, p)
 	case "crossing":
 		err = runCrossing(*engine, p)
+	case "stability":
+		err = runStability(*engine, p)
 	default:
 		err = run(cmd, p, *csv)
 	}
@@ -203,7 +218,7 @@ func run(cmd string, p scenario.Params, csv bool) error {
 			fmt.Printf("%-18s %v\n", sel.Name()+":", plan)
 		}
 	default:
-		return fmt.Errorf("unknown command %q (try: all, table1, figure1, figure2a, figure2b, pcie, headline, ablation-pcie, ablation-naive, future-fpga, multistep, plan, live, multi, crossing)", cmd)
+		return fmt.Errorf("unknown command %q (try: all, table1, figure1, figure2a, figure2b, pcie, headline, ablation-pcie, ablation-naive, future-fpga, multistep, plan, live, multi, crossing, stability)", cmd)
 	}
 	return nil
 }

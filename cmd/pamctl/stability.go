@@ -1,0 +1,104 @@
+package main
+
+// The stability command: the control-loop stability harness. A stochastic
+// hover workload keeps the shared SmartNIC fluctuating around the overload
+// threshold while the live control plane runs Multi-PAM with the
+// offload-reclaim policy; the harness then scans the migration history for
+// ping-pong (an element pushed aside and reclaimed back within the bounce
+// horizon) and reports each episode's time-to-relief and every tenant's
+// delivered-throughput and latency percentiles. The command exits non-zero
+// when the loop ping-pongs or never fires — so a seed sweep in CI fails
+// loudly if a detector or reclaim change destabilizes the loop.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+func runStability(engine string, p scenario.Params) error {
+	if engine != "emul" {
+		return fmt.Errorf("the stability harness measures a live dataplane; run it with -engine emul")
+	}
+	lp := scenario.DefaultLiveParams()
+	cfg := scenario.StabilityConfig{}
+	fmt.Printf("engine: emul (wall clock, scale %.0fx); seed %d\n", lp.Scale, p.Seed)
+	fmt.Printf("hover: %.2f±%.2f Gbps, dwell ~%v; reclaim after %d calm windows; bounce horizon %v\n\n",
+		scenario.StabilityHoverCenterGbps, scenario.StabilityHoverBandGbps,
+		scenario.StabilityHoverDwell, scenario.StabilityReclaimAfter, scenario.StabilityPingPongHorizon)
+
+	res, err := scenario.RunLiveStability(p, lp, cfg, nil)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("control-plane events (downtime = measured transfer):")
+	for _, e := range res.Events {
+		fmt.Println("  " + e.Format(time.Millisecond))
+	}
+
+	fmt.Println("\nmigration history:")
+	for _, m := range res.History {
+		kind := "push-aside"
+		if m.Reclaim {
+			kind = "reclaim"
+		}
+		fmt.Printf("  [%8v] %-10s %s: %v -> %v (chain %d)\n",
+			m.At.Round(time.Millisecond), kind, m.Element, m.From, m.To, m.ChainIndex)
+	}
+
+	fmt.Println("\nepisodes (relief = migration -> first window back under threshold):")
+	for i, ep := range res.Episodes {
+		relief := "not reached"
+		if ep.Relief >= 0 {
+			relief = ep.Relief.Round(time.Millisecond).String()
+		}
+		fmt.Printf("  #%d at %v: NIC demand %.2f -> %.2f, relief %s\n",
+			i+1, ep.At.Round(time.Millisecond), ep.PreNICDemand, ep.PostNICDemand, relief)
+	}
+
+	tbl := report.NewTable("\nper-tenant delivered throughput and latency",
+		"tenant", "mean Gbps", "p50", "p99", "p99.9", "latency")
+	for _, ts := range res.PerTenant {
+		tbl.AddRowf(ts.Name, ts.MeanGbps, ts.DeliveredP50, ts.DeliveredP99, ts.DeliveredP999, ts.Latency.String())
+	}
+	fmt.Println(tbl)
+
+	nicU := make([]float64, 0, len(res.Samples))
+	for _, s := range res.Samples {
+		nicU = append(nicU, s.NIC.Utilization)
+	}
+	fmt.Printf("NIC demand over time: %s\n", report.Spark(nicU))
+	fmt.Println("final placements:")
+	for i, pl := range res.Placements {
+		fmt.Printf("  %-14s %v\n", res.Tenants[i]+":", pl)
+	}
+	fmt.Printf("detector: %d episode(s), %d clear(s), %d rearm(s); %d migration(s), %d reclaim(s); settled=%v\n",
+		res.DetectorEvents, res.DetectorClears, res.DetectorRearms,
+		res.Migrations, res.Reclaims, res.Settled)
+
+	if len(res.PingPongs) > 0 {
+		for _, pp := range res.PingPongs {
+			fmt.Printf("PING-PONG: %s bounced %v->%v at %v and back at %v\n",
+				pp.Element, pp.Out.From, pp.Out.To,
+				pp.Out.At.Round(time.Millisecond), pp.Back.At.Round(time.Millisecond))
+		}
+		return fmt.Errorf("control loop ping-ponged %d time(s) within %v", len(res.PingPongs), scenario.StabilityPingPongHorizon)
+	}
+	if res.DetectorEvents == 0 {
+		return fmt.Errorf("hover never fired the detector — the harness did not exercise the loop")
+	}
+	relieved := false
+	for _, ep := range res.Episodes {
+		if ep.Relief >= 0 {
+			relieved = true
+		}
+	}
+	if !relieved && len(res.Episodes) > 0 {
+		return fmt.Errorf("no episode reached relief")
+	}
+	fmt.Println("\nstable: no ping-pong, every episode relieved")
+	return nil
+}

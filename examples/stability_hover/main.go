@@ -1,0 +1,77 @@
+// Control-loop stability under a hovering workload: the adversarial regime
+// for any threshold-based overload detector. Two Monitor tenants pin the
+// shared SmartNIC near its threshold and a third tenant's offered load
+// fluctuates stochastically in a band that straddles the rate where the
+// summed NIC demand crosses it — so the detector's input hovers exactly at
+// the fire/clear boundary. The live control plane runs Multi-PAM plus the
+// offload-reclaim policy (orchestrator.Config.ReclaimAfter): after an
+// episode's push-aside, sustained calm keeps inviting the loop to restore
+// the pushed element to the SmartNIC, and only the fluid-model headroom
+// guard — gated on the detector's ClearThreshold — stands between offload
+// restoration and migration ping-pong. With the calibrated hysteresis band
+// the guard always refuses under hover (the predicted post-reclaim demand
+// lands inside the band), so the loop pushes once and settles; the printed
+// migration history and ping-pong scan prove it. Collapse the band to zero
+// and the same run bounces the element back and forth — run
+// `go test ./internal/scenario -run TestLiveStabilityDetunedPingPongs -v`
+// to watch that negative control.
+//
+// The same run, as a CLI: `go run ./cmd/pamctl -engine emul stability`.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	p := scenario.DefaultParams()
+	lp := scenario.DefaultLiveParams()
+	cfg := scenario.StabilityConfig{}
+
+	fmt.Printf("hover tenant: %.2f±%.2f Gbps (dwell ~%v) over two steady %.1f Gbps backgrounds\n",
+		scenario.StabilityHoverCenterGbps, scenario.StabilityHoverBandGbps,
+		scenario.StabilityHoverDwell, scenario.MultiBackgroundGbps)
+	fmt.Printf("reclaim after %d calm windows, guarded by the hysteresis band; bounce horizon %v\n\n",
+		scenario.StabilityReclaimAfter, scenario.StabilityPingPongHorizon)
+
+	res, err := scenario.RunLiveStability(p, lp, cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("control-plane events:")
+	for _, e := range res.Events {
+		fmt.Println("  " + e.Format(time.Millisecond))
+	}
+	fmt.Println("migration history (push-asides and reclaims):")
+	for _, m := range res.History {
+		kind := "push-aside"
+		if m.Reclaim {
+			kind = "reclaim"
+		}
+		fmt.Printf("  [%8v] %-10s %s: %v -> %v\n", m.At.Round(time.Millisecond), kind, m.Element, m.From, m.To)
+	}
+	for i, ep := range res.Episodes {
+		fmt.Printf("episode #%d: NIC demand %.2f -> %.2f, relief %v\n",
+			i+1, ep.PreNICDemand, ep.PostNICDemand, ep.Relief.Round(time.Millisecond))
+	}
+	fmt.Println("per-tenant delivered (p50/p99/p99.9) and latency:")
+	for _, ts := range res.PerTenant {
+		fmt.Printf("  %-14s %.2f / %.2f / %.2f Gbps; %s\n",
+			ts.Name+":", ts.DeliveredP50, ts.DeliveredP99, ts.DeliveredP999, ts.Latency)
+	}
+	fmt.Printf("\ndetector: %d episode(s); %d migration(s), %d reclaim(s); ping-pongs: %d; settled=%v\n",
+		res.DetectorEvents, res.Migrations, res.Reclaims, len(res.PingPongs), res.Settled)
+	if len(res.PingPongs) == 0 {
+		fmt.Println("stable: the hysteresis band kept the reclaim guard honest — no ping-pong")
+	} else {
+		for _, pp := range res.PingPongs {
+			fmt.Printf("PING-PONG: %s bounced at %v and back at %v\n",
+				pp.Element, pp.Out.At.Round(time.Millisecond), pp.Back.At.Round(time.Millisecond))
+		}
+	}
+}

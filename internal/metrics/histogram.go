@@ -276,21 +276,22 @@ func (h *Histogram) Snapshot() Summary {
 		P50:   h.Percentile(50),
 		P90:   h.Percentile(90),
 		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
 	}
 }
 
 // Summary holds point-in-time statistics extracted from a Histogram.
 type Summary struct {
-	Count         uint64
-	Mean          float64
-	Min, Max      int64
-	P50, P90, P99 int64
+	Count               uint64
+	Mean                float64
+	Min, Max            int64
+	P50, P90, P99, P999 int64
 }
 
 // String renders the summary on one line, treating samples as nanoseconds.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%.1fus p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus",
-		s.Count, s.Mean/1e3, float64(s.P50)/1e3, float64(s.P90)/1e3, float64(s.P99)/1e3, float64(s.Max)/1e3)
+	return fmt.Sprintf("n=%d mean=%.1fus p50=%.1fus p90=%.1fus p99=%.1fus p99.9=%.1fus max=%.1fus",
+		s.Count, s.Mean/1e3, float64(s.P50)/1e3, float64(s.P90)/1e3, float64(s.P99)/1e3, float64(s.P999)/1e3, float64(s.Max)/1e3)
 }
 
 // Welford accumulates mean and variance online (Welford's algorithm).

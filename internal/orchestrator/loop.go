@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chain"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/migrate"
@@ -55,10 +56,25 @@ type Config struct {
 	// real sizes). Default 64 KiB.
 	StateBytes int
 	// MaxMigrations bounds how many plans get executed (0 = unbounded).
+	// Reclaims (see ReclaimAfter) do not count against the budget.
 	MaxMigrations int
 	// Cooldown suppresses new plans for this long after one executes
-	// (default 2×PollEvery).
+	// (default 2×PollEvery). Reclaims honor it too.
 	Cooldown time.Duration
+	// ReclaimAfter enables offload reclaim, the reverse of a push-aside:
+	// once the detector is clear and the smoothed NIC and DMA utilizations
+	// have stayed below ClearThreshold for this many consecutive polled
+	// windows, the loop migrates the most recently pushed element back to
+	// the device it came from — restoring SmartNIC offload after the storm
+	// passes. The move is guarded by the fluid model: it only executes when
+	// the predicted utilization of the destination (and the DMA engine, if
+	// the return adds crossings) stays below ClearThreshold for this many
+	// consecutive windows as well (single-window measurements are noisy), so
+	// the hysteresis band Threshold−ClearThreshold is exactly the headroom
+	// that keeps a reclaimed element from re-firing the detector — a band of
+	// zero invites migration ping-pong under load hovering at the
+	// threshold. 0 disables reclaim (the default; prior behaviour).
+	ReclaimAfter int
 }
 
 // selector resolves the configured policy into the loop's native
@@ -101,6 +117,10 @@ const (
 	// EventLimited records an overload episode suppressed by
 	// Config.MaxMigrations.
 	EventLimited
+	// EventReclaimed records an executed reclaim: a previously pushed-aside
+	// element migrated back to its original device after the overload
+	// passed (Config.ReclaimAfter).
+	EventReclaimed
 )
 
 // String names the kind.
@@ -112,8 +132,56 @@ func (k EventKind) String() string {
 		return "cooldown"
 	case EventLimited:
 		return "limit-reached"
+	case EventReclaimed:
+		return "reclaimed"
 	}
 	return "migrated"
+}
+
+// Migration records one executed element move — the unit the stability
+// harness analyses. Push-asides and reclaims both append here, so the full
+// per-element trajectory (A→B, B→A, …) is reconstructible.
+type Migration struct {
+	At         time.Duration
+	ChainIndex int
+	Element    string
+	From, To   device.Kind
+	// Reclaim marks moves executed by the reclaim policy rather than a
+	// selector plan.
+	Reclaim bool
+}
+
+// PingPong is one detected bounce: the same element moved A→B and back
+// B→A within the horizon — the oscillation a stable control loop must not
+// produce when load hovers at the threshold.
+type PingPong struct {
+	Element    string
+	ChainIndex int
+	Out, Back  Migration
+}
+
+// FindPingPongs scans a migration history for bounces: for every move, the
+// next opposite move of the same element within horizon forms a ping-pong.
+// Each outbound move is counted at most once.
+func FindPingPongs(hist []Migration, horizon time.Duration) []PingPong {
+	var out []PingPong
+	for i := 0; i < len(hist); i++ {
+		a := hist[i]
+		for j := i + 1; j < len(hist); j++ {
+			b := hist[j]
+			if b.At-a.At > horizon {
+				break
+			}
+			if a.ChainIndex != b.ChainIndex || a.Element != b.Element {
+				continue
+			}
+			if a.From == b.To && a.To == b.From {
+				out = append(out, PingPong{Element: a.Element, ChainIndex: a.ChainIndex, Out: a, Back: b})
+				break
+			}
+		}
+	}
+	return out
 }
 
 // loop is the shared poll/detect/select/execute state machine. exec applies
@@ -139,6 +207,14 @@ type loop struct {
 	lastMove time.Duration
 	moved    bool // a plan (possibly partial) has executed; lastMove is set
 	migrated int
+	history  []Migration
+	// pushed is the reclaim-candidate stack: fully executed plan steps in
+	// order, popped as reclaims undo them (LIFO — the last push-aside is
+	// the first offload restored).
+	pushed   []Migration
+	calm     int // consecutive below-ClearThreshold windows (reclaim gate)
+	armed    int // consecutive windows the reclaim headroom guard held
+	reclaims int
 }
 
 func newLoop(cfg Config, view func() core.MultiView, exec func(core.MultiPlan) (time.Duration, error)) (*loop, error) {
@@ -173,6 +249,7 @@ func (l *loop) observe(now time.Duration, s telemetry.Sample) {
 
 	fire, throughput := l.detector.Observe(s)
 	if !fire {
+		l.maybeReclaim(now, throughput)
 		return
 	}
 	l.mu.Lock()
@@ -220,8 +297,162 @@ func (l *loop) observe(now time.Duration, s telemetry.Sample) {
 	l.moved = true
 	l.migrated++
 	l.lastMove = now
+	l.calm, l.armed = 0, 0
+	for _, st := range plan.Steps {
+		m := Migration{At: now, ChainIndex: st.ChainIndex, Element: st.Step.Element, From: st.Step.From, To: st.Step.To}
+		l.history = append(l.history, m)
+		l.pushed = append(l.pushed, m)
+	}
 	l.events = append(l.events, Event{At: now, Kind: EventMigrated, Plan: plan, Downtime: downtime})
 	l.mu.Unlock()
+}
+
+// maybeReclaim runs the reclaim policy on a quiet window (no fire): after
+// Config.ReclaimAfter consecutive windows below the detector's clear
+// threshold, the most recently pushed element migrates back to the device
+// it came from — if the fluid model predicts the restored placement stays
+// below ClearThreshold. Called with decideMu held.
+func (l *loop) maybeReclaim(now time.Duration, throughput float64) {
+	if l.cfg.ReclaimAfter <= 0 {
+		return
+	}
+	l.mu.Lock()
+	n := len(l.pushed)
+	l.mu.Unlock()
+	if n == 0 {
+		return
+	}
+	dcfg := l.detector.Config()
+	if l.detector.Fired() ||
+		l.detector.SmoothedUtil() >= dcfg.ClearThreshold ||
+		l.detector.SmoothedDMAUtil() >= dcfg.ClearThreshold {
+		l.mu.Lock()
+		l.calm, l.armed = 0, 0
+		l.mu.Unlock()
+		return
+	}
+	l.mu.Lock()
+	l.calm++
+	ready := l.calm >= l.cfg.ReclaimAfter && !(l.moved && now-l.lastMove < l.cfg.Cooldown)
+	cand := l.pushed[len(l.pushed)-1]
+	l.mu.Unlock()
+	if !ready {
+		return
+	}
+
+	v := l.view()
+	rescale(v.Loads, throughput)
+	plan, drop := reclaimPlan(v, cand, dcfg.ClearThreshold)
+	if drop {
+		// The element is no longer where the push left it (a later plan or
+		// an operator moved it); the candidate can never be reclaimed.
+		l.mu.Lock()
+		if len(l.pushed) > 0 {
+			l.pushed = l.pushed[:len(l.pushed)-1]
+		}
+		l.armed = 0
+		l.mu.Unlock()
+		return
+	}
+	if plan == nil {
+		// Headroom guard: reclaiming now would re-approach overload. The
+		// guard must then hold for ReclaimAfter consecutive windows before a
+		// reclaim executes — re-arm the streak.
+		l.mu.Lock()
+		l.armed = 0
+		l.mu.Unlock()
+		return
+	}
+	l.mu.Lock()
+	l.armed++
+	ok := l.armed >= l.cfg.ReclaimAfter
+	l.mu.Unlock()
+	if !ok {
+		// The guard held this window, but a single window's measurements are
+		// noisy — a dwell boundary where the chain delivered little makes a
+		// reclaim look safe. Only a sustained streak (ReclaimAfter windows,
+		// same confirmation depth as the calm gate) executes.
+		return
+	}
+	downtime, err := l.exec(*plan)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.calm, l.armed = 0, 0
+	if err != nil {
+		if downtime > 0 {
+			l.moved = true
+			l.lastMove = now
+		}
+		l.events = append(l.events, Event{At: now, Kind: EventSkipped, Plan: *plan, Err: err})
+		return
+	}
+	l.pushed = l.pushed[:len(l.pushed)-1]
+	l.moved = true
+	l.lastMove = now
+	l.reclaims++
+	l.history = append(l.history, Migration{
+		At: now, ChainIndex: cand.ChainIndex, Element: cand.Element,
+		From: cand.To, To: cand.From, Reclaim: true,
+	})
+	l.events = append(l.events, Event{At: now, Kind: EventReclaimed, Plan: *plan, Downtime: downtime})
+}
+
+// reclaimPlan builds the reverse plan for a pushed element, or reports that
+// the candidate must be dropped (element no longer in the pushed-to
+// placement). A nil plan with drop=false means the headroom guard refused
+// the move this window: the predicted utilization of the return device —
+// its measured utilization plus the element's own θcur/θ share — or the
+// predicted DMA utilization (when the return adds crossings) would reach
+// clear. The guard is what makes the hysteresis band a stability margin.
+func reclaimPlan(v core.MultiView, cand Migration, clear float64) (*core.MultiPlan, bool) {
+	if cand.ChainIndex < 0 || cand.ChainIndex >= len(v.Loads) {
+		return nil, true
+	}
+	load := v.Loads[cand.ChainIndex]
+	idx := load.Chain.Index(cand.Element)
+	if idx < 0 || load.Chain.At(idx).Loc != cand.To {
+		return nil, true
+	}
+	elemType := load.Chain.At(idx).Type
+
+	dev := v.CPU
+	measured := v.MeasuredCPUUtil
+	if cand.From == device.KindSmartNIC {
+		dev = v.NIC
+		measured = v.MeasuredNICUtil
+	}
+	added, err := dev.Utilization(v.Catalog, []string{elemType}, load.Throughput)
+	if err != nil {
+		return nil, true // cannot run on the return device anymore
+	}
+	if measured+added >= clear {
+		return nil, false
+	}
+	restored := load.Chain.Clone()
+	if err := restored.Move(cand.Element, cand.From); err != nil {
+		return nil, true
+	}
+	if extra := restored.Crossings() - load.Chain.Crossings(); extra > 0 {
+		if v.MeasuredDMAUtil+v.NIC.DMAUtilization(load.Throughput, extra) >= clear {
+			return nil, false
+		}
+	}
+	results := make([]*chain.Chain, len(v.Loads))
+	for i, ld := range v.Loads {
+		if i == cand.ChainIndex {
+			results[i] = restored
+		} else {
+			results[i] = ld.Chain.Clone()
+		}
+	}
+	return &core.MultiPlan{
+		Selector: "reclaim",
+		Steps: []core.MultiStepEntry{{
+			ChainIndex: cand.ChainIndex,
+			Step:       core.Step{Element: cand.Element, From: cand.To, To: cand.From},
+		}},
+		Results: results,
+	}, false
 }
 
 // rescale pins the view's aggregate throughput to the detector's smoothed
@@ -270,6 +501,21 @@ func (l *loop) Migrations() int {
 	return l.migrated
 }
 
+// Reclaims returns how many reclaim moves were executed.
+func (l *loop) Reclaims() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reclaims
+}
+
+// History returns a copy of every executed element move (push-asides and
+// reclaims) in execution order — the input to FindPingPongs.
+func (l *loop) History() []Migration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Migration(nil), l.history...)
+}
+
 // Detector exposes the loop's overload detector (reports inspect its
 // smoothed view; tests assert episode counts and re-arming).
 func (l *loop) Detector() *telemetry.Detector { return l.detector }
@@ -286,7 +532,7 @@ func (e Event) Format(round time.Duration) string {
 	switch {
 	case e.Err != nil:
 		return fmt.Sprintf("[%8v] %v: %v", at, e.Kind, e.Err)
-	case e.Kind == EventMigrated:
+	case e.Kind == EventMigrated || e.Kind == EventReclaimed:
 		return fmt.Sprintf("[%8v] %v: %v (downtime %v)", at, e.Kind, e.Plan, e.Downtime)
 	default:
 		return fmt.Sprintf("[%8v] %v: overload episode suppressed", at, e.Kind)

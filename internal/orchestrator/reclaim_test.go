@@ -1,0 +1,142 @@
+package orchestrator_test
+
+// Offload-reclaim tests: after a push-aside and sustained calm, the loop
+// migrates the pushed element back (restoring SmartNIC offload), records
+// both legs in the migration history, and FindPingPongs sees the bounce.
+// The confirmation depth (ReclaimAfter calm windows + the same number of
+// consecutive headroom-guard passes) and the cooldown both gate the move.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/orchestrator"
+	"repro/internal/scenario"
+)
+
+func TestLiveLoopReclaimsAfterCalm(t *testing.T) {
+	rt := newLiveRuntime(t)
+	rt.Start()
+	defer rt.Close()
+	p := scenario.DefaultParams()
+	live, err := orchestrator.NewLive(rt, orchestrator.Config{
+		PollEvery:    10 * time.Millisecond,
+		Selector:     pushAside{},
+		Detector:     hairTrigger(),
+		Cooldown:     time.Millisecond,
+		ReclaimAfter: 2,
+	}, scenario.View(scenario.Figure1Chain(), p, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sendFrames(t, rt, 200)
+	live.Poll() // hot window -> fire -> push logger0 to the CPU
+	if live.Migrations() != 1 {
+		t.Fatalf("migrations = %d, want 1\nlog:\n%s", live.Migrations(), live.Describe())
+	}
+
+	// Idle windows: the first clears the detector, then ReclaimAfter calm
+	// windows arm the policy and ReclaimAfter guard-pass windows execute the
+	// reclaim (the guard passes trivially — an idle device predicts ~zero
+	// utilization for the restored placement).
+	for i := 0; i < 6 && live.Reclaims() == 0; i++ {
+		time.Sleep(2 * time.Millisecond)
+		live.Poll()
+	}
+	if live.Reclaims() != 1 {
+		t.Fatalf("reclaims = %d, want 1\nlog:\n%s", live.Reclaims(), live.Describe())
+	}
+	got := rt.Placement()
+	if got.At(got.Index(scenario.NameLogger)).Loc != device.KindSmartNIC {
+		t.Errorf("reclaim not applied to the dataplane: %v", got)
+	}
+	var reclaimed int
+	for _, e := range live.Events() {
+		if e.Kind == orchestrator.EventReclaimed {
+			reclaimed++
+			if e.Downtime <= 0 {
+				t.Error("reclaim migration reported no measured downtime")
+			}
+		}
+	}
+	if reclaimed != 1 {
+		t.Errorf("EventReclaimed count = %d, want 1\nlog:\n%s", reclaimed, live.Describe())
+	}
+
+	hist := live.History()
+	if len(hist) != 2 {
+		t.Fatalf("history = %+v, want push + reclaim", hist)
+	}
+	if hist[0].Reclaim || !hist[1].Reclaim {
+		t.Errorf("history legs mislabelled: %+v", hist)
+	}
+	if hist[1].From != hist[0].To || hist[1].To != hist[0].From {
+		t.Errorf("reclaim leg does not reverse the push: %+v", hist)
+	}
+	pp := orchestrator.FindPingPongs(hist, time.Hour)
+	if len(pp) != 1 || pp[0].Element != scenario.NameLogger {
+		t.Errorf("FindPingPongs on a push+reclaim pair = %+v, want one bounce", pp)
+	}
+}
+
+func TestLiveLoopReclaimDisabledByDefault(t *testing.T) {
+	rt := newLiveRuntime(t)
+	rt.Start()
+	defer rt.Close()
+	p := scenario.DefaultParams()
+	live, err := orchestrator.NewLive(rt, orchestrator.Config{
+		PollEvery: 10 * time.Millisecond,
+		Selector:  pushAside{},
+		Detector:  hairTrigger(),
+		Cooldown:  time.Millisecond,
+	}, scenario.View(scenario.Figure1Chain(), p, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendFrames(t, rt, 200)
+	live.Poll()
+	for i := 0; i < 5; i++ {
+		time.Sleep(2 * time.Millisecond)
+		live.Poll()
+	}
+	if live.Reclaims() != 0 {
+		t.Errorf("reclaim ran with ReclaimAfter unset: %s", live.Describe())
+	}
+	got := rt.Placement()
+	if got.At(got.Index(scenario.NameLogger)).Loc != device.KindCPU {
+		t.Errorf("placement changed without a reclaim: %v", got)
+	}
+}
+
+func TestFindPingPongs(t *testing.T) {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	mv := func(at int, ci int, el string, from, to device.Kind) orchestrator.Migration {
+		return orchestrator.Migration{At: ms(at), ChainIndex: ci, Element: el, From: from, To: to}
+	}
+	nic, cpu := device.KindSmartNIC, device.KindCPU
+	hist := []orchestrator.Migration{
+		mv(0, 0, "a", nic, cpu),
+		mv(50, 1, "a", cpu, nic),   // different chain: not a bounce
+		mv(100, 0, "b", nic, cpu),  // different element
+		mv(200, 0, "a", cpu, nic),  // bounce of the first move (within horizon)
+		mv(900, 0, "a", nic, cpu),  // out again...
+		mv(2000, 0, "a", cpu, nic), // ...but back only after the horizon
+	}
+	got := orchestrator.FindPingPongs(hist, ms(500))
+	if len(got) != 1 {
+		t.Fatalf("ping-pongs = %+v, want exactly one", got)
+	}
+	if got[0].Element != "a" || got[0].Out.At != 0 || got[0].Back.At != ms(200) {
+		t.Errorf("wrong bounce matched: %+v", got[0])
+	}
+	// A wide horizon admits every adjacent reversal pair: 0↔200, 200↔900
+	// (back-then-out is a bounce too) and 900↔2000.
+	if n := len(orchestrator.FindPingPongs(hist, ms(5000))); n != 3 {
+		t.Errorf("wide horizon found %d bounces, want 3", n)
+	}
+	if n := len(orchestrator.FindPingPongs(nil, ms(500))); n != 0 {
+		t.Errorf("empty history found %d bounces", n)
+	}
+}

@@ -1,0 +1,385 @@
+package scenario
+
+// The control-loop stability harness: a stochastic workload hovers around
+// the overload threshold — the adversarial regime for any hysteresis-based
+// detector — and the harness proves the closed loop does not ping-pong.
+// Two steady Monitor tenants pin the shared SmartNIC near its threshold;
+// the hover tenant's offered load fluctuates in a band straddling the rate
+// at which the summed NIC demand crosses the detector threshold (the
+// calibration is in DESIGN.md §5). A correctly tuned loop fires, pushes the
+// hover tenant's Logger aside once, and settles: the offload-reclaim policy
+// (orchestrator.Config.ReclaimAfter) keeps wanting to restore the Logger to
+// the NIC, but its fluid-model headroom guard — gated on ClearThreshold —
+// predicts the restored placement would re-approach overload and refuses.
+// Collapse the hysteresis band to zero (ClearThreshold = Threshold) and the
+// same run reclaims during a low dwell, re-fires at the next high dwell and
+// bounces the element A→B→A: the band is demonstrably what buys stability.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/emul"
+	"repro/internal/metrics"
+	"repro/internal/orchestrator"
+	"repro/internal/traffic"
+)
+
+// Calibrated stability defaults (provenance in DESIGN.md §5). The hover band
+// is placed so that the summed NIC demand crosses the detector threshold
+// only during upper-half dwells: backgrounds contribute 2×0.9/3.2 ≈ 0.56 and
+// the hover chain's NIC residents (Logger θS=2, Firewall θS=10) add 0.6 per
+// offered Gbps, so demand sweeps ≈[0.86, 1.10] across the band and crosses
+// 0.95 at ≈0.645 Gbps — inside the band, as hovering requires.
+const (
+	// StabilityHoverCenterGbps is the hover tenant's mean offered load.
+	StabilityHoverCenterGbps = 0.70
+	// StabilityHoverBandGbps is the hover excursion half-width.
+	StabilityHoverBandGbps = 0.20
+	// StabilityHoverDwell is the mean dwell per excursion: 6 sampling
+	// windows, enough for the detector's Consecutive streak to fill within
+	// one high dwell.
+	StabilityHoverDwell = 150 * time.Millisecond
+	// StabilityReclaimAfter is how many consecutive clear windows arm the
+	// offload-reclaim policy.
+	StabilityReclaimAfter = 3
+	// StabilityPingPongHorizon is the bounce window: an element moved out
+	// and back within it counts as a ping-pong.
+	StabilityPingPongHorizon = 500 * time.Millisecond
+	// StabilityTotal is the default run length (≈13 hover dwells).
+	StabilityTotal = 2 * time.Second
+)
+
+// StabilityConfig parameterizes the stability run. The zero value selects
+// the calibrated hover defaults above.
+type StabilityConfig struct {
+	// HoverCenterGbps / HoverBandGbps / HoverDwell shape the hover tenant's
+	// stochastic schedule (defaults above).
+	HoverCenterGbps float64
+	HoverBandGbps   float64
+	HoverDwell      time.Duration
+	// Total is the run length (default StabilityTotal).
+	Total time.Duration
+	// ReclaimAfter arms the offload-reclaim policy (default
+	// StabilityReclaimAfter; negative disables reclaim).
+	ReclaimAfter int
+	// Horizon is the ping-pong scan window (default
+	// StabilityPingPongHorizon).
+	Horizon time.Duration
+	// Sizes is the hover tenant's frame-size distribution (default
+	// FixedSize(MultiFrameSize); plug in traffic.ParetoSize for heavy
+	// tails).
+	Sizes traffic.SizeDist
+	// Ramp replaces the stochastic hover with a deterministic two-phase
+	// ramp between the band edges — the baseline the stochastic run's
+	// time-to-relief is compared against.
+	Ramp bool
+}
+
+func (c StabilityConfig) withDefaults() StabilityConfig {
+	if c.HoverCenterGbps <= 0 {
+		c.HoverCenterGbps = StabilityHoverCenterGbps
+	}
+	if c.HoverBandGbps <= 0 {
+		c.HoverBandGbps = StabilityHoverBandGbps
+	}
+	if c.HoverDwell <= 0 {
+		c.HoverDwell = StabilityHoverDwell
+	}
+	if c.Total <= 0 {
+		c.Total = StabilityTotal
+	}
+	if c.ReclaimAfter == 0 {
+		c.ReclaimAfter = StabilityReclaimAfter
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = StabilityPingPongHorizon
+	}
+	if c.Sizes == nil {
+		c.Sizes = traffic.FixedSize(MultiFrameSize)
+	}
+	return c
+}
+
+// StabilityEpisode is one overload episode's lifecycle: when its plan
+// executed, the peak NIC demand leading up to it, and how long delivery
+// took to recover.
+type StabilityEpisode struct {
+	// At is when the episode's migration executed.
+	At time.Duration
+	// PreNICDemand is the peak windowed NIC demand utilization between the
+	// previous episode's relief and this migration.
+	PreNICDemand float64
+	// PostNICDemand is the windowed NIC demand at the relief window — for a
+	// converged episode it is strictly below PreNICDemand (the Eq. 3 border
+	// slide really shed load).
+	PostNICDemand float64
+	// Relief is the time from the migration to the first window whose NIC
+	// demand is below the detector threshold with negligible loss; −1 when
+	// the run ended first.
+	Relief time.Duration
+}
+
+// TenantStability is one tenant's delivered-service summary over the run.
+type TenantStability struct {
+	Name string
+	// Latency is the tenant's end-to-end latency distribution.
+	Latency metrics.Summary
+	// DeliveredP50/P99/P999 are quantiles of the tenant's per-window
+	// delivered throughput (catalog Gbps): the flatness of a background
+	// tenant's delivery under a hovering neighbour.
+	DeliveredP50  float64
+	DeliveredP99  float64
+	DeliveredP999 float64
+	// MeanGbps is the tenant's mean per-window delivered throughput.
+	MeanGbps float64
+}
+
+// LiveStabilityResult is one stability run's outcome.
+type LiveStabilityResult struct {
+	// Tenants names the hosted chains, parallel to per-tenant slices.
+	Tenants []string
+	// Events is the control plane's log.
+	Events []orchestrator.Event
+	// Samples is the measured telemetry timeline.
+	Samples []emul.LoadSample
+	// Final and ChainFinal are the end-of-run accounting.
+	Final      emul.Result
+	ChainFinal []emul.Result
+	// Placements is each chain's placement after the run.
+	Placements []*chain.Chain
+	// History is every executed element move in order; PingPongs the
+	// bounces FindPingPongs detected in it (empty for a stable loop).
+	History   []orchestrator.Migration
+	PingPongs []orchestrator.PingPong
+	// Episodes is the per-episode relief analysis.
+	Episodes []StabilityEpisode
+	// PerTenant is each tenant's delivered/latency summary.
+	PerTenant []TenantStability
+	// Migrations counts executed plans; Reclaims executed reclaim moves.
+	Migrations int
+	Reclaims   int
+	// DetectorEvents/Clears/Rearms are the detector's episode counters.
+	DetectorEvents int
+	DetectorClears int
+	DetectorRearms int
+	// Settled reports that the run's final window was below the detector
+	// threshold with negligible loss — the loop ended at rest.
+	Settled bool
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// StabilityTenants returns the stability population: the two steady Monitor
+// backgrounds from the multi-tenant scenario plus the hover tenant's
+// Figure-1-geometry chain (LB on the CPU; Logger, Firewall on the NIC).
+// The hover tenant is the last entry; its Phases are filled in by
+// RunLiveStability from the configured shape.
+func StabilityTenants(cfg StabilityConfig) ([]Tenant, error) {
+	cfg = cfg.withDefaults()
+	bgA, err := chain.New("bg-monitor-a",
+		chain.Element{Name: "bgm0", Type: device.TypeMonitor, Loc: device.KindSmartNIC},
+	)
+	if err != nil {
+		return nil, err
+	}
+	bgB, err := chain.New("bg-monitor-b",
+		chain.Element{Name: "bgn0", Type: device.TypeMonitor, Loc: device.KindSmartNIC},
+	)
+	if err != nil {
+		return nil, err
+	}
+	hover, err := chain.New("hover",
+		chain.Element{Name: "hlb0", Type: device.TypeLoadBalancer, Loc: device.KindCPU},
+		chain.Element{Name: "hlog0", Type: device.TypeLogger, Loc: device.KindSmartNIC},
+		chain.Element{Name: "hfw0", Type: device.TypeFirewall, Loc: device.KindSmartNIC},
+	)
+	if err != nil {
+		return nil, err
+	}
+	steady := []traffic.Phase{{RateGbps: MultiBackgroundGbps, Duration: cfg.Total}}
+	return []Tenant{
+		{Chain: bgA, Phases: steady, FrameSize: MultiFrameSize},
+		{Chain: bgB, Phases: steady, FrameSize: MultiFrameSize},
+		{Chain: hover, FrameSize: MultiFrameSize},
+	}, nil
+}
+
+// hoverSource builds the hover tenant's arrival source in wall-clock units
+// (catalog rates divided by scale). The stochastic variant compiles the
+// seeded Hover shape; the Ramp variant is the deterministic baseline: calm
+// at the band's lower edge, then overload at its upper edge.
+func hoverSource(cfg StabilityConfig, scale float64, flows int, seed int64) (traffic.Source, error) {
+	lo := (cfg.HoverCenterGbps - cfg.HoverBandGbps) / scale
+	hi := (cfg.HoverCenterGbps + cfg.HoverBandGbps) / scale
+	if cfg.Ramp {
+		calm := cfg.Total / 4
+		return traffic.NewRamp([]traffic.Phase{
+			{RateGbps: lo, Duration: calm},
+			{RateGbps: hi, Duration: cfg.Total - calm},
+		}, cfg.Sizes, traffic.ProcessCBR, uint64(flows), seed)
+	}
+	shape := traffic.Hover{
+		CenterGbps: cfg.HoverCenterGbps / scale,
+		BandGbps:   cfg.HoverBandGbps / scale,
+		Dwell:      cfg.HoverDwell,
+	}
+	return traffic.NewShaped(shape, cfg.Total, cfg.Sizes, traffic.ProcessCBR, uint64(flows), seed)
+}
+
+// RunLiveStability drives the stability run: the tenant population above on
+// one shared emulator, the live control plane with Multi-PAM and the
+// offload-reclaim policy, the hover tenant paced through its stochastic
+// schedule — then the migration history is scanned for ping-pongs and each
+// episode's time-to-relief measured. A nil selector selects core.MultiPAM.
+func RunLiveStability(p Params, lp LiveParams, cfg StabilityConfig, sel core.MultiSelector) (*LiveStabilityResult, error) {
+	cfg = cfg.withDefaults()
+	lp = lp.withDefaults(p)
+	if sel == nil {
+		sel = core.MultiPAM{}
+	}
+	tenants, err := StabilityTenants(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := LiveMultiRuntime(p, lp, tenants)
+	if err != nil {
+		return nil, err
+	}
+	rt.Start()
+	defer rt.Close()
+
+	reclaimAfter := cfg.ReclaimAfter
+	if reclaimAfter < 0 {
+		reclaimAfter = 0
+	}
+	live, err := orchestrator.NewLive(rt, orchestrator.Config{
+		PollEvery:     lp.PollEvery,
+		MultiSelector: sel,
+		Detector:      lp.Detector,
+		MaxMigrations: lp.MaxMigrations,
+		Cooldown:      lp.Cooldown,
+		ReclaimAfter:  reclaimAfter,
+	}, View(nil, p, 0))
+	if err != nil {
+		return nil, err
+	}
+
+	drives := make([]tenantDrive, len(tenants))
+	names := make([]string, len(tenants))
+	for i, t := range tenants {
+		names[i] = t.Chain.Name
+		flows := t.Flows
+		if flows <= 0 {
+			flows = lp.Flows
+		}
+		var src traffic.Source
+		if i == len(tenants)-1 {
+			src, err = hoverSource(cfg, lp.Scale, flows, p.Seed+int64(i))
+		} else {
+			scaled := make([]traffic.Phase, len(t.Phases))
+			for j, ph := range t.Phases {
+				scaled[j] = traffic.Phase{RateGbps: ph.RateGbps / lp.Scale, Duration: ph.Duration}
+			}
+			src, err = traffic.NewRamp(scaled, traffic.FixedSize(t.FrameSize), traffic.ProcessCBR, uint64(flows), p.Seed+int64(i))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scenario: stability tenant %q: %w", t.Chain.Name, err)
+		}
+		drives[i] = newDrive(src, traffic.NewSynth(flows, p.Seed+int64(i)))
+	}
+
+	elapsed := paceAndPoll(rt, live, lp.PollEvery, drives, cfg.Total)
+
+	det := live.Detector()
+	res := &LiveStabilityResult{
+		Tenants:        names,
+		Events:         live.Events(),
+		Samples:        live.Samples(),
+		Final:          rt.Results(),
+		ChainFinal:     rt.ChainResults(),
+		Placements:     rt.Placements(),
+		History:        live.History(),
+		Migrations:     live.Migrations(),
+		Reclaims:       live.Reclaims(),
+		DetectorEvents: det.Events(),
+		DetectorClears: det.Clears(),
+		DetectorRearms: det.Rearms(),
+		Elapsed:        elapsed,
+	}
+	res.PingPongs = orchestrator.FindPingPongs(res.History, cfg.Horizon)
+	thr := det.Config()
+	res.Episodes = stabilityEpisodes(res.Events, res.Samples, thr.Threshold, thr.LossTrigger)
+	res.PerTenant = tenantStability(names, res.Samples, res.ChainFinal)
+	if n := len(res.Samples); n > 0 {
+		last := res.Samples[n-1]
+		res.Settled = last.NIC.Utilization < thr.Threshold && last.LossRate < thr.LossTrigger
+	}
+	return res, nil
+}
+
+// stabilityEpisodes pairs each executed migration (reclaims excluded) with
+// the telemetry around it: peak NIC demand since the previous relief, and
+// the first subsequent window back under the threshold.
+func stabilityEpisodes(events []orchestrator.Event, samples []emul.LoadSample, threshold, lossTrigger float64) []StabilityEpisode {
+	var out []StabilityEpisode
+	var from time.Duration
+	for _, e := range events {
+		if e.Kind != orchestrator.EventMigrated {
+			continue
+		}
+		ep := StabilityEpisode{At: e.At, Relief: -1}
+		for _, s := range samples {
+			switch {
+			case s.At > from && s.At <= e.At:
+				if s.NIC.Utilization > ep.PreNICDemand {
+					ep.PreNICDemand = s.NIC.Utilization
+				}
+			case s.At > e.At:
+				if s.NIC.Utilization < threshold && s.LossRate < lossTrigger {
+					ep.PostNICDemand = s.NIC.Utilization
+					ep.Relief = s.At - e.At
+				}
+			}
+			if ep.Relief >= 0 {
+				from = e.At + ep.Relief
+				break
+			}
+		}
+		out = append(out, ep)
+	}
+	return out
+}
+
+// tenantStability summarizes each tenant's delivered-throughput quantiles
+// (over per-window measurements) and latency distribution.
+func tenantStability(names []string, samples []emul.LoadSample, finals []emul.Result) []TenantStability {
+	out := make([]TenantStability, len(names))
+	for ti, name := range names {
+		var rates []float64
+		var sum float64
+		for _, s := range samples {
+			if ti < len(s.Chains) {
+				rates = append(rates, s.Chains[ti].DeliveredGbps)
+				sum += s.Chains[ti].DeliveredGbps
+			}
+		}
+		st := TenantStability{
+			Name:          name,
+			DeliveredP50:  metrics.Quantile(rates, 0.50),
+			DeliveredP99:  metrics.Quantile(rates, 0.99),
+			DeliveredP999: metrics.Quantile(rates, 0.999),
+		}
+		if len(rates) > 0 {
+			st.MeanGbps = sum / float64(len(rates))
+		}
+		if ti < len(finals) {
+			st.Latency = finals[ti].Latency
+		}
+		out[ti] = st
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package scenario
+
+// Stability-harness tests (wall-clock, race-detector friendly): the tuned
+// loop must fire at least once under the hover workload and never ping-pong,
+// each episode must genuinely shed NIC demand, time-to-relief must stay
+// within 2× the deterministic-ramp baseline, and collapsing the hysteresis
+// band to zero must demonstrably produce the ping-pong the tuned band
+// prevents. See DESIGN.md §5 for the hover calibration.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// stabilitySeeds are the fixed seeds the stability assertions hold for (the
+// CI smoke script loops the same three).
+var stabilitySeeds = []int64{1, 2, 3}
+
+func runStability(t *testing.T, seed int64, lp LiveParams, cfg StabilityConfig) *LiveStabilityResult {
+	t.Helper()
+	p := DefaultParams()
+	p.Seed = seed
+	res, err := RunLiveStability(p, lp, cfg, nil)
+	if err != nil {
+		t.Fatalf("seed %d: RunLiveStability: %v", seed, err)
+	}
+	t.Logf("seed %d: events=%d migrations=%d reclaims=%d pingpongs=%d det(ev=%d clr=%d re=%d) settled=%v",
+		seed, len(res.Events), res.Migrations, res.Reclaims, len(res.PingPongs),
+		res.DetectorEvents, res.DetectorClears, res.DetectorRearms, res.Settled)
+	for _, ep := range res.Episodes {
+		t.Logf("seed %d: episode at=%v pre=%.3f post=%.3f relief=%v", seed, ep.At, ep.PreNICDemand, ep.PostNICDemand, ep.Relief)
+	}
+	for _, ts := range res.PerTenant {
+		t.Logf("seed %d: tenant %s mean=%.3f p50=%.3f p99=%.3f p99.9=%.3f lat{%v}",
+			seed, ts.Name, ts.MeanGbps, ts.DeliveredP50, ts.DeliveredP99, ts.DeliveredP999, ts.Latency)
+	}
+	return res
+}
+
+// TestLiveStabilityNoPingPong is the harness's core claim: across the fixed
+// seeds, the tuned loop fires on the hovering load, relieves it, and never
+// bounces an element back and forth — and every relieved episode really
+// sheds NIC demand (monotone convergence of the border slide).
+func TestLiveStabilityNoPingPong(t *testing.T) {
+	for _, seed := range stabilitySeeds {
+		res := runStability(t, seed, LiveParams{}, StabilityConfig{})
+		if res.DetectorEvents < 1 || res.Migrations < 1 {
+			t.Errorf("seed %d: expected at least one episode and migration, got events=%d migrations=%d",
+				seed, res.DetectorEvents, res.Migrations)
+		}
+		if len(res.PingPongs) != 0 {
+			t.Errorf("seed %d: tuned loop ping-ponged: %+v", seed, res.PingPongs)
+		}
+		if res.Reclaims != 0 {
+			t.Errorf("seed %d: headroom guard should block every reclaim under hover, executed %d", seed, res.Reclaims)
+		}
+		relieved := 0
+		for i, ep := range res.Episodes {
+			if ep.Relief < 0 {
+				continue
+			}
+			relieved++
+			if ep.PostNICDemand >= ep.PreNICDemand {
+				t.Errorf("seed %d: episode %d did not shed demand: pre=%.3f post=%.3f",
+					seed, i, ep.PreNICDemand, ep.PostNICDemand)
+			}
+		}
+		if relieved < 1 {
+			t.Errorf("seed %d: no episode reached relief", seed)
+		}
+		for _, ts := range res.PerTenant {
+			if !(ts.DeliveredP999 >= ts.DeliveredP99 && ts.DeliveredP99 >= ts.DeliveredP50) {
+				t.Errorf("seed %d: tenant %s quantiles out of order: p50=%.3f p99=%.3f p99.9=%.3f",
+					seed, ts.Name, ts.DeliveredP50, ts.DeliveredP99, ts.DeliveredP999)
+			}
+			if ts.DeliveredP50 <= 0 || ts.Latency.Count == 0 {
+				t.Errorf("seed %d: tenant %s reported no delivery (p50=%.3f latency n=%d)",
+					seed, ts.Name, ts.DeliveredP50, ts.Latency.Count)
+			}
+		}
+	}
+}
+
+// TestLiveStabilityReliefBounded compares the stochastic run's
+// time-to-relief against the deterministic two-phase ramp baseline: hovering
+// noise must not stretch recovery beyond 2× the clean-ramp relief (plus one
+// polling window of measurement slack).
+func TestLiveStabilityReliefBounded(t *testing.T) {
+	lp := LiveParams{}
+	base := runStability(t, stabilitySeeds[0], lp, StabilityConfig{Ramp: true})
+	baseline := time.Duration(-1)
+	for _, ep := range base.Episodes {
+		if ep.Relief >= 0 {
+			baseline = ep.Relief
+			break
+		}
+	}
+	if baseline < 0 {
+		t.Fatalf("ramp baseline never reached relief: %+v", base.Episodes)
+	}
+	pollEvery := DefaultLiveParams().PollEvery
+	bound := 2*baseline + pollEvery
+	for _, seed := range stabilitySeeds {
+		res := runStability(t, seed, lp, StabilityConfig{})
+		for i, ep := range res.Episodes {
+			if ep.Relief >= 0 && ep.Relief > bound {
+				t.Errorf("seed %d: episode %d relief %v exceeds bound %v (baseline %v)",
+					seed, i, ep.Relief, bound, baseline)
+			}
+		}
+	}
+}
+
+// TestLiveStabilityDetunedPingPongs is the negative control: collapse the
+// hysteresis band to zero (ClearThreshold = Threshold) and the reclaim
+// guard loses its stability margin — the loop restores the Logger during a
+// low dwell, the next high dwell re-fires, and the element bounces. The
+// assertion the tuned loop passes must demonstrably fail here.
+func TestLiveStabilityDetunedPingPongs(t *testing.T) {
+	lp := LiveParams{
+		Detector: telemetry.DetectorConfig{
+			Threshold:      0.95,
+			ClearThreshold: 0.95, // hysteresis band collapsed to zero
+			Consecutive:    3,
+			Alpha:          0.5,
+		},
+	}
+	bounced := false
+	for _, seed := range stabilitySeeds {
+		res := runStability(t, seed, lp, StabilityConfig{})
+		if len(res.PingPongs) > 0 {
+			bounced = true
+			if res.Reclaims < 1 {
+				t.Errorf("seed %d: ping-pong without a reclaim leg: %+v", seed, res.PingPongs)
+			}
+		}
+	}
+	if !bounced {
+		t.Errorf("band-0 detector never ping-ponged across seeds %v — the stability assertion would not discriminate", stabilitySeeds)
+	}
+}

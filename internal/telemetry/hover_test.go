@@ -1,0 +1,88 @@
+package telemetry
+
+// Regression tests for a detector hovering exactly at Threshold: the
+// hysteresis band must turn a noisy hover into one episode instead of
+// fire/clear churn, and Rearm must re-fire within one window of *sustained*
+// overload while a single cool window demands full re-confirmation.
+
+import "testing"
+
+// hover feeds alternating utilization samples hi,hi,lo,... and counts fires.
+func hover(d *Detector, cycles int, hi, lo float64) int {
+	fires := 0
+	for i := 0; i < cycles; i++ {
+		for _, u := range []float64{hi, hi, lo} {
+			if fire, _ := d.Observe(Sample{NICUtil: u}); fire {
+				fires++
+			}
+		}
+	}
+	return fires
+}
+
+func TestDetectorHoverBandPreventsChurn(t *testing.T) {
+	// Utilization oscillates just across the threshold (0.96/0.94 around
+	// 0.95). With a healthy band the dips never reach ClearThreshold, so the
+	// episode stays open: one fire, zero clears, however long the hover.
+	d := NewDetector(DetectorConfig{Threshold: 0.95, ClearThreshold: 0.80, Consecutive: 2, Alpha: 1})
+	fires := hover(d, 10, 0.96, 0.94)
+	if fires != 1 || d.Events() != 1 {
+		t.Errorf("tuned band: fires=%d events=%d, want exactly one episode", fires, d.Events())
+	}
+	if d.Clears() != 0 {
+		t.Errorf("tuned band: %d clears during a hover that never relieved", d.Clears())
+	}
+}
+
+func TestDetectorZeroBandChurns(t *testing.T) {
+	// Collapse the band (ClearThreshold = Threshold) and the same hover
+	// clears on every dip and re-fires on every crest: fire/clear churn,
+	// one episode per cycle.
+	d := NewDetector(DetectorConfig{Threshold: 0.95, ClearThreshold: 0.95, Consecutive: 2, Alpha: 1})
+	fires := hover(d, 10, 0.96, 0.94)
+	if fires < 3 {
+		t.Errorf("zero band: fires=%d, want churn (>= 3 episodes)", fires)
+	}
+	if d.Clears() < 3 {
+		t.Errorf("zero band: clears=%d, want churn", d.Clears())
+	}
+}
+
+func TestRearmRefiresWithinOneSustainedWindow(t *testing.T) {
+	d := NewDetector(DetectorConfig{Threshold: 0.9, ClearThreshold: 0.5, Consecutive: 3, Alpha: 1})
+	for i := 0; i < 3; i++ {
+		if fire, _ := d.Observe(Sample{NICUtil: 1.0}); fire != (i == 2) {
+			t.Fatalf("window %d: fire=%v", i, fire)
+		}
+	}
+	// The overload was confirmed by Consecutive windows; after Rearm a
+	// single further hot window re-fires.
+	d.Rearm()
+	if fire, _ := d.Observe(Sample{NICUtil: 1.0}); !fire {
+		t.Error("sustained overload did not re-fire within one window of Rearm")
+	}
+	if d.Events() != 2 || d.Rearms() != 1 {
+		t.Errorf("events=%d rearms=%d, want 2 and 1", d.Events(), d.Rearms())
+	}
+}
+
+func TestRearmCoolWindowDemandsFullReconfirmation(t *testing.T) {
+	d := NewDetector(DetectorConfig{Threshold: 0.9, ClearThreshold: 0.5, Consecutive: 3, Alpha: 1})
+	for i := 0; i < 3; i++ {
+		d.Observe(Sample{NICUtil: 1.0})
+	}
+	d.Rearm()
+	// One cool window resets the retained streak: the next fire needs the
+	// full Consecutive hot windows again.
+	if fire, _ := d.Observe(Sample{NICUtil: 0.1}); fire {
+		t.Fatal("cool window fired")
+	}
+	for i := 0; i < 2; i++ {
+		if fire, _ := d.Observe(Sample{NICUtil: 1.0}); fire {
+			t.Fatalf("re-fired after only %d hot windows post-cool", i+1)
+		}
+	}
+	if fire, _ := d.Observe(Sample{NICUtil: 1.0}); !fire {
+		t.Error("did not re-fire after full re-confirmation")
+	}
+}

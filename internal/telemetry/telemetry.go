@@ -106,6 +106,8 @@ type Detector struct {
 	hot    int
 	fired  bool
 	events int
+	clears int
+	rearms int
 }
 
 // NewDetector builds a detector.
@@ -131,6 +133,7 @@ func (d *Detector) Observe(s Sample) (fire bool, throughput float64) {
 		if u < d.cfg.ClearThreshold && du < d.cfg.ClearThreshold && s.LossRate < d.cfg.LossTrigger {
 			d.fired = false
 			d.hot = 0
+			d.clears++
 		}
 		return false, throughput
 	}
@@ -149,13 +152,16 @@ func (d *Detector) Observe(s Sample) (fire bool, throughput float64) {
 
 // Rearm resets the episode state so a persistent overload can fire again
 // without first clearing. The control loop re-arms after an episode whose
-// plan could not be computed (e.g. the both-overloaded terminal case):
-// measured conditions change, so the decision deserves a retry once another
-// Consecutive hot windows accumulate.
+// plan could not be computed (e.g. the both-overloaded terminal case) or
+// failed to execute. The overload was already confirmed by Consecutive hot
+// windows, so the re-armed detector keeps the streak minus one: a single
+// further hot window re-fires (sustained overload retries within one
+// window), while one cool window demands full re-confirmation.
 func (d *Detector) Rearm() {
 	d.mu.Lock()
 	d.fired = false
-	d.hot = 0
+	d.hot = d.cfg.Consecutive - 1
+	d.rearms++
 	d.mu.Unlock()
 }
 
@@ -165,6 +171,27 @@ func (d *Detector) Events() int {
 	defer d.mu.Unlock()
 	return d.events
 }
+
+// Clears returns how many fired episodes ended by utilization falling below
+// ClearThreshold. Together with Events it measures fire/clear churn: a
+// detector hovering at the threshold with a healthy hysteresis band clears
+// at most once per genuine relief, while a band of zero churns.
+func (d *Detector) Clears() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.clears
+}
+
+// Rearms returns how many times the control loop re-armed the detector
+// after an episode without an executable plan.
+func (d *Detector) Rearms() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rearms
+}
+
+// Config returns the detector's configuration with defaults applied.
+func (d *Detector) Config() DetectorConfig { return d.cfg }
 
 // Fired reports whether the detector is inside an overload episode (fired
 // and not yet re-armed by utilization falling below ClearThreshold).

@@ -1,0 +1,191 @@
+package traffic
+
+// Golden-file tests for the pcap replay source. testdata/replay.pcap is a
+// tiny checked-in capture (four synthesized frames at known timestamps);
+// regenerate it with `go test ./internal/traffic -run TestReplayGolden -update`
+// after changing goldenPackets.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/pcap"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+const goldenPath = "testdata/replay.pcap"
+
+// goldenPackets lays out the checked-in capture: four frames from four
+// synthetic flows, deliberately offset from t=0 (replay must normalize to
+// the first packet) with irregular gaps.
+func goldenPackets(t *testing.T) []pcap.Packet {
+	t.Helper()
+	synth := NewSynth(4, 99)
+	times := []time.Duration{
+		1500 * time.Microsecond,
+		1600 * time.Microsecond,
+		1750 * time.Microsecond,
+		2100 * time.Microsecond,
+	}
+	sizes := []int{64, 128, 256, 512}
+	pkts := make([]pcap.Packet, len(times))
+	for i := range times {
+		frame := synth.Frame(uint64(i), sizes[i])
+		pkts[i] = pcap.Packet{Time: times[i], Data: append([]byte(nil), frame...), OrigLen: len(frame)}
+	}
+	return pkts
+}
+
+func writeGolden(t *testing.T, pkts []pcap.Packet) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayGolden(t *testing.T) {
+	want := goldenPackets(t)
+	if *update {
+		writeGolden(t, want)
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	r, err := NewReplay(bytes.NewReader(raw), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != len(want) {
+		t.Fatalf("capture has %d records, want %d", r.Len(), len(want))
+	}
+	first := want[0].Time
+	for i, p := range want {
+		a, ok := r.Next()
+		if !ok {
+			t.Fatalf("source exhausted at %d", i)
+		}
+		if a.At != p.Time-first {
+			t.Errorf("arrival %d at %v, want %v (normalized to first packet)", i, a.At, p.Time-first)
+		}
+		if a.Size != p.OrigLen {
+			t.Errorf("arrival %d size %d, want wire length %d", i, a.Size, p.OrigLen)
+		}
+		if a.Flow != packet.FlowHash(p.Data) {
+			t.Errorf("arrival %d flow %#x, want FlowHash of the captured bytes", i, a.Flow)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("source yielded past the capture")
+	}
+}
+
+func TestReplaySpeedRescalesGaps(t *testing.T) {
+	pkts := goldenPackets(t)
+	r, err := NewReplayPackets(pkts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := pkts[0].Time
+	for i, p := range pkts {
+		a, ok := r.Next()
+		if !ok {
+			t.Fatalf("exhausted at %d", i)
+		}
+		if want := (p.Time - first) / 2; a.At != want {
+			t.Errorf("arrival %d at %v, want %v (speed 2 halves gaps)", i, a.At, want)
+		}
+	}
+}
+
+func TestReplayRateRescaling(t *testing.T) {
+	pkts := goldenPackets(t)
+	var buf bytes.Buffer
+	w, _ := pcap.NewWriter(&buf, 0)
+	for _, p := range pkts {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	native, err := NewReplay(bytes.NewReader(buf.Bytes()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := native.OfferedGbps() * 3
+	r, err := NewReplayRate(bytes.NewReader(buf.Bytes()), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.OfferedGbps(); got < target*0.999 || got > target*1.001 {
+		t.Errorf("rescaled offered rate %.9f, want %.9f", got, target)
+	}
+	// Tripling the rate compresses the span 3×.
+	last := pkts[len(pkts)-1].Time - pkts[0].Time
+	var a Arrival
+	for i := 0; i < len(pkts); i++ {
+		a, _ = r.Next()
+	}
+	if want := last / 3; a.At < want-time.Nanosecond || a.At > want+time.Nanosecond {
+		t.Errorf("last arrival at %v, want %v", a.At, want)
+	}
+}
+
+func TestReplaySortsOutOfOrderCaptures(t *testing.T) {
+	pkts := goldenPackets(t)
+	shuffled := []pcap.Packet{pkts[2], pkts[0], pkts[3], pkts[1]}
+	r, err := NewReplayPackets(shuffled, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev time.Duration = -1
+	for {
+		a, ok := r.Next()
+		if !ok {
+			break
+		}
+		if a.At < prev {
+			t.Fatalf("arrival regressed: %v after %v", a.At, prev)
+		}
+		prev = a.At
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	if _, err := NewReplayPackets(nil, -1); err == nil {
+		t.Error("negative speed accepted")
+	}
+	if _, err := NewReplayRate(bytes.NewReader(nil), 1); err == nil {
+		t.Error("garbage capture accepted")
+	}
+	// A single-packet capture spans no time: no measurable rate to rescale.
+	var buf bytes.Buffer
+	w, _ := pcap.NewWriter(&buf, 0)
+	if err := w.WritePacket(goldenPackets(t)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReplayRate(bytes.NewReader(buf.Bytes()), 1); err == nil {
+		t.Error("spanless capture accepted for rate rescaling")
+	}
+	if _, err := NewReplayRate(bytes.NewReader(buf.Bytes()), 0); err == nil {
+		t.Error("zero target rate accepted")
+	}
+}

@@ -1,0 +1,300 @@
+package traffic
+
+// The stochastic workload layer: heavy-tailed size distributions and
+// fluctuating arrival shapes. Related work treats heavy-tailed, bursty load
+// as the *expected* regime for flow networks, not a corner case, and it is
+// exactly the regime that stresses an overload-control loop: load hovering
+// around the detector threshold invites migration ping-pong unless the
+// hysteresis band and cooldown are tuned for rapid recovery (PAPERS.md:
+// "Heavy tails in dynamic flow networks"; Perry & Whitt's overloaded-X
+// rapid-recovery control). Every shape is seeded and compiles into the
+// existing Ramp source, so stochastic workloads compose with Merge/Take and
+// inherit the Source contract (non-decreasing arrival times).
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ParetoSize samples frame sizes from a bounded Pareto distribution with
+// tail index Alpha over [Min, Max]: the classic heavy-tailed size model
+// (smaller Alpha = heavier tail; Alpha ≤ 2 has infinite variance on the
+// unbounded support). Zero fields default to Alpha 1.3 over [64, 1500].
+type ParetoSize struct {
+	Alpha    float64
+	Min, Max int
+}
+
+// Sample implements SizeDist via the bounded-Pareto inverse CDF.
+func (p ParetoSize) Sample(r *rand.Rand) int {
+	alpha, lo, hi := p.Alpha, p.Min, p.Max
+	if alpha <= 0 {
+		alpha = 1.3
+	}
+	if lo <= 0 {
+		lo = 64
+	}
+	if hi <= 0 {
+		hi = 1500
+	}
+	if hi <= lo {
+		return lo
+	}
+	u := r.Float64()
+	// P(X ≤ x) = (1 − (L/x)^α) / (1 − (L/H)^α), inverted at u.
+	ratio := math.Pow(float64(lo)/float64(hi), alpha)
+	x := float64(lo) / math.Pow(1-u*(1-ratio), 1/alpha)
+	s := int(x)
+	if s < lo {
+		s = lo
+	}
+	if s > hi {
+		s = hi
+	}
+	return s
+}
+
+// LognormalSize samples frame sizes from a lognormal distribution
+// exp(Mu + Sigma·N(0,1)), clamped to [Min, Max]. Zero Min/Max default to
+// [64, 1500]; Mu/Sigma of zero default to a median of ~512 B with a heavy
+// right tail (Mu = ln 512, Sigma = 0.8).
+type LognormalSize struct {
+	Mu, Sigma float64
+	Min, Max  int
+}
+
+// Sample implements SizeDist.
+func (l LognormalSize) Sample(r *rand.Rand) int {
+	mu, sigma, lo, hi := l.Mu, l.Sigma, l.Min, l.Max
+	if mu == 0 && sigma == 0 {
+		mu, sigma = math.Log(512), 0.8
+	}
+	if lo <= 0 {
+		lo = 64
+	}
+	if hi < lo {
+		hi = 1500
+		if hi < lo {
+			hi = lo
+		}
+	}
+	s := int(math.Exp(mu + sigma*r.NormFloat64()))
+	if s < lo {
+		s = lo
+	}
+	if s > hi {
+		s = hi
+	}
+	return s
+}
+
+// Shape generates a seeded piecewise-constant offered-load schedule. Shapes
+// compile into a Ramp via NewShaped, so every stochastic workload rides the
+// same phase machinery (and Source contract) as the deterministic ramps.
+type Shape interface {
+	// Phases lays out the schedule covering [0, total). Implementations
+	// draw all randomness from rng so identical seeds yield identical
+	// schedules.
+	Phases(total time.Duration, rng *rand.Rand) ([]Phase, error)
+}
+
+// NewShaped compiles a shape into an arrival source: the shape lays out the
+// rate schedule (seeded), and a Ramp generates arrivals through it with the
+// given size distribution and arrival process. The same seed reproduces the
+// identical arrival stream.
+func NewShaped(s Shape, total time.Duration, sizes SizeDist, process Process, flows uint64, seed int64) (*Ramp, error) {
+	if total <= 0 {
+		return nil, fmt.Errorf("traffic: non-positive shape duration %v", total)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	phases, err := s.Phases(total, rng)
+	if err != nil {
+		return nil, err
+	}
+	return NewRamp(phases, sizes, process, flows, seed+1)
+}
+
+// OnOff is a bursty source: bursts at HighGbps for ~On, idles at LowGbps
+// (silence when 0) for ~Off, repeating. The duty cycle is On/(On+Off);
+// Jitter (fraction in [0,1)) perturbs each burst and idle duration
+// uniformly by ±Jitter so bursts do not phase-lock with polling windows.
+type OnOff struct {
+	HighGbps, LowGbps float64
+	On, Off           time.Duration
+	Jitter            float64
+}
+
+// Phases implements Shape.
+func (c OnOff) Phases(total time.Duration, rng *rand.Rand) ([]Phase, error) {
+	if c.HighGbps <= 0 || c.LowGbps < 0 {
+		return nil, fmt.Errorf("traffic: on/off rates high=%v low=%v", c.HighGbps, c.LowGbps)
+	}
+	if c.On <= 0 || c.Off < 0 {
+		return nil, fmt.Errorf("traffic: on/off durations on=%v off=%v", c.On, c.Off)
+	}
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		return nil, fmt.Errorf("traffic: on/off jitter %v outside [0,1)", c.Jitter)
+	}
+	jitter := func(d time.Duration) time.Duration {
+		if c.Jitter == 0 || d == 0 {
+			return d
+		}
+		f := 1 + c.Jitter*(2*rng.Float64()-1)
+		return time.Duration(f * float64(d))
+	}
+	var phases []Phase
+	var at time.Duration
+	for at < total {
+		on := jitter(c.On)
+		phases = append(phases, Phase{RateGbps: c.HighGbps, Duration: on})
+		at += on
+		if at >= total {
+			break
+		}
+		off := jitter(c.Off)
+		if off > 0 {
+			phases = append(phases, Phase{RateGbps: c.LowGbps, Duration: off})
+			at += off
+		}
+	}
+	return clipPhases(phases, total), nil
+}
+
+// FlashCrowd is a sudden surge: BaseGbps until At, a linear climb to
+// PeakGbps over RampUp, a hold for Hold, a linear decay over Decay, then
+// base again. Step discretizes the climbs (default 25 ms). The shape itself
+// is deterministic — the randomness of a flash crowd lives in the arrival
+// process and size distribution it is compiled with.
+type FlashCrowd struct {
+	BaseGbps, PeakGbps float64
+	At, RampUp, Hold   time.Duration
+	Decay              time.Duration
+	Step               time.Duration
+}
+
+// Phases implements Shape.
+func (c FlashCrowd) Phases(total time.Duration, _ *rand.Rand) ([]Phase, error) {
+	if c.BaseGbps < 0 || c.PeakGbps <= c.BaseGbps {
+		return nil, fmt.Errorf("traffic: flash crowd rates base=%v peak=%v", c.BaseGbps, c.PeakGbps)
+	}
+	step := c.Step
+	if step <= 0 {
+		step = 25 * time.Millisecond
+	}
+	var phases []Phase
+	if c.At > 0 {
+		phases = append(phases, Phase{RateGbps: c.BaseGbps, Duration: c.At})
+	}
+	ramp := func(from, to float64, over time.Duration) {
+		if over <= 0 {
+			return
+		}
+		n := int(over / step)
+		if n < 1 {
+			n = 1
+		}
+		d := over / time.Duration(n)
+		for i := 0; i < n; i++ {
+			f := (float64(i) + 0.5) / float64(n)
+			phases = append(phases, Phase{RateGbps: from + (to-from)*f, Duration: d})
+		}
+	}
+	ramp(c.BaseGbps, c.PeakGbps, c.RampUp)
+	if c.Hold > 0 {
+		phases = append(phases, Phase{RateGbps: c.PeakGbps, Duration: c.Hold})
+	}
+	ramp(c.PeakGbps, c.BaseGbps, c.Decay)
+	var spent time.Duration
+	for _, p := range phases {
+		spent += p.Duration
+	}
+	if spent < total {
+		phases = append(phases, Phase{RateGbps: c.BaseGbps, Duration: total - spent})
+	}
+	return clipPhases(phases, total), nil
+}
+
+// Diurnal modulates the offered load sinusoidally: MeanGbps ±
+// AmplitudeGbps over Period, discretized at Step (default Period/24 — one
+// "hour" per phase). Negative instantaneous rates clamp to silence.
+type Diurnal struct {
+	MeanGbps, AmplitudeGbps float64
+	Period, Step            time.Duration
+}
+
+// Phases implements Shape.
+func (c Diurnal) Phases(total time.Duration, _ *rand.Rand) ([]Phase, error) {
+	if c.MeanGbps <= 0 || c.AmplitudeGbps < 0 {
+		return nil, fmt.Errorf("traffic: diurnal rates mean=%v amplitude=%v", c.MeanGbps, c.AmplitudeGbps)
+	}
+	if c.Period <= 0 {
+		return nil, fmt.Errorf("traffic: diurnal period %v", c.Period)
+	}
+	step := c.Step
+	if step <= 0 {
+		step = c.Period / 24
+	}
+	var phases []Phase
+	for at := time.Duration(0); at < total; at += step {
+		mid := float64(at) + float64(step)/2
+		r := c.MeanGbps + c.AmplitudeGbps*math.Sin(2*math.Pi*mid/float64(c.Period))
+		if r < 0 {
+			r = 0
+		}
+		phases = append(phases, Phase{RateGbps: r, Duration: step})
+	}
+	return clipPhases(phases, total), nil
+}
+
+// Hover keeps the offered load fluctuating around CenterGbps inside
+// ±BandGbps — the adversarial regime for an overload detector whose
+// threshold sits inside the band. Excursions alternate between the lower
+// and upper half of the band (each dwell's rate uniform in its half, its
+// duration uniform in [Dwell/2, 3·Dwell/2)), so the schedule is guaranteed
+// to straddle the center repeatedly rather than drift away.
+type Hover struct {
+	CenterGbps, BandGbps float64
+	Dwell                time.Duration
+}
+
+// Phases implements Shape.
+func (c Hover) Phases(total time.Duration, rng *rand.Rand) ([]Phase, error) {
+	if c.CenterGbps <= 0 || c.BandGbps <= 0 || c.BandGbps >= c.CenterGbps {
+		return nil, fmt.Errorf("traffic: hover center=%v band=%v (need 0 < band < center)", c.CenterGbps, c.BandGbps)
+	}
+	if c.Dwell <= 0 {
+		return nil, fmt.Errorf("traffic: hover dwell %v", c.Dwell)
+	}
+	var phases []Phase
+	var at time.Duration
+	high := false
+	for at < total {
+		var r float64
+		if high {
+			r = c.CenterGbps + c.BandGbps*rng.Float64()
+		} else {
+			r = c.CenterGbps - c.BandGbps*rng.Float64()
+		}
+		d := time.Duration((0.5 + rng.Float64()) * float64(c.Dwell))
+		phases = append(phases, Phase{RateGbps: r, Duration: d})
+		at += d
+		high = !high
+	}
+	return clipPhases(phases, total), nil
+}
+
+// clipPhases trims a schedule to exactly total, dropping overshoot from the
+// final phase.
+func clipPhases(phases []Phase, total time.Duration) []Phase {
+	var at time.Duration
+	for i, p := range phases {
+		if at+p.Duration >= total {
+			phases[i].Duration = total - at
+			return phases[:i+1]
+		}
+		at += p.Duration
+	}
+	return phases
+}

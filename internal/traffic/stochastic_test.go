@@ -1,0 +1,265 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestParetoSizeBoundsAndTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := ParetoSize{} // defaults: alpha 1.3 over [64, 1500]
+	var sum float64
+	n := 20000
+	small := 0
+	for i := 0; i < n; i++ {
+		s := p.Sample(rng)
+		if s < 64 || s > 1500 {
+			t.Fatalf("sample %d outside [64, 1500]", s)
+		}
+		sum += float64(s)
+		if s < 128 {
+			small++
+		}
+	}
+	mean := sum / float64(n)
+	// Heavy tail: most mass near the minimum, yet the mean is dragged far
+	// above it (bounded Pareto α=1.3 over [64,1500] has mean ≈ 230).
+	if frac := float64(small) / float64(n); frac < 0.5 {
+		t.Errorf("only %.2f of samples below 128 B — not head-heavy", frac)
+	}
+	if mean < 150 || mean > 350 {
+		t.Errorf("mean %.1f outside the bounded-Pareto expectation", mean)
+	}
+}
+
+func TestLognormalSizeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := LognormalSize{} // defaults: median ~512 within [64, 1500]
+	var below, above int
+	for i := 0; i < 10000; i++ {
+		s := l.Sample(rng)
+		if s < 64 || s > 1500 {
+			t.Fatalf("sample %d outside [64, 1500]", s)
+		}
+		if s < 512 {
+			below++
+		} else {
+			above++
+		}
+	}
+	// The default median is ~512, so the clamp leaves both halves populated.
+	if below < 2000 || above < 2000 {
+		t.Errorf("median drifted: %d below / %d above 512", below, above)
+	}
+}
+
+// phaseSpan sums a schedule's duration and integrates its offered bytes.
+func phaseSpan(phases []Phase) (time.Duration, float64) {
+	var span time.Duration
+	var bits float64
+	for _, p := range phases {
+		span += p.Duration
+		bits += p.RateGbps * 1e9 * p.Duration.Seconds()
+	}
+	return span, bits / 8
+}
+
+func TestOnOffDutyCycle(t *testing.T) {
+	total := time.Second
+	c := OnOff{HighGbps: 2, LowGbps: 0, On: 100 * time.Millisecond, Off: 100 * time.Millisecond}
+	phases, err := c.Phases(total, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	span, bytes := phaseSpan(phases)
+	if span != total {
+		t.Fatalf("schedule spans %v, want %v", span, total)
+	}
+	// Duty cycle 50%: offered bytes = High × total/2 (jitter-free layout).
+	want := 2.0 * 1e9 * total.Seconds() / 2 / 8
+	if math.Abs(bytes-want)/want > 0.01 {
+		t.Errorf("offered bytes %.0f, want ~%.0f (50%% duty cycle)", bytes, want)
+	}
+	for _, p := range phases {
+		if p.RateGbps != 2 && p.RateGbps != 0 {
+			t.Fatalf("unexpected rate %v in on/off schedule", p.RateGbps)
+		}
+	}
+}
+
+func TestOnOffJitterSeededDeterminism(t *testing.T) {
+	c := OnOff{HighGbps: 1, LowGbps: 0.1, On: 50 * time.Millisecond, Off: 30 * time.Millisecond, Jitter: 0.3}
+	a, err := c.Phases(time.Second, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := c.Phases(time.Second, rand.New(rand.NewSource(7)))
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedules: %d vs %d phases", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("phase %d differs under the same seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c2, _ := c.Phases(time.Second, rand.New(rand.NewSource(8)))
+	same := len(a) == len(c2)
+	if same {
+		for i := range a {
+			if a[i] != c2[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical jittered schedule")
+	}
+}
+
+func TestFlashCrowdShape(t *testing.T) {
+	total := time.Second
+	c := FlashCrowd{BaseGbps: 0.5, PeakGbps: 3, At: 200 * time.Millisecond,
+		RampUp: 100 * time.Millisecond, Hold: 200 * time.Millisecond, Decay: 100 * time.Millisecond}
+	phases, err := c.Phases(total, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span, _ := phaseSpan(phases)
+	if span != total {
+		t.Fatalf("schedule spans %v, want %v", span, total)
+	}
+	peak := 0.0
+	for _, p := range phases {
+		if p.RateGbps < 0.5-1e-9 || p.RateGbps > 3+1e-9 {
+			t.Fatalf("rate %v outside [base, peak]", p.RateGbps)
+		}
+		if p.RateGbps > peak {
+			peak = p.RateGbps
+		}
+	}
+	if peak != 3 {
+		t.Errorf("hold never reached the peak: max %v", peak)
+	}
+	if phases[0].RateGbps != 0.5 || phases[len(phases)-1].RateGbps != 0.5 {
+		t.Errorf("surge does not start and end at base: %v .. %v",
+			phases[0].RateGbps, phases[len(phases)-1].RateGbps)
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	total := 2 * time.Second
+	c := Diurnal{MeanGbps: 1, AmplitudeGbps: 1.5, Period: time.Second}
+	phases, err := c.Phases(total, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span, _ := phaseSpan(phases)
+	if span != total {
+		t.Fatalf("schedule spans %v, want %v", span, total)
+	}
+	clamped := false
+	for _, p := range phases {
+		if p.RateGbps < 0 {
+			t.Fatalf("negative rate %v", p.RateGbps)
+		}
+		if p.RateGbps == 0 {
+			clamped = true
+		}
+	}
+	// Amplitude > mean: the trough must clamp to silence.
+	if !clamped {
+		t.Error("trough never clamped to zero with amplitude > mean")
+	}
+}
+
+func TestHoverStraddlesCenter(t *testing.T) {
+	c := Hover{CenterGbps: 0.7, BandGbps: 0.2, Dwell: 100 * time.Millisecond}
+	phases, err := c.Phases(2*time.Second, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	span, _ := phaseSpan(phases)
+	if span != 2*time.Second {
+		t.Fatalf("schedule spans %v, want 2s", span)
+	}
+	var below, above int
+	for _, p := range phases {
+		if p.RateGbps < 0.5-1e-9 || p.RateGbps > 0.9+1e-9 {
+			t.Fatalf("rate %v escaped the hover band [0.5, 0.9]", p.RateGbps)
+		}
+		if p.RateGbps <= 0.7 {
+			below++
+		} else {
+			above++
+		}
+	}
+	// The alternating construction guarantees both halves are visited.
+	if below == 0 || above == 0 {
+		t.Errorf("hover drifted one-sided: %d below / %d above center", below, above)
+	}
+}
+
+func TestShapeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []Shape{
+		OnOff{HighGbps: 0, On: time.Millisecond},
+		OnOff{HighGbps: 1, On: 0},
+		OnOff{HighGbps: 1, On: time.Millisecond, Jitter: 1.5},
+		FlashCrowd{BaseGbps: 1, PeakGbps: 0.5},
+		Diurnal{MeanGbps: 0},
+		Diurnal{MeanGbps: 1, AmplitudeGbps: 1, Period: 0},
+		Hover{CenterGbps: 0, BandGbps: 0.1},
+		Hover{CenterGbps: 0.5, BandGbps: 0.6}, // band wider than center
+		Hover{CenterGbps: 0.5, BandGbps: 0.1, Dwell: 0},
+	}
+	for i, s := range cases {
+		if _, err := s.Phases(time.Second, rng); err == nil {
+			t.Errorf("case %d (%T%+v): invalid shape accepted", i, s, s)
+		}
+	}
+}
+
+func TestNewShapedDeterminismAndErrors(t *testing.T) {
+	shape := Hover{CenterGbps: 0.001, BandGbps: 0.0002, Dwell: 50 * time.Millisecond}
+	collect := func(seed int64) []Arrival {
+		src, err := NewShaped(shape, 500*time.Millisecond, FixedSize(256), ProcessCBR, 8, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Arrival
+		for {
+			a, ok := src.Next()
+			if !ok {
+				break
+			}
+			out = append(out, a)
+		}
+		return out
+	}
+	a, b := collect(11), collect(11)
+	if len(a) == 0 {
+		t.Fatal("shaped source produced no arrivals")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs under the same seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("arrival times regressed at %d: %v after %v", i, a[i].At, a[i-1].At)
+		}
+	}
+	if _, err := NewShaped(shape, 0, FixedSize(256), ProcessCBR, 8, 1); err == nil {
+		t.Error("zero total accepted")
+	}
+	if _, err := NewShaped(Hover{}, time.Second, FixedSize(256), ProcessCBR, 8, 1); err == nil {
+		t.Error("invalid shape accepted")
+	}
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# stabilityseeds.sh — sweep the control-loop stability harness over fixed
+# seeds. `pamctl stability` exits non-zero when any element ping-pongs
+# between devices within the bounce horizon or the detector never fires, so
+# this loop fails loudly if a detector or reclaim change destabilizes the
+# loop on any seed. CI runs it next to the -race stability tests; the seeds
+# match internal/scenario/stability_test.go.
+set -eu
+seeds="${1:-1 2 3}"
+for s in $seeds; do
+	echo "=== stability seed $s ==="
+	go run ./cmd/pamctl -engine emul -seed "$s" stability
+done
+echo "=== all seeds stable ==="
