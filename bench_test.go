@@ -17,6 +17,7 @@ package repro_test
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -261,36 +262,9 @@ func BenchmarkDataplane(b *testing.B) {
 // metrics, so the bench harness tracks how per-tenant throughput holds as
 // tenancy grows.
 func BenchmarkMultiTenantDataplane(b *testing.B) {
-	for _, n := range []int{1, 4, 16} {
+	for _, n := range []int{1, 4, 16, 64} {
 		b.Run(fmt.Sprintf("chains=%d", n), func(b *testing.B) {
-			chains := make([]*chain.Chain, n)
-			for i := range chains {
-				c, err := chain.New(fmt.Sprintf("tenant-%d", i),
-					chain.Element{Name: fmt.Sprintf("t%d-mon", i), Type: device.TypeMonitor, Loc: device.KindSmartNIC},
-					chain.Element{Name: fmt.Sprintf("t%d-fw", i), Type: device.TypeFirewall, Loc: device.KindSmartNIC},
-				)
-				if err != nil {
-					b.Fatal(err)
-				}
-				chains[i] = c
-			}
-			rt, err := emul.New(emul.Config{
-				Chains:  chains,
-				Catalog: device.Table1(),
-				Link:    pcie.DefaultLink(),
-				// Scale 0.1: the shared NIC budget stays above the host's
-				// push rate, so the bench measures multi-chain dataplane
-				// scaling, not gate contention (that is
-				// BenchmarkSharedDeviceContention's job).
-				Scale:      0.1,
-				QueueDepth: 4096,
-				BatchSize:  32,
-				Workers:    2,
-				PoolFrames: true,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
+			rt := newTenantBenchRuntime(b, n)
 			rt.Start()
 			synth := traffic.NewSynth(16, 1)
 			tmpls := make([][]byte, 16)
@@ -309,12 +283,101 @@ func BenchmarkMultiTenantDataplane(b *testing.B) {
 				}
 			}
 			rt.Drain()
-			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "frames/s")
-			var perChain float64
-			for _, res := range rt.ChainResults() {
-				perChain += res.DeliveredGbps
+			reportTenantMetrics(b, rt, n, time.Since(start))
+			b.StopTimer()
+			rt.Close()
+		})
+	}
+}
+
+// newTenantBenchRuntime builds the n-tenant Monitor→Firewall dataplane the
+// multi-tenant benches share.
+func newTenantBenchRuntime(b *testing.B, n int) *emul.Runtime {
+	b.Helper()
+	chains := make([]*chain.Chain, n)
+	for i := range chains {
+		c, err := chain.New(fmt.Sprintf("tenant-%d", i),
+			chain.Element{Name: fmt.Sprintf("t%d-mon", i), Type: device.TypeMonitor, Loc: device.KindSmartNIC},
+			chain.Element{Name: fmt.Sprintf("t%d-fw", i), Type: device.TypeFirewall, Loc: device.KindSmartNIC},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		chains[i] = c
+	}
+	rt, err := emul.New(emul.Config{
+		Chains:  chains,
+		Catalog: device.Table1(),
+		Link:    pcie.DefaultLink(),
+		// Scale 0.1: the shared NIC budget stays above the host's
+		// push rate, so the bench measures multi-chain dataplane
+		// scaling, not gate contention (that is
+		// BenchmarkSharedDeviceContention's job).
+		Scale:      0.1,
+		QueueDepth: 4096,
+		BatchSize:  32,
+		Workers:    2,
+		PoolFrames: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rt
+}
+
+// reportTenantMetrics emits the tenancy curve's two guarded metrics:
+// aggregate frames/s and the mean per-chain delivered rate.
+func reportTenantMetrics(b *testing.B, rt *emul.Runtime, n int, elapsed time.Duration) {
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "frames/s")
+	var perChain float64
+	for _, res := range rt.ChainResults() {
+		perChain += res.DeliveredGbps
+	}
+	b.ReportMetric(perChain/float64(n), "perchain_Gbps")
+}
+
+// BenchmarkMultiTenantDataplaneParallel is the same tenancy sweep driven by
+// concurrent senders — one per chain group — so the single-goroutine
+// round-robin send loop of BenchmarkMultiTenantDataplane is not itself the
+// bottleneck at high tenancy. Sender g feeds chains g, g+S, g+2S, … where S
+// is the sender count (capped at 8).
+func BenchmarkMultiTenantDataplaneParallel(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("chains=%d", n), func(b *testing.B) {
+			rt := newTenantBenchRuntime(b, n)
+			rt.Start()
+			synth := traffic.NewSynth(16, 1)
+			tmpls := make([][]byte, 16)
+			for i := range tmpls {
+				tmpls[i] = synth.Frame(uint64(i), 512)
 			}
-			b.ReportMetric(perChain/float64(n), "perchain_Gbps")
+			senders := n
+			if senders > 8 {
+				senders = 8
+			}
+			procs := runtime.GOMAXPROCS(0)
+			b.SetParallelism((senders + procs - 1) / procs)
+			var nextSender atomic.Int64
+			b.SetBytes(512)
+			b.ResetTimer()
+			start := time.Now()
+			b.RunParallel(func(pb *testing.PB) {
+				g := int(nextSender.Add(1)-1) % senders
+				ci := g
+				for i := 0; pb.Next(); i++ {
+					tmpl := tmpls[i%16]
+					f := rt.AcquireFrame(len(tmpl))
+					copy(f, tmpl)
+					for !rt.SendChain(ci, f) {
+						runtime.Gosched() // ingress full: pipeline backpressure
+					}
+					if ci += senders; ci >= n {
+						ci = g
+					}
+				}
+			})
+			rt.Drain()
+			reportTenantMetrics(b, rt, n, time.Since(start))
 			b.StopTimer()
 			rt.Close()
 		})

@@ -9,15 +9,17 @@
 //	trafficgen [-rate 1.0] [-size 1024 | -imix] [-process cbr|poisson]
 //	           [-dur 10ms] [-flows 16] [-mode schedule|frames|pcap|emulate]
 //	           [-n 10] [-o out.pcap]
-//	           [-batch 32] [-workers 1] [-scale 200]
+//	           [-batch 32] [-workers 1] [-scale 200] [-chains 1]
 //	           [-cpuprofile cpu.pprof] [-mutexprofile mutex.pprof]
 //
 // -mode pcap materializes the schedule into real frames and writes a
 // tcpdump-compatible capture. -mode emulate pushes the schedule through the
 // Figure-1 chain on the live emulator: -batch sets the dataplane burst
-// size, -workers the shard count per concurrency-safe NF, and -scale the
+// size, -workers the size of the run-to-completion pool, and -scale the
 // Table-1 capacity divisor; delivered throughput, loss and the latency
-// summary are printed at the end.
+// summary are printed at the end. -chains N hosts N copies of the Figure-1
+// chain as separate tenants on the shared devices and spreads the schedule
+// across them round-robin — the multi-tenant profiling workload.
 //
 // -cpuprofile and -mutexprofile write pprof profiles covering the run —
 // the intended workflow is profiling the emulator's hot path under a real
@@ -38,6 +40,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/chain"
 	"repro/internal/device"
 	"repro/internal/emul"
 	"repro/internal/pcap"
@@ -58,15 +61,16 @@ func main() {
 	out := flag.String("o", "", "output file for -mode pcap (default stdout)")
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	batch := flag.Int("batch", 32, "emulate: dataplane burst size (frames per wakeup)")
-	workers := flag.Int("workers", 1, "emulate: worker shards per concurrency-safe NF")
+	workers := flag.Int("workers", 1, "emulate: run-to-completion pool size (0 = GOMAXPROCS)")
 	scale := flag.Float64("scale", 200, "emulate: divisor applied to Table-1 device rates")
+	chains := flag.Int("chains", 1, "emulate: tenant count (copies of the Figure-1 chain sharing the devices)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
 	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile covering the run to this file")
 	flag.Parse()
 
 	stop, err := startProfiles(*cpuprofile, *mutexprofile)
 	if err == nil {
-		err = run(*rate, *size, *imix, *process, *dur, *flows, *mode, *n, *out, *seed, *batch, *workers, *scale)
+		err = run(*rate, *size, *imix, *process, *dur, *flows, *mode, *n, *out, *seed, *batch, *workers, *scale, *chains)
 		if perr := stop(); err == nil {
 			err = perr
 		}
@@ -118,7 +122,28 @@ func startProfiles(cpu, mutex string) (stop func() error, err error) {
 	}, nil
 }
 
-func run(rate float64, size int, imix bool, process string, dur time.Duration, flows uint64, mode string, n int, out string, seed int64, batch, workers int, scale float64) error {
+// tenantChains builds nchains independently named copies of the Figure-1
+// chain, the multi-tenant emulation topology: every tenant runs the same
+// four NFs in the same placement, so all contention is for the shared
+// devices, not an artifact of asymmetric chains.
+func tenantChains(nchains int) ([]*chain.Chain, error) {
+	cs := make([]*chain.Chain, nchains)
+	for i := range cs {
+		c, err := chain.New(fmt.Sprintf("figure1-%02d", i),
+			chain.Element{Name: scenario.NameLB, Type: device.TypeLoadBalancer, Loc: device.KindCPU},
+			chain.Element{Name: scenario.NameLogger, Type: device.TypeLogger, Loc: device.KindSmartNIC},
+			chain.Element{Name: scenario.NameMonitor, Type: device.TypeMonitor, Loc: device.KindSmartNIC},
+			chain.Element{Name: scenario.NameFirewall, Type: device.TypeFirewall, Loc: device.KindSmartNIC},
+		)
+		if err != nil {
+			return nil, err
+		}
+		cs[i] = c
+	}
+	return cs, nil
+}
+
+func run(rate float64, size int, imix bool, process string, dur time.Duration, flows uint64, mode string, n int, out string, seed int64, batch, workers int, scale float64, nchains int) error {
 	var dist traffic.SizeDist = traffic.FixedSize(size)
 	if imix {
 		dist = traffic.NewIMIX()
@@ -183,12 +208,19 @@ func run(rate float64, size int, imix bool, process string, dur time.Duration, f
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d packets\n", w.Count())
 	case "emulate":
+		if nchains < 1 {
+			return fmt.Errorf("-chains %d: need at least one tenant", nchains)
+		}
 		src, err := traffic.NewGen(rate, dist, proc, flows, 0, dur, seed)
 		if err != nil {
 			return err
 		}
+		cs, err := tenantChains(nchains)
+		if err != nil {
+			return err
+		}
 		rt, err := emul.New(emul.Config{
-			Chain:      scenario.Figure1Chain(),
+			Chains:     cs,
 			Catalog:    device.Table1(),
 			Link:       pcie.DefaultLink(),
 			Scale:      scale,
@@ -202,7 +234,7 @@ func run(rate float64, size int, imix bool, process string, dur time.Duration, f
 		rt.Start()
 		synth := traffic.NewSynth(int(flows), seed)
 		start := time.Now()
-		for {
+		for i := 0; ; i++ {
 			a, ok := src.Next()
 			if !ok {
 				break
@@ -215,14 +247,14 @@ func run(rate float64, size int, imix bool, process string, dur time.Duration, f
 			if ahead := a.At - time.Since(start); ahead > time.Millisecond {
 				time.Sleep(ahead)
 			}
-			rt.Send(frame)
+			rt.SendChain(i%nchains, frame)
 		}
 		rt.Drain()
 		res := rt.Results()
 		rt.Close()
 		elapsed := time.Since(start)
-		fmt.Printf("emulated %v of traffic in %v (batch=%d workers=%d scale=%.0f)\n",
-			dur, elapsed.Round(time.Millisecond), batch, workers, scale)
+		fmt.Printf("emulated %v of traffic in %v (batch=%d workers=%d scale=%.0f chains=%d)\n",
+			dur, elapsed.Round(time.Millisecond), batch, workers, scale, nchains)
 		fmt.Printf("offered %d frames, delivered %d (%.3f Gbps emulated), ingress drops %d\n",
 			res.Offered, res.Delivered, res.DeliveredGbps, res.IngressDrops)
 		fmt.Printf("latency %v\n", res.Latency)

@@ -25,7 +25,7 @@ func main() {
 		Link:       pcie.DefaultLink(),
 		Scale:      200, // Table-1 rates scaled down 200x for a dev machine
 		BatchSize:  32,  // burst-granular dataplane: 32 frames per wakeup
-		Workers:    2,   // concurrency-safe NFs sharded across 2 goroutines
+		Workers:    2,   // run-to-completion pool of 2 workers
 		PoolFrames: true,
 	})
 	if err != nil {

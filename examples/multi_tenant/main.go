@@ -13,7 +13,7 @@
 // minimum θS across the union of every chain's borders, with Eq. 2/3 on
 // the aggregate utilizations — and pushes the ramping tenant's Logger
 // aside via a real UNO-style migration that freezes only that element's
-// shard workers. The printed telemetry shows the collapse and the
+// input rings. The printed telemetry shows the collapse and the
 // recovery: after the push-aside the background tenants return to their
 // calm-phase throughput.
 //

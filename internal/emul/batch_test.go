@@ -87,7 +87,7 @@ func TestBatchAccountingIdentity(t *testing.T) {
 }
 
 // TestBatchPerFlowOrdering: flow-hash sharding must preserve per-flow FIFO
-// order end to end even with several workers per element.
+// order end to end even with the element sharded across pool workers.
 func TestBatchPerFlowOrdering(t *testing.T) {
 	r := newBatchRuntime(t, emul.Config{
 		Scale:      10,
@@ -131,7 +131,7 @@ func TestBatchPerFlowOrdering(t *testing.T) {
 }
 
 // TestShardedMigrationUnderLoad: freeze → transfer → restore → replay must
-// stay loss-free when the element runs several shard workers mid-traffic.
+// stay loss-free when the element is sharded across pool workers mid-traffic.
 func TestShardedMigrationUnderLoad(t *testing.T) {
 	r := newBatchRuntime(t, emul.Config{
 		Scale:      100,

@@ -19,13 +19,18 @@ package emul
 // uncontended burst with one CAS — no mutex, no condition variable, no
 // clock read unless the balance has run dry. Every burst of every chain
 // crosses a gate, so this path bounds the whole dataplane's throughput.
-// The *slow path* is the historic mutex+cond FIFO ticket queue: takers fall
-// back to it when the balance cannot cover them (token exhaustion — the
-// contended regime where fairness matters) or when the rate is
-// non-positive (zero-rate parking). Grants there are FIFO by ticket so
-// co-resident elements share the budget burst-by-burst instead of racing
-// wakeups; while any waiter is queued, the fast path stands down so
-// newcomers cannot barge past the queue.
+// The *slow path* is a FIFO queue of pooled waiter nodes under the mutex:
+// takers fall back to it when the balance cannot cover them (token
+// exhaustion — the contended regime where fairness matters) or when the
+// rate is non-positive (zero-rate parking). Grants are FIFO by queue
+// position so co-resident elements share the budget burst-by-burst, and
+// wakeups are targeted — a grant signals only the next head, setRate only
+// the current one — instead of the historic cond.Broadcast thundering herd
+// (O(waiters) spurious wakeups per grant). The nodes and their channels
+// come from a sync.Pool, so a saturated gate churning through thousands of
+// slow-path grants allocates nothing in steady state; while any waiter is
+// queued, the fast path stands down so newcomers cannot barge past the
+// queue.
 
 import (
 	"fmt"
@@ -93,21 +98,41 @@ type gate struct {
 	waiters atomic.Int32  // slow-path FIFO population; fast path stands down when > 0
 
 	mu     sync.Mutex
-	cond   *sync.Cond // lazily bound to mu; wakes zero-rate and FIFO waiters
-	seeded bool       // first setRate seeds the bucket full
+	seeded bool // first setRate seeds the bucket full
 
-	head, tail uint64 // FIFO tickets: tail issues, head serves
+	// FIFO waiter queue: an intrusive list of pooled nodes, head served
+	// first. Guarded by mu.
+	qHead, qTail *gateWaiter
+}
+
+// gateWaiter is one slow-path waiter's parking spot. ready (capacity 1)
+// carries both wakeup kinds a waiter can receive: promotion to head when
+// the previous head is granted, and a setRate nudge while the head parks on
+// a non-positive rate. Nodes recycle through waiterPool; the buffered
+// channel makes signals non-blocking and a stale token is drained before
+// the node is pooled again.
+type gateWaiter struct {
+	ready chan struct{}
+	next  *gateWaiter
+}
+
+// waiterPool recycles slow-path waiter nodes so a contended gate's FIFO
+// queue allocates nothing in steady state.
+var waiterPool = sync.Pool{
+	New: func() any { return &gateWaiter{ready: make(chan struct{}, 1)} },
+}
+
+// signal nudges the waiter; a non-blocking send because ready is never
+// read-raced by more than its owner and a buffered token is never lost.
+func (w *gateWaiter) signal() {
+	select {
+	case w.ready <- struct{}{}:
+	default:
+	}
 }
 
 // loadRate reads the configured rate without the mutex.
 func (g *gate) loadRate() float64 { return math.Float64frombits(g.rateB.Load()) }
-
-// ensureCond binds the condition variable on first use. Callers hold mu.
-func (g *gate) ensureCond() {
-	if g.cond == nil {
-		g.cond = sync.NewCond(&g.mu)
-	}
-}
 
 // setRate retargets the bucket to rate units/s with the given burst cap.
 // The first call seeds the bucket full; later calls clamp any accumulated
@@ -116,7 +141,6 @@ func (g *gate) ensureCond() {
 // within maxGateSleep).
 func (g *gate) setRate(rate, burst float64) {
 	g.mu.Lock()
-	g.ensureCond()
 	g.rateB.Store(math.Float64bits(rate))
 	bn := nanoUnits(burst)
 	g.burstN.Store(bn)
@@ -132,7 +156,13 @@ func (g *gate) setRate(rate, burst float64) {
 			break
 		}
 	}
-	g.cond.Broadcast()
+	// Only the queue head ever waits on the rate (the rest wait on
+	// promotion), so a targeted signal replaces the historic broadcast;
+	// a head sleeping against the old rate's deficit re-checks within
+	// maxGateSleep on its own.
+	if g.qHead != nil {
+		g.qHead.signal()
+	}
 	g.mu.Unlock()
 }
 
@@ -233,22 +263,36 @@ func (g *gate) takeNanos(need int64) {
 	g.slowTake(need)
 }
 
-// slowTake is the contended path: FIFO tickets under the mutex, bounded
-// sleeps against the deficit, parking on the condition while the rate is
+// slowTake is the contended path: a FIFO queue of pooled waiter nodes
+// under the mutex, bounded sleeps against the deficit, parking on the
+// node's channel while not yet at the head or while the rate is
 // non-positive (bugfix 1). Token accounting still goes through the shared
 // atomic balance, so the fast and slow paths can never double-spend.
+// Wakeups are targeted: the grant promotes exactly the next waiter and
+// setRate nudges exactly the head, so a grant is O(1) regardless of queue
+// population. A stale token on the node's channel (a setRate nudge that
+// raced a grant, say) at worst causes one spurious loop iteration and is
+// drained before the node returns to the pool.
 func (g *gate) slowTake(need int64) {
+	w := waiterPool.Get().(*gateWaiter)
 	g.mu.Lock()
-	g.ensureCond()
 	g.waiters.Add(1)
-	ticket := g.tail
-	g.tail++
-	for g.head != ticket {
-		g.cond.Wait()
+	if g.qTail == nil {
+		g.qHead, g.qTail = w, w
+	} else {
+		g.qTail.next = w
+		g.qTail = w
+	}
+	for g.qHead != w {
+		g.mu.Unlock()
+		<-w.ready
+		g.mu.Lock()
 	}
 	for {
 		for g.loadRate() <= 0 {
-			g.cond.Wait()
+			g.mu.Unlock()
+			<-w.ready // setRate signals the head
+			g.mu.Lock()
 		}
 		// An oversized request (need > burst) raises the refill cap while
 		// it is being served; only the FIFO head mutates limitN, and the
@@ -262,10 +306,20 @@ func (g *gate) slowTake(need int64) {
 			if bn := g.burstN.Load(); need > bn {
 				g.limitN.Store(bn)
 			}
-			g.head++
+			g.qHead = w.next
+			if g.qHead == nil {
+				g.qTail = nil
+			} else {
+				g.qHead.signal() // promote the next waiter
+			}
 			g.waiters.Add(-1)
-			g.cond.Broadcast()
 			g.mu.Unlock()
+			w.next = nil
+			select { // drain a stale nudge before pooling the node
+			case <-w.ready:
+			default:
+			}
+			waiterPool.Put(w)
 			return
 		}
 		deficit := need - g.balance.Load()

@@ -3,7 +3,7 @@ package emul
 // White-box tests of the shared per-device capacity gates: grant sharing
 // between co-resident elements, budget conservation across a chain-scoped
 // migration freeze (attach/detach must neither leak nor mint device time),
-// and the zero-rate element path. Run under -race: senders, shard workers
+// and the zero-rate element path. Run under -race: senders, pool workers
 // and the migration coordinator all run concurrently.
 
 import (

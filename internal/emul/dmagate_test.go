@@ -3,7 +3,7 @@ package emul
 // White-box tests of the shared DMA-engine gate: crossing bursts from
 // concurrent tenants must draw on one link budget (no per-shard private
 // links), split it without starvation, and never mint engine time. Run
-// under -race: senders and shard workers cross concurrently.
+// under -race: senders and pool workers cross concurrently.
 
 import (
 	"testing"

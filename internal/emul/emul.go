@@ -1,26 +1,28 @@
 // Package emul is the execution-based emulation runtime: real serialized
 // frames flow through the real NF implementations (internal/nf) on a
-// goroutine pipeline, throttled by one shared capacity gate per emulated
-// device — a token bucket in normalized device-seconds that reproduces
-// both the Table-1 capacity asymmetry between SmartNIC and CPU and the
-// paper's linear contention model (co-resident vNFs whose summed demand
-// exceeds the device budget physically collapse each other's throughput) —
-// with PCIe crossings drawing on one shared DMA-engine budget in
-// link-seconds (so simultaneous crossings contend for the interconnect just
-// as co-resident vNFs contend for a device) and live UNO-style migration
-// (freeze → state transfer → restore → replay) while traffic flows.
+// run-to-completion worker pool, throttled by one shared capacity gate per
+// emulated device — a token bucket in normalized device-seconds that
+// reproduces both the Table-1 capacity asymmetry between SmartNIC and CPU
+// and the paper's linear contention model (co-resident vNFs whose summed
+// demand exceeds the device budget physically collapse each other's
+// throughput) — with PCIe crossings drawing on one shared DMA-engine budget
+// in link-seconds (so simultaneous crossings contend for the interconnect
+// just as co-resident vNFs contend for a device) and live UNO-style
+// migration (freeze → state transfer → restore → replay) while traffic
+// flows.
 //
-// The dataplane is batch-granular, in the style of a DPDK burst loop: each
-// worker drains up to Config.BatchSize frames per wakeup, admits the whole
-// burst through the element's token gate in one transaction, charges one
-// PCIe propagation delay per burst (serialization stays per frame), decodes
-// each entry into a reused per-slot decoder, and hands the burst to the NF
-// as a single ProcessBatch call. Elements whose NF is ConcurrencySafe can
-// additionally be sharded across Config.Workers goroutines; frames are
-// distributed by an RSS-style flow hash so per-flow FIFO order is
-// preserved. With Config.PoolFrames, delivered and dropped frame buffers
-// are recycled through an internal pool (AcquireFrame), making steady-state
-// emulation nearly allocation-free.
+// The dataplane is batch-granular, in the style of a DPDK burst loop.
+// Config.Workers pool goroutines (default GOMAXPROCS) each own a stable
+// subset of per-(element, shard) lock-free MPSC ring queues and poll them
+// in round-robin, draining up to Config.BatchSize frames per visit. A burst
+// shares one token-bucket transaction, one PCIe propagation charge, and one
+// ProcessBatch call; when the burst's survivors continue to a successor
+// element on the same device whose shard the same worker owns, they are
+// processed run-to-completion in the same visit, with no re-queue hop.
+// Frames are distributed to shards by an RSS-style flow hash, so per-flow
+// FIFO order is preserved end to end. With Config.PoolFrames, delivered and
+// dropped frame buffers are recycled through an internal pool
+// (AcquireFrame), making steady-state emulation nearly allocation-free.
 //
 // One runtime hosts N service chains sharing the same emulated SmartNIC and
 // CPU — the multi-tenant setting of a real NFV server. Each chain owns its
@@ -30,9 +32,10 @@
 // co-resident tenant down, and the control plane's LoadSampler reports
 // both the offered demand (which keeps climbing) and the granted share
 // (which the gate caps) per device across chains. Migration is
-// chain-scoped: a push-aside freezes only the migrating element's shard
-// workers, so every other tenant keeps forwarding while one tenant's vNF
-// moves across PCIe and re-attaches to its new device's gate.
+// chain-scoped: a push-aside freezes only the migrating element's rings,
+// so every other tenant keeps forwarding — even tenants whose rings are
+// polled by the same pool worker — while one tenant's vNF moves across
+// PCIe and re-attaches to its new device's gate.
 //
 // The emulator complements the discrete-event simulator: chainsim produces
 // the paper's figures with virtual-clock precision; emul demonstrates that
@@ -44,6 +47,7 @@ package emul
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,16 +84,21 @@ type Config struct {
 	Scale float64
 	// QueueDepth bounds each NF's input queue in frames (default 256); the
 	// queue doubles as the migration freeze buffer. Sharded elements split
-	// the depth across their shards.
+	// the depth across their shards; each shard's ring rounds its share up
+	// to the next power of two (minimum 8).
 	QueueDepth int
-	// BatchSize caps how many frames a worker drains and processes per
-	// wakeup (default 32, clamped to QueueDepth). The burst shares one
+	// BatchSize caps how many frames a worker drains and processes per ring
+	// visit (default 32, clamped to QueueDepth). The burst shares one
 	// token-bucket transaction, one PCIe propagation charge and one
 	// ProcessBatch call.
 	BatchSize int
-	// Workers shards each element whose NF reports ConcurrencySafe across
-	// this many goroutines (default 1, i.e. no sharding). Frames are
-	// assigned to shards by flow-key hash, preserving per-flow FIFO order.
+	// Workers sizes the run-to-completion worker pool: this many goroutines
+	// total serve every element of every hosted chain (default GOMAXPROCS).
+	// An element whose NF reports ConcurrencySafe is sharded into Workers
+	// flow-hash shards, shard i owned by pool worker i; a non-safe element
+	// keeps a single shard, owned by worker chainIndex mod Workers so
+	// single-shard tenants spread across the pool. Frames are assigned to
+	// shards by flow-key hash, preserving per-flow FIFO order.
 	Workers int
 	// DeviceBurst is each shared device gate's fairness burst, expressed as
 	// bankable device time (default 10ms). An idle device accumulates up to
@@ -156,7 +165,7 @@ func (c Config) withDefaults() (Config, error) {
 		c.BatchSize = c.QueueDepth
 	}
 	if c.Workers <= 0 {
-		c.Workers = 1
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.DeviceBurst <= 0 {
 		c.DeviceBurst = 10 * time.Millisecond
@@ -175,7 +184,7 @@ type job struct {
 // tenantChain is one hosted service chain: its elements, its egress
 // accounting, and its ingress counters. Chains share the runtime's emulated
 // devices but nothing else — freezing one chain's element never blocks
-// another chain's workers.
+// another chain's traffic.
 type tenantChain struct {
 	idx   int
 	name  string
@@ -184,14 +193,14 @@ type tenantChain struct {
 
 	latency *metrics.Histogram
 	// meter carries egress deliveries + this chain's drops, sharded into
-	// per-worker cells (cell 0 for writers without a worker identity) so
-	// the tail shards never contend on one counter line.
+	// per-pool-worker cells (cell 0 for writers without a worker identity)
+	// so the tail writers never contend on one counter line.
 	meter        *metrics.ShardedMeter
 	offered      atomic.Uint64 // frames offered at this chain's ingress
 	ingressDrops atomic.Uint64 // SendChain rejections (first queue full)
 }
 
-// element is one chain position: its NF instance, current placement, worker
+// element is one chain position: its NF instance, current placement, input
 // shards and its attachment to the shared device gate.
 type element struct {
 	name string
@@ -216,7 +225,16 @@ type element struct {
 	rateGen  uint64
 	dev      *deviceGate
 
+	// paused freezes the element for a live migration: owning workers skip
+	// its rings (which then buffer arrivals — the freeze buffer) and never
+	// process it inline. Set by the migration coordinator before the pause
+	// rendezvous, cleared after the swap.
+	paused atomic.Bool
+
 	shards []*shard
+	// owners is the deduplicated set of pool workers owning at least one of
+	// this element's shards — the rendezvous set for a migration freeze.
+	owners []*worker
 	drops  atomic.Uint64
 	parent *Runtime
 	ch     *tenantChain
@@ -224,9 +242,9 @@ type element struct {
 
 	// meter measures this element's served load: ObserveN counts every burst
 	// the element actually processed (its granted rate), Drop/DropN every
-	// frame lost entering its queues. It is sharded into per-worker cells
-	// (shard i writes cell i+1; cell 0 takes ingress and upstream-forwarder
-	// writes), folded only when the LoadSampler samples.
+	// frame lost entering its queues. It is sharded into per-pool-worker
+	// cells (worker w writes cell w+1; cell 0 takes ingress-side writes),
+	// folded only when the LoadSampler samples.
 	// offeredBytes/offeredPkts count every frame that *arrived* at the
 	// element's queues — including frames the full queue rejected — so the
 	// LoadSampler can report offered demand separately from the device
@@ -236,7 +254,7 @@ type element struct {
 	offeredPkts  atomic.Uint64
 
 	// epochMu guards epochs: the element's cumulative meter totals at each
-	// past migration, recorded while the shards are frozen. A LoadSampler
+	// past migration, recorded while the element is frozen. A LoadSampler
 	// splits its window at these cuts so the slice served on the old device
 	// is attributed to — and priced at the catalog capacity of — that
 	// device, instead of the whole window being charged to wherever the
@@ -295,23 +313,65 @@ func (el *element) place(dev *deviceGate, bps float64) {
 	el.rateMu.Unlock()
 }
 
-// shard is one worker of an element: its own input queue (which doubles as
-// the migration freeze buffer) and a control channel that preempts packet
-// work.
+// shard is one input queue of an element: a lock-free MPSC ring (which
+// doubles as the migration freeze buffer) statically owned by one pool
+// worker — the single consumer.
 type shard struct {
-	el   *element
-	idx  int // shard index within the element; meter cell idx+1 is ours
-	in   chan job
-	ctrl chan pauseReq
+	el    *element
+	idx   int // shard index within the element
+	q     *ring
+	owner *worker
+}
+
+// shardFor maps a flow hash to the element's shard, pinning each flow to
+// one shard (and therefore one owning worker).
+func (el *element) shardFor(h uint64) *shard {
+	if len(el.shards) == 1 {
+		return el.shards[0]
+	}
+	return el.shards[h%uint64(len(el.shards))]
+}
+
+// pauseReq is the migration coordinator's rendezvous with one owning
+// worker: the worker signals acked once it is between bursts (its token
+// lease returned). There is no resume barrier — the worker keeps draining
+// every non-paused ring it owns while the frozen element migrates.
+type pauseReq struct {
+	acked chan struct{}
+}
+
+// worker is one goroutine of the run-to-completion pool. It owns a static
+// subset of every element's shards and polls their rings round-robin in
+// chain, then position order, so upstream elements of a chain are visited
+// before downstream ones and every tenant gets one burst opportunity per
+// sweep.
+type worker struct {
+	idx int
+	r   *Runtime
+
+	shards []*shard // owned rings, in visit order
+
+	// Parking: a worker with no runnable work sets sleeping, re-checks its
+	// rings (producers push first and read sleeping second, so one of the
+	// two sides always observes the other) and blocks on wake. Producers
+	// signal wake — capacity 1, non-blocking send — after a push.
+	wake     chan struct{}
+	sleeping atomic.Bool
+
+	// ctrl carries migration pause rendezvous; ctrlPending lets the hot
+	// loop test for pending control work with one atomic load instead of a
+	// channel poll per burst.
+	ctrl        chan *pauseReq
+	ctrlPending atomic.Int32
 
 	// The worker's token lease: device budget drawn from leaseDev in bulk
 	// (drawLease) and charged burst-by-burst with plain local arithmetic —
 	// the amortization that keeps the steady uncontended path free of
 	// shared-memory traffic. Owned exclusively by the worker goroutine
-	// (pause and the run loop's exit both execute on it), so no
-	// synchronization applies. leaseGen pins the placement generation the
-	// lease was drawn under; a stale lease is returned to leaseDev, never
-	// spent.
+	// (the pause rendezvous and the run loop's exit both execute on it),
+	// so no synchronization applies. leaseGen pins the placement generation
+	// the lease was drawn under; a stale lease is returned to leaseDev,
+	// never spent.
 	leaseDev   *deviceGate
 	leaseGen   uint64
 	leaseNanos int64
@@ -323,21 +383,21 @@ type shard struct {
 // gen is the placement generation the cost was computed under; a lease
 // from any other generation (element migrated, rate retargeted) is
 // returned to its own gate first so stale budget is never spent.
-func (s *shard) charge(cost float64, dev *deviceGate, gen uint64) {
+func (w *worker) charge(cost float64, dev *deviceGate, gen uint64) {
 	need := nanoUnits(cost)
-	if s.leaseDev == dev && s.leaseGen == gen {
-		if s.leaseNanos >= need {
-			s.leaseNanos -= need
+	if w.leaseDev == dev && w.leaseGen == gen {
+		if w.leaseNanos >= need {
+			w.leaseNanos -= need
 			return
 		}
 		// Spend the remainder toward this burst; the rest comes fresh.
-		need -= s.leaseNanos
-		s.leaseNanos = 0
-	} else if s.leaseDev != nil {
-		s.releaseLease()
+		need -= w.leaseNanos
+		w.leaseNanos = 0
+	} else if w.leaseDev != nil {
+		w.releaseLease()
 	}
 	if extra, ok := dev.drawLease(need); ok {
-		s.leaseDev, s.leaseGen, s.leaseNanos = dev, gen, extra
+		w.leaseDev, w.leaseGen, w.leaseNanos = dev, gen, extra
 		return
 	}
 	// Token exhaustion: the contended regime. Block on the FIFO path with
@@ -350,27 +410,26 @@ func (s *shard) charge(cost float64, dev *deviceGate, gen uint64) {
 // from. Called on migration freeze, on a stale generation, and on worker
 // exit, so banked budget can never outlive the placement it was drawn
 // under — gate budget conservation stays exact.
-func (s *shard) releaseLease() {
-	if s.leaseDev != nil && s.leaseNanos > 0 {
-		s.leaseDev.returnNanos(s.leaseNanos)
+func (w *worker) releaseLease() {
+	if w.leaseDev != nil && w.leaseNanos > 0 {
+		w.leaseDev.returnNanos(w.leaseNanos)
 	}
-	s.leaseDev, s.leaseGen, s.leaseNanos = nil, 0, 0
+	w.leaseDev, w.leaseGen, w.leaseNanos = nil, 0, 0
 }
 
-// pauseReq quiesces a shard worker: the worker signals acked once it is
-// between bursts, then blocks until resume is closed.
-type pauseReq struct {
-	acked  chan struct{}
-	resume chan struct{}
-}
-
-// shardFor maps a flow hash to the element's shard, pinning each flow to
-// one worker.
-func (el *element) shardFor(h uint64) *shard {
-	if len(el.shards) == 1 {
-		return el.shards[0]
+// wakeIfSleeping nudges a parked worker. Callers first make their work
+// visible (ring publish, ctrlPending increment, paused clear); the
+// worker's park sequence stores sleeping before its final work re-check,
+// so either the producer sees sleeping and signals, or the worker sees the
+// work — a lost wakeup requires both loads to precede both stores, which
+// the total order on sequentially consistent atomics forbids.
+func (w *worker) wakeIfSleeping() {
+	if w.sleeping.Load() {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
 	}
-	return el.shards[h%uint64(len(el.shards))]
 }
 
 // Runtime is a running emulated multi-chain dataplane.
@@ -386,10 +445,14 @@ type Runtime struct {
 	// chain draws on — the interconnect analogue of the per-device gates.
 	dma *dmaGate
 
+	workers  []*worker
+	stop     chan struct{} // closed by Close after Drain: workers exit
+	workerWG sync.WaitGroup
+
 	start   time.Time
 	started atomic.Bool
 	closed  atomic.Bool
-	closeMu sync.RWMutex // excludes Send against Close's channel close
+	closeMu sync.RWMutex // excludes Send and Migrate against Close
 
 	frames   *packet.FramePool
 	decoders *packet.DecoderPool
@@ -409,8 +472,18 @@ func New(cfg Config) (*Runtime, error) {
 		cfg:      cfg,
 		gates:    newDeviceGates(cfg.DeviceBurst),
 		dma:      newDMAGate(cfg.Link, cfg.Scale, cfg.DeviceBurst),
+		stop:     make(chan struct{}),
 		frames:   packet.NewFramePool(),
 		decoders: packet.NewDecoderPool(),
+	}
+	r.workers = make([]*worker, cfg.Workers)
+	for i := range r.workers {
+		r.workers[i] = &worker{
+			idx:  i,
+			r:    r,
+			wake: make(chan struct{}, 1),
+			ctrl: make(chan *pauseReq, 4),
+		}
 	}
 	for ci, spec := range cfg.Chains {
 		tc := &tenantChain{
@@ -451,12 +524,30 @@ func New(cfg Config) (*Runtime, error) {
 			}
 			depth := (cfg.QueueDepth + nshards - 1) / nshards
 			for s := 0; s < nshards; s++ {
-				el.shards = append(el.shards, &shard{
-					el:   el,
-					idx:  s,
-					in:   make(chan job, depth),
-					ctrl: make(chan pauseReq),
-				})
+				// Static shard→worker ownership: a sharded element's shard i
+				// belongs to worker i (flows hash straight to their worker);
+				// a single-shard element belongs to worker chainIdx mod
+				// Workers, spreading single-shard tenants across the pool.
+				oi := s
+				if nshards == 1 {
+					oi = ci
+				}
+				ow := r.workers[oi%cfg.Workers]
+				sh := &shard{el: el, idx: s, q: newRing(depth), owner: ow}
+				el.shards = append(el.shards, sh)
+				ow.shards = append(ow.shards, sh)
+			}
+			for _, sh := range el.shards {
+				seen := false
+				for _, ow := range el.owners {
+					if ow == sh.owner {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					el.owners = append(el.owners, sh.owner)
+				}
 			}
 			tc.elems = append(tc.elems, el)
 		}
@@ -481,18 +572,15 @@ func (r *Runtime) gateFor(k device.Kind) (*deviceGate, error) {
 	return nil, &UnknownDeviceKindError{Kind: k}
 }
 
-// Start launches the element workers. It must be called once before Send.
+// Start launches the worker pool. It must be called once before Send.
 func (r *Runtime) Start() {
-	if !r.started.CompareAndSwap(false, true) {
+	if r.closed.Load() || !r.started.CompareAndSwap(false, true) {
 		return
 	}
 	r.start = time.Now()
-	for _, tc := range r.chains {
-		for _, el := range tc.elems {
-			for _, s := range el.shards {
-				go s.run()
-			}
-		}
+	for _, w := range r.workers {
+		r.workerWG.Add(1)
+		go w.run()
 	}
 }
 
@@ -522,11 +610,13 @@ func (r *Runtime) Send(frame []byte) bool { return r.SendChain(0, frame) }
 // SendChain offers one frame to the given chain's ingress. It reports false
 // when the chain index is out of range or the first element's queue is full
 // (ingress drop). The frame is owned by the runtime once accepted; a
-// rejected frame stays with the caller.
+// rejected frame stays with the caller. The push itself is one lock-free
+// ring publish plus (only when the owning worker is parked) one wake
+// signal: zero allocations in steady state.
 func (r *Runtime) SendChain(ci int, frame []byte) bool {
-	// The read lock excludes Close's channel close: once closed is set
-	// under the write lock, no Send can be past the check below, so
-	// closing the shard channels cannot race a send.
+	// The read lock excludes Close: once closed is set under the write
+	// lock, no Send can be past the check below, so Close's Drain cannot
+	// miss an in-flight increment.
 	r.closeMu.RLock()
 	defer r.closeMu.RUnlock()
 	if !r.started.Load() || r.closed.Load() || ci < 0 || ci >= len(r.chains) {
@@ -557,18 +647,18 @@ func (r *Runtime) SendChain(ci int, frame []byte) bool {
 		crossing: headCPU, // NIC ingress → CPU
 	}
 	r.inFlight.Add(1)
-	select {
-	case first.shardFor(j.hash).in <- j:
+	s := first.shardFor(j.hash)
+	if s.q.push(j) {
+		s.owner.wakeIfSleeping()
 		return true
-	default:
-		r.inFlight.Done()
-		tc.ingressDrops.Add(1)
-		now := r.now()
-		// Senders have no worker identity: ingress drops land in cell 0.
-		tc.meter.Cell(0).Drop(now)
-		first.meter.Cell(0).Drop(now)
-		return false
 	}
+	r.inFlight.Done()
+	tc.ingressDrops.Add(1)
+	now := r.now()
+	// Senders have no worker identity: ingress drops land in cell 0.
+	tc.meter.Cell(0).Drop(now)
+	first.meter.Cell(0).Drop(now)
+	return false
 }
 
 // Drain blocks until every accepted frame has left the pipeline.
@@ -594,21 +684,16 @@ func (r *Runtime) Close() {
 		}
 	}
 	r.Drain()
-	for _, tc := range r.chains {
-		for _, el := range tc.elems {
-			for _, s := range el.shards {
-				close(s.in)
-			}
-		}
-	}
+	close(r.stop)
+	r.workerWG.Wait()
 }
 
 // SetEgressTap installs fn to receive every delivered frame of every chain
-// (tests). Must be set before Start. With Config.Workers > 1 the tail
-// element may be sharded, in which case fn is called concurrently from
-// several goroutines and must synchronize internally. With
-// Config.PoolFrames the frame buffer is recycled when fn returns, so fn
-// must copy anything it keeps.
+// (tests). Must be set before Start. With Config.Workers > 1 different
+// chains' tails may be served by different pool workers, in which case fn
+// is called concurrently from several goroutines and must synchronize
+// internally. With Config.PoolFrames the frame buffer is recycled when fn
+// returns, so fn must copy anything it keeps.
 func (r *Runtime) SetEgressTap(fn func(frame []byte)) {
 	r.egress = func(_ int, frame []byte) { fn(frame) }
 }
@@ -617,206 +702,258 @@ func (r *Runtime) SetEgressTap(fn func(frame []byte)) {
 // multi-tenant tests that attribute egress per tenant.
 func (r *Runtime) SetChainEgressTap(fn func(chainIdx int, frame []byte)) { r.egress = fn }
 
-// run is the per-shard worker: a burst loop in the DPDK style. Control
-// messages (migration freeze) preempt packet work; the bounded input
-// channel doubles as the freeze buffer while a migration is in progress.
-func (s *shard) run() {
-	r := s.el.parent
+// run is the pool worker's main loop: poll every owned ring round-robin,
+// draining and processing up to one burst per visit; handle migration
+// pause rendezvous between bursts; park when a full sweep finds no work.
+func (w *worker) run() {
+	r := w.r
+	defer r.workerWG.Done()
 	batch := r.cfg.BatchSize
 	decs := make([]*packet.Decoder, batch)
 	for i := range decs {
 		decs[i] = r.decoders.Get()
 	}
-	defer s.releaseLease() // worker exit returns any banked device budget
+	defer w.releaseLease() // worker exit returns any banked device budget
 	defer func() {
 		for _, d := range decs {
 			r.decoders.Put(d)
 		}
 	}()
-	jobs := make([]job, 0, batch)
+	jobs := make([]job, batch)
+	inline := make([]job, 0, batch)
 	ctxs := make([]nf.Ctx, batch)
 	ptrs := make([]*nf.Ctx, batch)
 	lats := make([]int64, 0, batch)
 
 	for {
-		select {
-		case req := <-s.ctrl:
-			s.pause(req)
-			continue
-		default:
+		if w.ctrlPending.Load() != 0 {
+			w.handleCtrl()
 		}
-		select {
-		case req := <-s.ctrl:
-			s.pause(req)
-		case j, ok := <-s.in:
-			if !ok {
-				return
+		did := false
+		for _, s := range w.shards {
+			if s.el.paused.Load() {
+				continue // frozen: the ring buffers arrivals
 			}
-			jobs = append(jobs[:0], j)
-			closed := false
-		drain:
-			for len(jobs) < batch {
-				select {
-				case j2, ok2 := <-s.in:
-					if !ok2 {
-						closed = true
-						break drain
-					}
-					jobs = append(jobs, j2)
-				default:
-					break drain
-				}
-			}
-			s.processBatch(jobs, decs, ctxs, ptrs, &lats)
-			if closed {
-				return
-			}
-		}
-	}
-}
-
-// pause acknowledges a freeze and blocks until the migration coordinator
-// resumes the shard. The worker returns its token lease before acking: a
-// frozen shard's banked budget flows back to the gate (where co-resident
-// tenants can be granted it), and after the resume the post-migration
-// generation forces a fresh draw at the new placement's costing anyway.
-func (s *shard) pause(req pauseReq) {
-	s.releaseLease()
-	req.acked <- struct{}{}
-	<-req.resume
-}
-
-// processBatch runs one burst through this element's NF and forwards it:
-// one gate transaction, one PCIe propagation charge, one ProcessBatch call
-// and batched metering for the whole burst.
-func (s *shard) processBatch(jobs []job, decs []*packet.Decoder, ctxs []nf.Ctx, ptrs []*nf.Ctx, lats *[]int64) {
-	el := s.el
-	r := el.parent
-	n := len(jobs)
-
-	// Emulate the shared device capacity: the burst's bytes are converted
-	// into normalized device-seconds at the element's catalog rate and
-	// admitted through the *device's* gate in a single transaction — one
-	// budget shared by every resident element across all hosted chains, so
-	// co-resident overload physically slows this element down.
-	total := 0
-	crossBytes, crossed := 0, false
-	for i := range jobs {
-		total += len(jobs[i].frame)
-		if jobs[i].crossing {
-			crossed = true
-			crossBytes += len(jobs[i].frame)
-		}
-	}
-	cost, dev, gen, ok := el.chargeFor(total)
-	if !ok {
-		// Runtime closed while this burst was parked on a rate-less element:
-		// abandon it so Close's Drain completes. The frames are accounted as
-		// this element's queue drops — they were accepted but never served.
-		dropNow := r.now()
-		el.drops.Add(uint64(n))
-		el.meter.Cell(s.idx+1).DropN(uint64(n), dropNow)
-		el.ch.meter.Cell(s.idx+1).DropN(uint64(n), dropNow)
-		for i := range jobs {
-			r.recycle(jobs[i].frame)
-		}
-		r.inFlight.Add(-n)
-		return
-	}
-	s.charge(cost, dev, gen)
-
-	// PCIe crossings to reach this element draw on the runtime's shared
-	// DMA-engine budget — one charge per burst (descriptors are posted
-	// back-to-back, so the fixed overhead is paid once; serialization is per
-	// crossing byte). Contention blocks here, which is how N shards or N
-	// tenant chains crossing at once physically share one link. SleepPCIe
-	// additionally sleeps the unloaded crossing latency (the gate models
-	// occupancy and queueing, not the latency floor).
-	if crossed {
-		r.dma.cross(dirTo(device.Kind(el.loc.Load())), crossBytes)
-		if r.cfg.SleepPCIe {
-			time.Sleep(r.cfg.Link.PropDelay + r.cfg.Link.SerializationTime(crossBytes))
-		}
-	}
-
-	now := r.now()
-	el.meter.Cell(s.idx+1).ObserveN(uint64(n), uint64(total), now)
-	for i := range jobs {
-		dec := decs[i]
-		_, _ = dec.Decode(jobs[i].frame) // NFs tolerate partial decodes
-		c := &ctxs[i]
-		*c = nf.Ctx{Frame: jobs[i].frame, Decoder: dec, Now: now}
-		if k, ok := flow.FromDecoder(dec); ok {
-			c.FlowKey, c.HasFlow = k, true
-		}
-		ptrs[i] = c
-	}
-	el.mu.Lock()
-	inst := el.inst
-	el.mu.Unlock()
-	verdicts := inst.ProcessBatch(ptrs[:n])
-
-	if el.pos == len(el.ch.elems)-1 {
-		s.egressBatch(jobs, verdicts, lats)
-		return
-	}
-
-	// Forward survivors to the next element's shard for their flow. The
-	// next element's offered meters count every forwarded frame — accepted
-	// or queue-dropped — so its demand reflects arrivals, not grants.
-	next := el.ch.elems[el.pos+1]
-	crossingNext := el.loc.Load() != next.loc.Load()
-	finished, qdrops := 0, 0
-	fwdPkts, fwdBytes := uint64(0), uint64(0)
-	for i := range jobs {
-		if i < len(verdicts) && verdicts[i] == nf.VerdictPass {
-			j := jobs[i]
-			j.crossing = crossingNext
-			fwdPkts++
-			fwdBytes += uint64(len(j.frame))
-			select {
-			case next.shardFor(j.hash).in <- j:
+			n := s.q.popBatch(jobs)
+			if n == 0 {
 				continue
-			default:
+			}
+			did = true
+			w.processBurst(s.el, jobs[:n], &inline, decs, ctxs, ptrs, &lats)
+			if w.ctrlPending.Load() != 0 {
+				w.handleCtrl()
+			}
+		}
+		if did {
+			continue
+		}
+		// Park. The order is load-bearing: set sleeping, then re-check for
+		// work published before the flag flip — producers publish first and
+		// read sleeping second, so one side always sees the other.
+		w.sleeping.Store(true)
+		if w.anyWork() {
+			w.sleeping.Store(false)
+			continue
+		}
+		select {
+		case <-w.wake:
+		case req := <-w.ctrl:
+			w.ctrlPending.Add(-1)
+			w.releaseLease()
+			req.acked <- struct{}{}
+		case <-r.stop:
+			w.sleeping.Store(false)
+			return
+		}
+		w.sleeping.Store(false)
+	}
+}
+
+// anyWork reports whether any owned ring holds runnable frames or a pause
+// rendezvous is pending — the park's final re-check.
+func (w *worker) anyWork() bool {
+	if w.ctrlPending.Load() != 0 {
+		return true
+	}
+	for _, s := range w.shards {
+		if !s.el.paused.Load() && !s.q.empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// handleCtrl acks every pending pause rendezvous. Called only between
+// bursts, so an ack guarantees no burst of the pausing element is in
+// flight on this worker; the lease goes back first so a frozen element's
+// banked budget flows to the gate where co-resident tenants can use it.
+func (w *worker) handleCtrl() {
+	for {
+		select {
+		case req := <-w.ctrl:
+			w.ctrlPending.Add(-1)
+			w.releaseLease()
+			req.acked <- struct{}{}
+		default:
+			return
+		}
+	}
+}
+
+// processBurst runs one burst through an element's NF and forwards it:
+// one gate transaction, one PCIe propagation charge, one ProcessBatch call
+// and batched metering for the whole burst. Survivors whose successor
+// element is on the same device, in a shard this worker owns, and whose
+// ring is empty are processed run-to-completion in the same visit — the
+// loop continues with the successor instead of paying a re-queue hop. PCIe
+// crossings, foreign-owner shards and frozen or backlogged successors
+// enqueue to the destination ring, so gate charging always happens where
+// the frames are consumed.
+func (w *worker) processBurst(el *element, jobs []job, inline *[]job, decs []*packet.Decoder, ctxs []nf.Ctx, ptrs []*nf.Ctx, lats *[]int64) {
+	r := w.r
+	for {
+		n := len(jobs)
+
+		// Emulate the shared device capacity: the burst's bytes are converted
+		// into normalized device-seconds at the element's catalog rate and
+		// admitted through the *device's* gate in a single transaction — one
+		// budget shared by every resident element across all hosted chains, so
+		// co-resident overload physically slows this element down.
+		total := 0
+		crossBytes, crossed := 0, false
+		for i := range jobs {
+			total += len(jobs[i].frame)
+			if jobs[i].crossing {
+				crossed = true
+				crossBytes += len(jobs[i].frame)
+			}
+		}
+		cost, dev, gen, ok := el.chargeFor(total)
+		if !ok {
+			// Runtime closed while this burst was parked on a rate-less
+			// element: abandon it so Close's Drain completes. The frames are
+			// accounted as this element's queue drops — they were accepted
+			// but never served.
+			dropNow := r.now()
+			el.drops.Add(uint64(n))
+			el.meter.Cell(w.idx+1).DropN(uint64(n), dropNow)
+			el.ch.meter.Cell(w.idx+1).DropN(uint64(n), dropNow)
+			for i := range jobs {
+				r.recycle(jobs[i].frame)
+			}
+			r.inFlight.Add(-n)
+			return
+		}
+		w.charge(cost, dev, gen)
+
+		// PCIe crossings to reach this element draw on the runtime's shared
+		// DMA-engine budget — one charge per burst (descriptors are posted
+		// back-to-back, so the fixed overhead is paid once; serialization is
+		// per crossing byte). Contention blocks here, which is how N workers
+		// or N tenant chains crossing at once physically share one link.
+		// SleepPCIe additionally sleeps the unloaded crossing latency (the
+		// gate models occupancy and queueing, not the latency floor).
+		if crossed {
+			r.dma.cross(dirTo(device.Kind(el.loc.Load())), crossBytes)
+			if r.cfg.SleepPCIe {
+				time.Sleep(r.cfg.Link.PropDelay + r.cfg.Link.SerializationTime(crossBytes))
+			}
+		}
+
+		now := r.now()
+		el.meter.Cell(w.idx+1).ObserveN(uint64(n), uint64(total), now)
+		for i := range jobs {
+			dec := decs[i]
+			_, _ = dec.Decode(jobs[i].frame) // NFs tolerate partial decodes
+			c := &ctxs[i]
+			*c = nf.Ctx{Frame: jobs[i].frame, Decoder: dec, Now: now}
+			if k, ok := flow.FromDecoder(dec); ok {
+				c.FlowKey, c.HasFlow = k, true
+			}
+			ptrs[i] = c
+		}
+		el.mu.Lock()
+		inst := el.inst
+		el.mu.Unlock()
+		verdicts := inst.ProcessBatch(ptrs[:n])
+
+		if el.pos == len(el.ch.elems)-1 {
+			w.egressBatch(el, jobs, verdicts, lats)
+			return
+		}
+
+		// Forward survivors to the next element's shard for their flow. The
+		// next element's offered meters count every forwarded frame —
+		// inlined, accepted or queue-dropped — so its demand reflects
+		// arrivals, not grants.
+		next := el.ch.elems[el.pos+1]
+		crossingNext := el.loc.Load() != next.loc.Load()
+		finished, qdrops := 0, 0
+		fwdPkts, fwdBytes := uint64(0), uint64(0)
+		keep := (*inline)[:0]
+		for i := range jobs {
+			if i < len(verdicts) && verdicts[i] == nf.VerdictPass {
+				j := jobs[i]
+				j.crossing = crossingNext
+				fwdPkts++
+				fwdBytes += uint64(len(j.frame))
+				ns := next.shardFor(j.hash)
+				// Run-to-completion: a same-device successor in a shard this
+				// worker owns is processed in this visit — but only when its
+				// ring is empty, so a frame buffered there (across a freeze,
+				// say) can never be overtaken by a newer frame of its flow.
+				if !crossingNext && ns.owner == w && !next.paused.Load() && ns.q.empty() {
+					keep = append(keep, j)
+					continue
+				}
+				if ns.q.push(j) {
+					if ns.owner != w {
+						ns.owner.wakeIfSleeping()
+					}
+					continue
+				}
 				next.drops.Add(1)
 				qdrops++
 			}
+			finished++
+			r.recycle(jobs[i].frame)
 		}
-		finished++
-		r.recycle(jobs[i].frame)
-	}
-	if fwdPkts > 0 {
-		next.offeredPkts.Add(fwdPkts)
-		next.offeredBytes.Add(fwdBytes)
-		// Crossing demand at arrival, queue-dropped frames included: the hop
-		// to a cross-device neighbour, plus the egress hop a CPU-resident
-		// tail will owe.
-		nextLoc := device.Kind(next.loc.Load())
-		if crossingNext {
-			r.dma.offer(dirTo(nextLoc), fwdBytes)
+		if fwdPkts > 0 {
+			next.offeredPkts.Add(fwdPkts)
+			next.offeredBytes.Add(fwdBytes)
+			// Crossing demand at arrival, queue-dropped frames included: the
+			// hop to a cross-device neighbour, plus the egress hop a
+			// CPU-resident tail will owe.
+			nextLoc := device.Kind(next.loc.Load())
+			if crossingNext {
+				r.dma.offer(dirTo(nextLoc), fwdBytes)
+			}
+			if next.pos == len(el.ch.elems)-1 && nextLoc == device.KindCPU {
+				r.dma.offer(dmaToNIC, fwdBytes)
+			}
 		}
-		if next.pos == len(el.ch.elems)-1 && nextLoc == device.KindCPU {
-			r.dma.offer(dmaToNIC, fwdBytes)
+		if qdrops > 0 {
+			dropNow := r.now()
+			el.ch.meter.Cell(w.idx+1).DropN(uint64(qdrops), dropNow)
+			next.meter.Cell(w.idx+1).DropN(uint64(qdrops), dropNow)
 		}
-	}
-	if qdrops > 0 {
-		dropNow := r.now()
-		// This worker's identity is element-scoped: the chain meter takes
-		// our cell, the downstream element's meter the foreign cell 0.
-		el.ch.meter.Cell(s.idx+1).DropN(uint64(qdrops), dropNow)
-		next.meter.Cell(0).DropN(uint64(qdrops), dropNow)
-	}
-	if finished > 0 {
-		r.inFlight.Add(-finished)
+		if finished > 0 {
+			r.inFlight.Add(-finished)
+		}
+		*inline = keep
+		if len(keep) == 0 {
+			return
+		}
+		jobs = keep
+		el = next
 	}
 }
 
 // egressBatch completes a burst at the chain tail: one PCIe charge back to
 // the NIC when the tail runs on the CPU, one histogram critical section for
 // the burst's latencies, one meter update for its packets and bytes.
-func (s *shard) egressBatch(jobs []job, verdicts []nf.Verdict, lats *[]int64) {
-	el := s.el
-	r := el.parent
+func (w *worker) egressBatch(el *element, jobs []job, verdicts []nf.Verdict, lats *[]int64) {
+	r := w.r
 	if device.Kind(el.loc.Load()) == device.KindCPU {
 		bytes := 0
 		for i := range jobs {
@@ -849,16 +986,20 @@ func (s *shard) egressBatch(jobs []job, verdicts []nf.Verdict, lats *[]int64) {
 		r.recycle(jobs[i].frame)
 	}
 	el.ch.latency.RecordBatch(*lats)
-	el.ch.meter.Cell(s.idx+1).ObserveN(delivered, deliveredBytes, now)
+	el.ch.meter.Cell(w.idx+1).ObserveN(delivered, deliveredBytes, now)
 	r.inFlight.Add(-len(jobs))
 }
 
-// doMigrate performs the UNO sequence. The element is frozen by quiescing
-// its shard workers (no packets consumed); arriving frames accumulate in
-// the bounded shard queues and are replayed by virtue of FIFO consumption
-// after the swap. The freeze is scoped to this element — other elements of
-// the same chain and every other tenant chain keep forwarding throughout.
-// Callers hold el.migMu.
+// doMigrate performs the UNO sequence. The element is frozen by flagging it
+// paused and rendezvousing with every pool worker that owns one of its
+// shards: each owner acks at a burst boundary with its token lease
+// returned, so once all acks are in, no burst of this element is in flight
+// anywhere and the served meters are stable. Arriving frames accumulate in
+// the element's bounded rings and are replayed by virtue of FIFO
+// consumption after the swap. The freeze is scoped to this element — the
+// owning workers keep draining every other ring they own, so other
+// elements of the same chain and every other tenant chain keep forwarding
+// throughout. Callers hold el.migMu.
 func (el *element) doMigrate(to device.Kind) (migrate.Report, error) {
 	r := el.parent
 	from := device.Kind(el.loc.Load())
@@ -878,17 +1019,27 @@ func (el *element) doMigrate(to device.Kind) (migrate.Report, error) {
 		return migrate.Report{}, err
 	}
 
-	// Freeze: every shard of this element must be between bursts before
-	// state is copied.
-	acked := make(chan struct{}, len(el.shards))
-	resume := make(chan struct{})
-	for _, s := range el.shards {
-		s.ctrl <- pauseReq{acked: acked, resume: resume}
+	// Freeze: flag first (workers re-check paused before every burst and
+	// every inline hop), then rendezvous with each owning worker.
+	el.paused.Store(true)
+	acked := make(chan struct{}, len(el.owners))
+	req := &pauseReq{acked: acked}
+	for _, ow := range el.owners {
+		ow.ctrlPending.Add(1)
+		ow.ctrl <- req
+		ow.wakeIfSleeping()
 	}
-	for range el.shards {
+	for range el.owners {
 		<-acked
 	}
-	defer close(resume)
+	defer func() {
+		// Resume: clear the flag, then wake the owners — the frozen rings
+		// may hold buffered frames no future push would announce.
+		el.paused.Store(false)
+		for _, ow := range el.owners {
+			ow.wakeIfSleeping()
+		}
+	}()
 
 	tr := migrate.PCIeTransport{Link: r.cfg.Link, Setup: time.Millisecond}
 	el.mu.Lock()
@@ -899,7 +1050,7 @@ func (el *element) doMigrate(to device.Kind) (migrate.Report, error) {
 		return migrate.Report{}, err
 	}
 	for _, s := range el.shards {
-		rep.Buffered += len(s.in)
+		rep.Buffered += s.q.pending()
 	}
 	if r.cfg.SleepPCIe {
 		time.Sleep(rep.Transfer)
@@ -909,7 +1060,7 @@ func (el *element) doMigrate(to device.Kind) (migrate.Report, error) {
 	el.mu.Unlock()
 	// Cut the telemetry attribution before the placement flips: everything
 	// metered up to this instant was served on — and must be priced at the
-	// catalog capacity of — the old device. The shards are still paused, so
+	// catalog capacity of — the old device. The element is still frozen, so
 	// the served meters are stable; offered counters may tick from upstream
 	// forwarding into the freeze buffers, which only shifts frames neither
 	// device has served yet.
@@ -939,8 +1090,8 @@ func (el *element) doMigrate(to device.Kind) (migrate.Report, error) {
 // hosted chain; the name must be unique across chains. When several chains
 // host the name it returns *AmbiguousElementError listing every one of
 // them, so the caller can disambiguate with MigrateChain. Loss-free: frames
-// arriving during the move wait in the element's shard queues (up to
-// QueueDepth in aggregate).
+// arriving during the move wait in the element's rings (up to QueueDepth in
+// aggregate).
 func (r *Runtime) Migrate(name string, to device.Kind) (migrate.Report, error) {
 	var hosts []int
 	for ci, tc := range r.chains {
@@ -962,12 +1113,12 @@ func (r *Runtime) Migrate(name string, to device.Kind) (migrate.Report, error) {
 }
 
 // MigrateChain live-moves the named element of the given chain to the
-// device, returning the migration report. Only the migrating element's
-// shard workers freeze; other chains keep forwarding throughout the move.
+// device, returning the migration report. Only the migrating element
+// freezes; other chains keep forwarding throughout the move.
 func (r *Runtime) MigrateChain(ci int, name string, to device.Kind) (migrate.Report, error) {
-	// The read lock holds Close off for the duration: the pause handshake
-	// with the shard workers requires them alive, so the closed check and
-	// the handshake must be atomic with respect to Close.
+	// The read lock holds Close off for the duration: the pause rendezvous
+	// with the pool workers requires them alive, so the closed check and
+	// the rendezvous must be atomic with respect to Close.
 	r.closeMu.RLock()
 	defer r.closeMu.RUnlock()
 	if !r.started.Load() {

@@ -5,7 +5,7 @@ package emul
 // the setRate fast→slow clamp guarantee), and every return path — stale
 // generation, gate change, migration freeze — must keep the gate's grant
 // accounting exact, neither leaking nor minting device budget. Run under
-// -race: the freeze test exercises the lease against live shard workers and
+// -race: the freeze test exercises the lease against live pool workers and
 // the migration coordinator.
 
 import (
@@ -17,7 +17,7 @@ import (
 	"repro/internal/traffic"
 )
 
-// TestLeaseStaleGenerationNotSpent drives shard.charge directly through a
+// TestLeaseStaleGenerationNotSpent drives worker.charge directly through a
 // placement-generation bump on the same gate — the retarget case: an element
 // re-placed fast→slow keeps its device, but a lease drawn under the old rate
 // must be returned to the gate and re-drawn, never spent. The balance tells
@@ -29,16 +29,16 @@ func TestLeaseStaleGenerationNotSpent(t *testing.T) {
 	burst := dev.burstN.Load()
 	quantum := burst / leaseDiv // one resident-free worker's lease quantum
 
-	s := &shard{}
+	w := &worker{}
 	cost1, cost2 := 0.0001, 0.0002
 	need1, need2 := nanoUnits(cost1), nanoUnits(cost2)
 
-	s.charge(cost1, dev, 1)
-	if s.leaseDev != dev || s.leaseGen != 1 {
-		t.Fatalf("lease pinned to gen %d on %v, want gen 1 on the charged gate", s.leaseGen, s.leaseDev)
+	w.charge(cost1, dev, 1)
+	if w.leaseDev != dev || w.leaseGen != 1 {
+		t.Fatalf("lease pinned to gen %d on %v, want gen 1 on the charged gate", w.leaseGen, w.leaseDev)
 	}
-	if s.leaseNanos != quantum {
-		t.Fatalf("lease drawn = %d nano-units, want quantum %d", s.leaseNanos, quantum)
+	if w.leaseNanos != quantum {
+		t.Fatalf("lease drawn = %d nano-units, want quantum %d", w.leaseNanos, quantum)
 	}
 	if got, want := dev.balance.Load(), burst-need1-quantum; got != want {
 		t.Fatalf("balance after first charge = %d, want %d", got, want)
@@ -47,16 +47,16 @@ func TestLeaseStaleGenerationNotSpent(t *testing.T) {
 	// The generation bump: the stale lease must go back through returnNanos
 	// and a fresh lease come out, visible as a further balance debit of
 	// need2+quantum (spending the stale lease would debit nothing).
-	s.charge(cost2, dev, 2)
-	if s.leaseGen != 2 {
-		t.Errorf("lease generation after retarget charge = %d, want 2", s.leaseGen)
+	w.charge(cost2, dev, 2)
+	if w.leaseGen != 2 {
+		t.Errorf("lease generation after retarget charge = %d, want 2", w.leaseGen)
 	}
 	if got, want := dev.balance.Load(), burst-need1-need2-quantum; got != want {
 		t.Errorf("balance after retarget charge = %d, want %d: stale lease spent or not returned", got, want)
 	}
 	// Conservation: the gate's net grant is exactly what was spent plus the
 	// one outstanding lease.
-	if got, want := dev.granted.Load(), need1+need2+s.leaseNanos; got != want {
+	if got, want := dev.granted.Load(), need1+need2+w.leaseNanos; got != want {
 		t.Errorf("granted = %d nano-units, want spent+outstanding = %d", got, want)
 	}
 }
@@ -69,21 +69,21 @@ func TestLeaseReturnedOnGateChange(t *testing.T) {
 	nic := newDeviceGate(device.KindSmartNIC, 10*time.Millisecond)
 	cpu := newDeviceGate(device.KindCPU, 10*time.Millisecond)
 
-	s := &shard{}
+	w := &worker{}
 	cost1, cost2 := 0.0001, 0.0003
-	s.charge(cost1, nic, 1)
-	if s.leaseDev != nic || s.leaseNanos == 0 {
+	w.charge(cost1, nic, 1)
+	if w.leaseDev != nic || w.leaseNanos == 0 {
 		t.Fatal("no lease drawn from the first gate")
 	}
 
-	s.charge(cost2, cpu, 5)
-	if s.leaseDev != cpu || s.leaseGen != 5 {
-		t.Fatalf("lease after gate change pinned to %v gen %d, want the new gate gen 5", s.leaseDev, s.leaseGen)
+	w.charge(cost2, cpu, 5)
+	if w.leaseDev != cpu || w.leaseGen != 5 {
+		t.Fatalf("lease after gate change pinned to %v gen %d, want the new gate gen 5", w.leaseDev, w.leaseGen)
 	}
 	if got, want := nic.granted.Load(), nanoUnits(cost1); got != want {
 		t.Errorf("old gate granted = %d nano-units, want exactly spent %d: lease leaked across gates", got, want)
 	}
-	if got, want := cpu.granted.Load(), nanoUnits(cost2)+s.leaseNanos; got != want {
+	if got, want := cpu.granted.Load(), nanoUnits(cost2)+w.leaseNanos; got != want {
 		t.Errorf("new gate granted = %d nano-units, want spent+outstanding = %d", got, want)
 	}
 }

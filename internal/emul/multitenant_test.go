@@ -2,6 +2,7 @@ package emul_test
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -403,4 +404,104 @@ func mustTwo(t *testing.T) (*chain.Chain, *chain.Chain) {
 		t.Fatal(err)
 	}
 	return a, b
+}
+
+// TestFreezeSixteenTenantsWorkerPool is the worker-pool version of the
+// chain-scoped-freeze guarantee at realistic tenancy: 16 single-element
+// tenants share a two-worker pool, so the migrating tenant's ring lives on
+// a worker that also owns seven other tenants' rings. While tenant 0 is
+// frozen for ≥40 ms (slow emulated link + SleepPCIe), every one of the 15
+// other tenants — including the ones on the frozen tenant's own worker —
+// must keep delivering: the pause drains only the migrating element's
+// rings, the worker itself never parks on the freeze. Run under -race: the
+// sender, the migration coordinator and both pool workers race here.
+func TestFreezeSixteenTenantsWorkerPool(t *testing.T) {
+	const tenants = 16
+	chains := make([]*chain.Chain, tenants)
+	for i := range chains {
+		c, err := chain.New(fmt.Sprintf("tenant-%02d", i),
+			chain.Element{Name: fmt.Sprintf("mon%d", i), Type: device.TypeMonitor, Loc: device.KindSmartNIC},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chains[i] = c
+	}
+	r, err := emul.New(emul.Config{
+		Chains:    chains,
+		Catalog:   device.Table1(),
+		Link:      pcie.Link{PropDelay: 40 * time.Millisecond, BandwidthGbps: 64},
+		SleepPCIe: true,
+		Scale:     100,
+		Workers:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered [tenants]atomic.Uint64
+	r.SetChainEgressTap(func(ci int, _ []byte) {
+		delivered[ci].Add(1)
+	})
+	r.Start()
+	defer r.Close()
+
+	stop := make(chan struct{})
+	senderDone := make(chan struct{})
+	go func() {
+		defer close(senderDone)
+		synth := traffic.NewSynth(8, 11)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// One sweep across the non-migrating tenants, then yield: each
+			// tenant sees a frame roughly every half millisecond, so a 40 ms
+			// freeze window holds dozens of delivery opportunities per tenant.
+			for ci := 1; ci < tenants; ci++ {
+				r.SendChain(ci, synth.Frame(uint64(i%8), 256))
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	time.Sleep(10 * time.Millisecond)
+	var before [tenants]uint64
+	for ci := 1; ci < tenants; ci++ {
+		before[ci] = delivered[ci].Load()
+	}
+	startMig := time.Now()
+	rep, err := r.MigrateChain(0, "mon0", device.KindCPU)
+	if err != nil {
+		t.Fatalf("MigrateChain: %v", err)
+	}
+	frozen := time.Since(startMig)
+	var during [tenants]uint64
+	for ci := 1; ci < tenants; ci++ {
+		during[ci] = delivered[ci].Load() - before[ci]
+	}
+	close(stop)
+	<-senderDone
+
+	if frozen < 40*time.Millisecond {
+		t.Fatalf("migration window only %v; the slow link should hold the freeze ≥ 40ms", frozen)
+	}
+	if rep.Transfer < 40*time.Millisecond {
+		t.Errorf("measured transfer %v, want ≥ the link's 40ms propagation", rep.Transfer)
+	}
+	for ci := 1; ci < tenants; ci++ {
+		if during[ci] == 0 {
+			t.Errorf("tenant %d delivered nothing during tenant 0's %v freeze", ci, frozen)
+		}
+	}
+	pl := r.Placements()
+	if loc := pl[0].At(0).Loc; loc != device.KindCPU {
+		t.Errorf("migrated element not on CPU: %v", pl[0])
+	}
+	for ci := 1; ci < tenants; ci++ {
+		if loc := pl[ci].At(0).Loc; loc != device.KindSmartNIC {
+			t.Errorf("tenant %d moved by tenant 0's migration: %v", ci, pl[ci])
+		}
+	}
 }

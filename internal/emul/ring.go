@@ -1,0 +1,109 @@
+package emul
+
+// Bounded lock-free MPSC ring queue — the per-(element, shard) input queue
+// of the run-to-completion worker pool. Producers are SendChain callers and
+// upstream pool workers forwarding a burst; the consumer is always the one
+// pool worker that owns the shard, so the dequeue side needs no CAS at all.
+//
+// The design is the classic bounded MPMC ring restricted to one consumer:
+// each slot carries a sequence number that encodes its state relative to
+// the enqueue/dequeue cursors. A producer claims a slot by CASing the
+// enqueue cursor, writes the job, then publishes it by storing seq = pos+1;
+// the consumer observes seq == pos+1 (the atomic load orders the job read
+// after the publish), copies the job out, and recycles the slot with
+// seq = pos+capacity. push is strictly non-blocking: a full ring reports
+// false and the caller accounts an ingress/queue drop, exactly as the old
+// bounded channel's default case did. The ring doubles as the migration
+// freeze buffer — a paused element's rings simply stop being polled, and
+// pending() feeds the migration report's Buffered count.
+
+import "sync/atomic"
+
+type ringSlot struct {
+	seq atomic.Uint64
+	job job
+}
+
+type ring struct {
+	mask  uint64
+	slots []ringSlot
+	// The cursors live on their own cache lines: enq is hammered by
+	// producers, deq only by the owning worker.
+	_   [56]byte
+	enq atomic.Uint64
+	_   [56]byte
+	deq atomic.Uint64
+}
+
+// newRing builds a ring with capacity rounded up to the next power of two
+// (minimum 8, so tiny QueueDepth configs still hold one burst).
+func newRing(capacity int) *ring {
+	n := 8
+	for n < capacity {
+		n <<= 1
+	}
+	q := &ring{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+	for i := range q.slots {
+		q.slots[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+// push enqueues one job, reporting false when the ring is full. Safe for
+// any number of concurrent producers.
+func (q *ring) push(j job) bool {
+	pos := q.enq.Load()
+	for {
+		s := &q.slots[pos&q.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			if q.enq.CompareAndSwap(pos, pos+1) {
+				s.job = j
+				s.seq.Store(pos + 1)
+				return true
+			}
+			pos = q.enq.Load()
+		case seq < pos:
+			// The slot still holds an unconsumed entry from one lap ago:
+			// the ring is full. (Producers never lap the consumer, so a
+			// stale sequence here is definitive, not transient.)
+			return false
+		default:
+			// Another producer claimed this position; advance past it.
+			pos = q.enq.Load()
+		}
+	}
+}
+
+// popBatch dequeues up to len(dst) published jobs. Single-consumer only:
+// the owning worker is the sole caller, so the dequeue cursor needs no CAS.
+func (q *ring) popBatch(dst []job) int {
+	pos := q.deq.Load()
+	n := 0
+	for n < len(dst) {
+		s := &q.slots[pos&q.mask]
+		if s.seq.Load() != pos+1 {
+			break // unpublished (or empty): stop at the gap
+		}
+		dst[n] = s.job
+		s.job.frame = nil // drop the buffer reference; ownership moved out
+		s.seq.Store(pos + q.mask + 1)
+		pos++
+		n++
+	}
+	if n > 0 {
+		q.deq.Store(pos)
+	}
+	return n
+}
+
+// empty reports whether the ring holds no entries, claimed-but-unpublished
+// slots included — the conservative direction for both callers: the inline
+// forwarding check must not overtake a frame mid-publish, and the park
+// check treats a claim in progress as work (the producer's wake follows its
+// publish, so the worker cannot sleep through it).
+func (q *ring) empty() bool { return q.enq.Load() == q.deq.Load() }
+
+// pending returns the number of enqueued entries (migration reports).
+func (q *ring) pending() int { return int(q.enq.Load() - q.deq.Load()) }

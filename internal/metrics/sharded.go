@@ -65,8 +65,12 @@ func (c *MeterCell) DropN(n uint64, now time.Duration) {
 // window-differencing samplers need.
 //
 // Cell 0 is conventionally the shared overflow cell for writers without a
-// worker identity (ingress paths, upstream forwarders); it tolerates
-// multiple concurrent writers at atomic-add cost.
+// worker identity (SendChain callers and other ingress paths); it tolerates
+// multiple concurrent writers at atomic-add cost. In the emulator the
+// worker identity is the run-to-completion pool worker: pool worker i
+// writes cell i+1 in every meter it touches — its own element's delivery
+// meter and a successor's queue-drop meter alike — so a meter's cell count
+// follows the pool size, not the element's shard count.
 type ShardedMeter struct {
 	start time.Duration
 	cells []MeterCell

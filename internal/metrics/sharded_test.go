@@ -95,7 +95,7 @@ func TestShardedMeterCellClamp(t *testing.T) {
 // TestShardedMeterConcurrent hammers every cell — including cell 0, the
 // multi-writer overflow cell — from concurrent goroutines and checks no
 // update is lost. Run under -race: this is the hot-path write pattern of
-// the shard workers.
+// the pool workers.
 func TestShardedMeterConcurrent(t *testing.T) {
 	const workers, writes = 8, 1000
 	m := metrics.NewShardedMeter(workers+1, 0)

@@ -11,7 +11,7 @@ import (
 )
 
 // mkBatch builds a burst of contexts from synthetic frames, one private
-// decoder per slot, the way the emulator's shard workers do.
+// decoder per slot, the way the emulator's pool workers do.
 func mkBatch(t *testing.T, synth *traffic.Synth, flows uint64, n, size int) []*nf.Ctx {
 	t.Helper()
 	ctxs := make([]*nf.Ctx, n)

@@ -114,6 +114,12 @@ func LiveCrossingRuntime(p Params, lp LiveParams, tenants []Tenant) (*emul.Runti
 	for i, t := range tenants {
 		chains[i] = t.Chain
 	}
+	// One pool worker per tenant — same tenancy isolation as
+	// LiveMultiRuntime, here so a worker parked in the DMA gate's FIFO
+	// cannot stall a co-resident tenant's rings.
+	if lp.Workers < len(chains) {
+		lp.Workers = len(chains)
+	}
 	return emul.New(emul.Config{
 		Chains:     chains,
 		Catalog:    device.Table1(),

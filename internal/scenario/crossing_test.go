@@ -65,7 +65,7 @@ func TestLiveCrossingStormClosedLoop(t *testing.T) {
 	// threshold while both device demands stay clearly below it, and the
 	// engine's grant is pinned near its 1.0 link-seconds/s budget.
 	var hot bool
-	var peakDMA float64
+	var peakDMA, grantSum, grantWin float64
 	for _, s := range res.Samples {
 		if s.At >= mig.At {
 			break
@@ -82,13 +82,20 @@ func TestLiveCrossingStormClosedLoop(t *testing.T) {
 			if s.CPU.Utilization >= 0.95 {
 				t.Errorf("window %v: CPU demand %.2f during the DMA-hot phase", s.At, s.CPU.Utilization)
 			}
-			if s.DMA.GrantRate > 1.6 {
-				t.Errorf("window %v: engine granted %.2f link-seconds/s; the shared gate should cap near 1.0",
-					s.At, s.DMA.GrantRate)
-			}
+			// Mean over the hot windows, not per window: grant is metered at
+			// burst completion, so a single window swings far above or below
+			// the refill rate by quantization alone (see the multi-tenant
+			// test's grant assertion for the full argument).
+			grantSum += s.DMA.GrantRate * s.Window.Seconds()
+			grantWin += s.Window.Seconds()
 			if s.DMA.ToCPU.Demand <= 0 || s.DMA.ToNIC.Demand <= 0 {
 				t.Errorf("window %v: per-direction DMA demand = %+v, want both sides loaded", s.At, s.DMA)
 			}
+		}
+	}
+	if grantWin > 0 {
+		if mean := grantSum / grantWin; mean > 1.45 {
+			t.Errorf("engine granted %.2f link-seconds/s on average over the hot windows; the shared gate should cap near 1.0", mean)
 		}
 	}
 	if !hot {

@@ -39,6 +39,14 @@ type LiveParams struct {
 	// 8×512 B already occupies the NIC for ~16 ms — larger batches stall
 	// every co-resident element for tens of milliseconds per burst and blur
 	// the 25 ms sampling windows (DESIGN.md §4).
+	//
+	// The multi-tenant runtime builders raise Workers to the tenant count
+	// when it is smaller: the run-to-completion pool assigns a chain's
+	// elements to worker chainIdx%Workers, and a worker that blocks inside
+	// a saturated gate's FIFO carries every ring it owns with it. With one
+	// worker per chain the only cross-tenant coupling is the gate itself —
+	// exactly the physics the collapse assertions are calibrated against
+	// (DESIGN.md §5).
 	BatchSize int
 	Workers   int
 	// QueueDepth bounds each element's input queue (default 128 — shallow

@@ -57,10 +57,21 @@ const (
 	MultiBackgroundGbps = 0.9
 	// MultiCalmGbps is the ramping tenant's pre-overload offered load.
 	MultiCalmGbps = 0.3
-	// MultiOverloadGbps is the ramping tenant's overload offered load:
-	// alone it puts the NIC at ≈0.90 demand (feasible), on top of the
-	// backgrounds' ≈0.44 the summed demand reaches ≈1.3.
-	MultiOverloadGbps = 1.5
+	// MultiOverloadGbps is the ramping tenant's overload offered load.
+	// Raised from 1.5 when the worker pool landed (DESIGN §5, PR-8). The
+	// pool holds exactly one in-flight burst per tenant in the gate FIFO
+	// (one worker per chain), so the squeeze only bites once the ramp is
+	// continuously queued at the gate. At 1.5 the ramp chain alone is
+	// feasible on the NIC (Logger 1.5/2 + Firewall 1.5/10 ≈ 0.90): its
+	// queue builds only through mutual waiting with the backgrounds, the
+	// deep squeeze takes ≳150 ms to establish, and the pre-migration
+	// windows measure the shallow transient. At 1.8 the ramp alone is
+	// infeasible (burst cost ≈49 ms vs ≈45 ms inter-burst gap), its gate
+	// backlog forms from the first overload window, and every FIFO round
+	// the backgrounds wait behind a full ramp burst — the collapse the
+	// e2e asserts. CPU feasibility after the push-aside is preserved:
+	// 1.8 × (1/4 + 1/4) = 0.9 < 0.95.
+	MultiOverloadGbps = 1.8
 	// MultiFrameSize is the background tenants' frame size: small enough to
 	// keep ≥8 frames per 25 ms sampling window at the background rate, so
 	// per-window delivered throughput is smooth enough for the collapse and
@@ -120,6 +131,12 @@ func LiveMultiRuntime(p Params, lp LiveParams, tenants []Tenant) (*emul.Runtime,
 	chains := make([]*chain.Chain, len(tenants))
 	for i, t := range tenants {
 		chains[i] = t.Chain
+	}
+	// One pool worker per tenant, so a worker blocked in a saturated gate's
+	// FIFO stalls only its own chain's rings and the measured squeeze is the
+	// gate's doing alone (see LiveParams.Workers).
+	if lp.Workers < len(chains) {
+		lp.Workers = len(chains)
 	}
 	return emul.New(emul.Config{
 		Chains:     chains,
@@ -366,10 +383,18 @@ func baselinePerTenant(samples []emul.LoadSample, n int, calmEnd time.Duration) 
 	return out
 }
 
-// recoveryWindows bounds how many sampling windows the per-tenant pre/post
-// means average over: enough to smooth CBR quantization at the window
-// boundary, few enough to stay inside one load phase.
+// recoveryWindows bounds how many sampling windows the per-tenant "during
+// the overload" mean averages over: enough to smooth CBR quantization at
+// the window boundary, few enough to stay inside the squeezed phase (the
+// detector fires within a handful of windows, so there are rarely more).
 const recoveryWindows = 4
+
+// recoveredWindows bounds the post-migration mean. Wider than the pre-side
+// window: the recovered steady state lasts hundreds of milliseconds, and a
+// single OS-stall-stretched window near run end (delivery suppressed with
+// no later catch-up window to balance it) must not eat the ±10% recovery
+// bound on its own.
+const recoveredWindows = 8
 
 // recoveryPerTenant extracts each tenant's delivered throughput around the
 // first migration: the mean of the last full windows before it — counting
@@ -420,8 +445,14 @@ func recoveryPerTenant(events []orchestrator.Event, samples []emul.LoadSample, n
 	if len(before) > recoveryWindows {
 		before = before[len(before)-recoveryWindows:]
 	}
-	if len(after) > recoveryWindows {
-		after = after[len(after)-recoveryWindows:]
+	// Drop the run's boundary window: the senders and the poll loop stop
+	// together, so the final sample can cover a partial-traffic (or
+	// stall-stretched) window whose delivered rate is mechanically low.
+	if len(after) > 1 {
+		after = after[:len(after)-1]
+	}
+	if len(after) > recoveredWindows {
+		after = after[len(after)-recoveredWindows:]
 	}
 	for ti := 0; ti < n; ti++ {
 		pre[ti] = mean(before, ti)

@@ -89,14 +89,22 @@ func TestLiveMultiTenantClosedLoop(t *testing.T) {
 	// crossed the threshold in aggregate demand while the shared gate capped
 	// the granted share near the device budget, and the episode's relief
 	// shows in the final windows.
-	var peakDemand, peakGrant, final float64
+	var peakDemand, grantSum, grantWin, final float64
 	for _, s := range res.Samples {
 		if s.At < mig.At {
 			if s.NIC.Utilization > peakDemand {
 				peakDemand = s.NIC.Utilization
 			}
-			if s.NIC.GrantUtilization > peakGrant {
-				peakGrant = s.NIC.GrantUtilization
+			// The grant cap is asserted on the *mean* over the hot windows,
+			// not per window: served/θ is metered at burst completion, and a
+			// single ramp burst carries ≈41 ms of device time — 1.6× one
+			// 25 ms window's whole budget — so any individual window lands
+			// near 0 or near 2 by quantization alone. The mean over the hot
+			// phase is the physical claim: the gate never grants faster than
+			// its refill plus the banked DeviceBurst.
+			if s.NIC.Utilization >= 0.95 {
+				grantSum += s.NIC.GrantUtilization * s.Window.Seconds()
+				grantWin += s.Window.Seconds()
 			}
 		}
 	}
@@ -106,8 +114,10 @@ func TestLiveMultiTenantClosedLoop(t *testing.T) {
 	if peakDemand < 0.95 {
 		t.Errorf("aggregate NIC demand never crossed the threshold before the migration: peak %.2f", peakDemand)
 	}
-	if peakGrant > 1.5 {
-		t.Errorf("NIC granted %.2f device budget pre-migration; the shared gate should cap near 1.0", peakGrant)
+	if grantWin > 0 {
+		if mean := grantSum / grantWin; mean > 1.35 {
+			t.Errorf("NIC granted %.2f device budget on average over the hot pre-migration windows; the shared gate should cap near 1.0", mean)
+		}
 	}
 	if final >= 0.95 {
 		t.Errorf("aggregate NIC demand not relieved: final %.2f", final)
@@ -115,8 +125,11 @@ func TestLiveMultiTenantClosedLoop(t *testing.T) {
 
 	// The collapse must be real and the recovery complete: every background
 	// tenant (all but the ramping last one) delivers ≥20% below its calm
-	// baseline during the overload, then returns to within 10% of it.
-	for ti := 0; ti < len(res.Tenants)-1; ti++ {
+	// baseline during the overload, then returns to within 10% of it. Under
+	// the race detector the per-window delivered meter loses its signal
+	// (see scenario.RaceInstrumented) and these bounds are asserted by the
+	// regular run only.
+	for ti := 0; !scenario.RaceInstrumented && ti < len(res.Tenants)-1; ti++ {
 		base, during, post := res.BaselineGbps[ti], res.PreGbps[ti], res.PostGbps[ti]
 		if base < 0.5*scenario.MultiBackgroundGbps {
 			t.Errorf("tenant %q calm baseline %.2f Gbps, implausibly low", res.Tenants[ti], base)

@@ -1,0 +1,6 @@
+//go:build !race
+
+package scenario
+
+// RaceInstrumented is false in regular builds — see race_on.go.
+const RaceInstrumented = false
