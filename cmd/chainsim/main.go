@@ -81,7 +81,7 @@ func run(chainName string, rate float64, size int, dur time.Duration, process, p
 		Catalog:       cat,
 		NFOverhead:    p.NFOverhead,
 		Link:          pcie.Link{PropDelay: p.PCIeLatency, BandwidthGbps: p.PCIeBandwidthGbps},
-		DMAEngineGbps: float64(p.DMAEngineGbps),
+		DMAEngineGbps: p.DMAEngineGbps.Float(),
 		QueueCapacity: p.QueueCapacity,
 		Seed:          p.Seed,
 		Warmup:        10 * time.Millisecond,

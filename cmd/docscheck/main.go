@@ -16,7 +16,6 @@ package main
 
 import (
 	"fmt"
-	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
@@ -24,6 +23,8 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+
+	"repro/internal/analysis"
 )
 
 // linkRE matches markdown link targets: [text](target). Reference-style
@@ -123,32 +124,16 @@ func checkExamplesIndexed(examplesDir, readme string) []string {
 // provenance entry in DESIGN.md's §5 calibration section: each field name
 // must appear backtick-quoted (`FieldName`) between the "## §5" heading and
 // the next top-level heading. A calibrated default without provenance is
-// how magic numbers rot.
+// how magic numbers rot. The rule's mechanics live in internal/analysis
+// (shared with pamlint's provenance analyzer) so the docs job and the lint
+// job cannot drift apart.
 func checkParamsProvenance(scenarioFile, designFile string) []string {
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, scenarioFile, nil, 0)
 	if err != nil {
 		return []string{fmt.Sprintf("parsing %s: %v", scenarioFile, err)}
 	}
-	var fields []string
-	ast.Inspect(f, func(n ast.Node) bool {
-		ts, ok := n.(*ast.TypeSpec)
-		if !ok || ts.Name.Name != "Params" {
-			return true
-		}
-		st, ok := ts.Type.(*ast.StructType)
-		if !ok {
-			return true
-		}
-		for _, fld := range st.Fields.List {
-			for _, name := range fld.Names {
-				if name.IsExported() {
-					fields = append(fields, name.Name)
-				}
-			}
-		}
-		return false
-	})
+	fields := analysis.ParamsFieldNames(f)
 	if len(fields) == 0 {
 		return []string{fmt.Sprintf("%s: no exported scenario.Params fields found", scenarioFile)}
 	}
@@ -156,23 +141,11 @@ func checkParamsProvenance(scenarioFile, designFile string) []string {
 	if err != nil {
 		return []string{fmt.Sprintf("reading %s: %v", designFile, err)}
 	}
-	section := string(data)
-	if i := strings.Index(section, "## §5"); i >= 0 {
-		section = section[i:]
-		if j := strings.Index(section[5:], "\n## "); j >= 0 {
-			section = section[:5+j]
-		}
-	} else {
+	section, ok := analysis.ProvenanceSection(data)
+	if !ok {
 		return []string{fmt.Sprintf("%s: no \"## §5\" calibration section", designFile)}
 	}
-	var problems []string
-	for _, name := range fields {
-		if !strings.Contains(section, "`"+name+"`") {
-			problems = append(problems, fmt.Sprintf(
-				"%s: scenario.Params field %q has no provenance entry in DESIGN.md §5", designFile, name))
-		}
-	}
-	return problems
+	return analysis.MissingProvenance(section, fields, designFile)
 }
 
 // checkPackageDocs verifies each package directory under root has a

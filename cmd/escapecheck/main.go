@@ -1,0 +1,279 @@
+// escapecheck fails the build when a //pam:hotpath function gains a heap
+// escape. It is the dynamic complement to pamlint's hotpath analyzer: the
+// analyzer rejects constructs that always allocate (make, literals, fmt),
+// while escapecheck asks the compiler's own escape analysis whether any
+// value in a hot-path body was moved to the heap — catching escapes the
+// syntax tree cannot see, like a pointer leaking through an interface.
+//
+// It runs `go build -gcflags=-m` over the requested packages (default
+// ./...) and correlates every "escapes to heap" / "moved to heap"
+// diagnostic against the line spans of //pam:hotpath functions. The build
+// cache replays compiler diagnostics, so repeat runs are cheap. A reasoned
+// per-line escape hatch exists, mirroring pamlint's:
+//
+//	buf := new(ring) //pam:escape-ok one-time prologue allocation
+//
+// Exit status: 0 clean, 1 findings, 2 operational failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: escapecheck [packages]\n\nFails if a //pam:hotpath function has a heap escape per go build -gcflags=-m.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	out, err := buildEscapeOutput(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "escapecheck: %v\n%s", err, out)
+		os.Exit(2)
+	}
+
+	funcs, allowed, err := scanModule(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "escapecheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := correlate(parseEscapes(out), funcs, allowed)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "escapecheck: %d hot-path heap escape(s)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Printf("escapecheck: %d hot-path function(s) allocation-clean\n", len(funcs))
+}
+
+// buildEscapeOutput compiles the patterns with escape-analysis diagnostics
+// on, returning the combined output. Binaries from main packages land in a
+// throwaway directory so the module root stays clean.
+func buildEscapeOutput(patterns []string) (string, error) {
+	tmp, err := os.MkdirTemp("", "escapecheck")
+	if err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(tmp)
+	args := append([]string{"build", "-gcflags=-m", "-o", tmp}, patterns...)
+	out, err := exec.Command("go", args...).CombinedOutput()
+	if err != nil && strings.Contains(string(out), "no main packages") {
+		// -o rejects pattern sets with no main package; without it the
+		// build compiles the packages and writes nothing.
+		args = append([]string{"build", "-gcflags=-m"}, patterns...)
+		out, err = exec.Command("go", args...).CombinedOutput()
+	}
+	return string(out), err
+}
+
+// escape is one compiler escape diagnostic, at a module-root-relative
+// position.
+type escape struct {
+	file      string
+	line, col int
+	msg       string
+}
+
+// parseEscapes extracts the heap-escape diagnostics from -gcflags=-m
+// output, dropping the rest of the compiler's chatter (inlining decisions,
+// "leaking param" notes, "# package" headers).
+func parseEscapes(out string) []escape {
+	var escapes []escape
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		// path.go:line:col: message
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 || !strings.HasSuffix(parts[0], ".go") {
+			continue
+		}
+		ln, err1 := strconv.Atoi(parts[1])
+		col, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		escapes = append(escapes, escape{
+			file: filepath.ToSlash(parts[0]),
+			line: ln,
+			col:  col,
+			msg:  strings.TrimSpace(parts[3]),
+		})
+	}
+	return escapes
+}
+
+// hotFunc is the line span of one //pam:hotpath function.
+type hotFunc struct {
+	name       string
+	file       string
+	start, end int
+}
+
+// skipDirs mirrors the loader's exclusions: fixtures and VCS internals are
+// not part of the checked tree.
+var skipDirs = map[string]bool{".git": true, ".github": true, ".claude": true, "testdata": true, "vendor": true}
+
+// scanModule parses every non-test .go file under root, collecting the
+// spans of //pam:hotpath functions and the lines carrying //pam:escape-ok.
+// Files are keyed by root-relative slash paths, matching the compiler's
+// diagnostic positions when escapecheck runs at the module root.
+func scanModule(root string) ([]hotFunc, map[string]map[int]bool, error) {
+	var funcs []hotFunc
+	allowed := make(map[string]map[int]bool)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDirs[d.Name()] && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		fns, ok := scanFile(fset, filepath.ToSlash(rel), src)
+		funcs = append(funcs, fns...)
+		if len(ok) > 0 {
+			m := allowed[filepath.ToSlash(rel)]
+			if m == nil {
+				m = make(map[int]bool)
+				allowed[filepath.ToSlash(rel)] = m
+			}
+			for _, line := range ok {
+				m[line] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return funcs, allowed, nil
+}
+
+// scanFile extracts one file's hot-path spans and escape-ok lines. Parse
+// errors are reported as a zero result rather than failing the run: a file
+// the compiler accepted but the parser cannot read would have failed the
+// build first.
+func scanFile(fset *token.FileSet, rel string, src []byte) ([]hotFunc, []int) {
+	f, err := parser.ParseFile(fset, rel, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, nil
+	}
+	var funcs []hotFunc
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !analysis.FuncDirective(fd, "hotpath") {
+			continue
+		}
+		funcs = append(funcs, hotFunc{
+			name:  funcName(fd),
+			file:  rel,
+			start: fset.Position(fd.Pos()).Line,
+			end:   fset.Position(fd.End()).Line,
+		})
+	}
+	var okLines []int
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, found := strings.CutPrefix(c.Text, "//pam:escape-ok")
+			if found && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+				okLines = append(okLines, fset.Position(c.Pos()).Line)
+			}
+		}
+	}
+	return funcs, okLines
+}
+
+// funcName renders a FuncDecl as it reads in a diagnostic: method
+// receivers keep their type.
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	var b strings.Builder
+	b.WriteString("(")
+	writeRecvType(&b, fd.Recv.List[0].Type)
+	b.WriteString(").")
+	b.WriteString(fd.Name.Name)
+	return b.String()
+}
+
+func writeRecvType(b *strings.Builder, t ast.Expr) {
+	switch t := t.(type) {
+	case *ast.StarExpr:
+		b.WriteString("*")
+		writeRecvType(b, t.X)
+	case *ast.Ident:
+		b.WriteString(t.Name)
+	case *ast.IndexExpr:
+		writeRecvType(b, t.X)
+	case *ast.IndexListExpr:
+		writeRecvType(b, t.X)
+	default:
+		b.WriteString("?")
+	}
+}
+
+// correlate reports every escape that lands inside a hot-path span and is
+// not excused by an //pam:escape-ok on its line or the line above. Results
+// are position-sorted and deduplicated (the compiler can emit the same
+// diagnostic once per build configuration).
+func correlate(escapes []escape, funcs []hotFunc, allowed map[string]map[int]bool) []string {
+	spans := make(map[string][]hotFunc)
+	for _, fn := range funcs {
+		spans[fn.file] = append(spans[fn.file], fn)
+	}
+	seen := make(map[string]bool)
+	var findings []string
+	for _, e := range escapes {
+		if allowed[e.file][e.line] || allowed[e.file][e.line-1] {
+			continue
+		}
+		for _, fn := range spans[e.file] {
+			if e.line < fn.start || e.line > fn.end {
+				continue
+			}
+			f := fmt.Sprintf("%s:%d:%d: hot path %s: %s", e.file, e.line, e.col, fn.name, e.msg)
+			if !seen[f] {
+				seen[f] = true
+				findings = append(findings, f)
+			}
+			break
+		}
+	}
+	sort.Strings(findings)
+	return findings
+}

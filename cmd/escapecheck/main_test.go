@@ -1,0 +1,112 @@
+package main
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// escapecheck's parse and correlate stages are pure functions over compiler
+// output and source text, so they are tested here without invoking go
+// build — the real -gcflags=-m run happens in scripts/benchsmoke.sh and CI.
+
+const sampleOutput = `# repro/internal/fake
+internal/fake/fake.go:10:6: can inline helper
+internal/fake/fake.go:14:13: inlining call to helper
+internal/fake/fake.go:20:9: make([]byte, n) escapes to heap
+internal/fake/fake.go:25:2: moved to heap: counter
+internal/fake/fake.go:31:10: leaking param: dst to result ~r0 level=0
+internal/fake/fake.go:40:12: &job{} escapes to heap
+other/pkg.go:7:3: composite literal escapes to heap
+not a diagnostic line
+bad:line:numbers: escapes to heap
+`
+
+func TestParseEscapes(t *testing.T) {
+	got := parseEscapes(sampleOutput)
+	want := []escape{
+		{file: "internal/fake/fake.go", line: 20, col: 9, msg: "make([]byte, n) escapes to heap"},
+		{file: "internal/fake/fake.go", line: 25, col: 2, msg: "moved to heap: counter"},
+		{file: "internal/fake/fake.go", line: 40, col: 12, msg: "&job{} escapes to heap"},
+		{file: "other/pkg.go", line: 7, col: 3, msg: "composite literal escapes to heap"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parseEscapes: got %d escapes, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("escape %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+const sampleSource = `package fake
+
+// hot is a checked hot path spanning lines 4-9.
+//
+//pam:hotpath
+func hot(n int) []byte {
+	b := make([]byte, n)
+	return b
+}
+
+// cold allocates freely: not annotated.
+func cold(n int) []byte {
+	return make([]byte, n)
+}
+
+// excused is hot but carries a reasoned allow.
+//
+//pam:hotpath
+func (w *worker) excused(n int) []byte {
+	b := make([]byte, n) //pam:escape-ok prologue: one-time buffer
+	return b
+}
+
+type worker struct{}
+`
+
+func TestScanFileAndCorrelate(t *testing.T) {
+	fset := token.NewFileSet()
+	funcs, okLines := scanFile(fset, "internal/fake/fake.go", []byte(sampleSource))
+
+	if len(funcs) != 2 {
+		t.Fatalf("scanFile: got %d hot funcs, want 2: %+v", len(funcs), funcs)
+	}
+	if funcs[0].name != "hot" || funcs[1].name != "(*worker).excused" {
+		t.Errorf("hot func names: got %q, %q", funcs[0].name, funcs[1].name)
+	}
+	if len(okLines) != 1 || okLines[0] != 20 {
+		t.Errorf("escape-ok lines: got %v, want [20]", okLines)
+	}
+
+	allowed := map[string]map[int]bool{"internal/fake/fake.go": {20: true}}
+	escapes := []escape{
+		// inside hot: flagged
+		{file: "internal/fake/fake.go", line: 7, col: 11, msg: "make([]byte, n) escapes to heap"},
+		// inside cold: not a hot path, silent
+		{file: "internal/fake/fake.go", line: 13, col: 9, msg: "make([]byte, n) escapes to heap"},
+		// inside excused, on the escape-ok line: silent
+		{file: "internal/fake/fake.go", line: 20, col: 11, msg: "make([]byte, n) escapes to heap"},
+		// duplicate of the first (compiler re-emit): deduplicated
+		{file: "internal/fake/fake.go", line: 7, col: 11, msg: "make([]byte, n) escapes to heap"},
+		// different file entirely: silent
+		{file: "other/pkg.go", line: 7, col: 3, msg: "composite literal escapes to heap"},
+	}
+	got := correlate(escapes, funcs, allowed)
+	if len(got) != 1 {
+		t.Fatalf("correlate: got %d findings, want 1: %v", len(got), got)
+	}
+	if !strings.Contains(got[0], "hot path hot:") || !strings.Contains(got[0], "fake.go:7:11") {
+		t.Errorf("finding = %q, want hot-path make escape at fake.go:7:11", got[0])
+	}
+}
+
+func TestCorrelateAllowsLineAbove(t *testing.T) {
+	funcs := []hotFunc{{name: "f", file: "a.go", start: 1, end: 10}}
+	allowed := map[string]map[int]bool{"a.go": {4: true}}
+	escapes := []escape{{file: "a.go", line: 5, col: 1, msg: "moved to heap: x"}}
+	if got := correlate(escapes, funcs, allowed); len(got) != 0 {
+		t.Errorf("escape under a line-above //pam:escape-ok should be silent, got %v", got)
+	}
+}

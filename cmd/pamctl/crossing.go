@@ -36,7 +36,7 @@ func runCrossing(engine string, p scenario.Params) error {
 func crossingDMAUtil(tenants []scenario.Tenant, thr []float64, nic device.Device) float64 {
 	var u float64
 	for i, t := range tenants {
-		u += nic.DMAUtilization(device.Gbps(thr[i]), t.Chain.Crossings())
+		u += nic.DMAUtilization(device.MeasuredGbps(thr[i]), t.Chain.Crossings())
 	}
 	return u
 }
@@ -55,7 +55,7 @@ func crossingModel(p scenario.Params) error {
 	for i, t := range tenants {
 		calm[i] = t.Phases[0].RateGbps
 		hot[i] = t.Phases[len(t.Phases)-1].RateGbps
-		loads[i] = core.Load{Chain: t.Chain, Throughput: device.Gbps(hot[i])}
+		loads[i] = core.Load{Chain: t.Chain, Throughput: device.MeasuredGbps(hot[i])}
 		fmt.Printf("  %-12s %v  (%d crossings/frame, %.2f Gbps calm, %.2f Gbps peak)\n",
 			t.Chain.Name+":", t.Chain, t.Chain.Crossings(), calm[i], hot[i])
 	}

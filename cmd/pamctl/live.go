@@ -41,7 +41,7 @@ func liveDES(p scenario.Params) error {
 		Catalog:       device.Table1(),
 		NFOverhead:    p.NFOverhead,
 		Link:          link,
-		DMAEngineGbps: float64(p.DMAEngineGbps),
+		DMAEngineGbps: p.DMAEngineGbps.Float(),
 		QueueCapacity: p.QueueCapacity,
 		Seed:          p.Seed,
 		SampleEvery:   10 * time.Millisecond,

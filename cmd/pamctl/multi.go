@@ -39,7 +39,7 @@ func aggregateNICUtil(chains []*chain.Chain, thr []float64) (float64, error) {
 	cat := device.Table1()
 	var u float64
 	for i, c := range chains {
-		ui, err := nic.Utilization(cat, c.TypesOn(device.KindSmartNIC), device.Gbps(thr[i]))
+		ui, err := nic.Utilization(cat, c.TypesOn(device.KindSmartNIC), device.MeasuredGbps(thr[i]))
 		if err != nil {
 			return 0, err
 		}
@@ -63,7 +63,7 @@ func multiModel(p scenario.Params) error {
 		chains[i] = t.Chain
 		calm[i] = t.Phases[0].RateGbps
 		hot[i] = t.Phases[len(t.Phases)-1].RateGbps
-		loads[i] = core.Load{Chain: t.Chain, Throughput: device.Gbps(hot[i])}
+		loads[i] = core.Load{Chain: t.Chain, Throughput: device.MeasuredGbps(hot[i])}
 		fmt.Printf("  %-12s %v  (%.1f Gbps calm, %.1f Gbps peak)\n", t.Chain.Name+":", t.Chain, calm[i], hot[i])
 	}
 

@@ -1,0 +1,68 @@
+// Command pamlint is the repo's invariant multichecker: it loads the whole
+// module (or the package patterns given as arguments), runs every analyzer
+// in internal/analysis — hotpath, atomicfield, unitcheck, provenance — and
+// exits non-zero when any invariant of the lock-free dataplane is violated.
+// CI runs it in the lint job; run it locally with `go run ./cmd/pamlint
+// ./...`. See DESIGN.md §6 for what each analyzer enforces and the
+// annotation vocabulary (//pam:hotpath, //pam:slowpath, //pam:unit, ...)
+// the checks are driven by.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pamlint [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the repo's invariant analyzers over the module (default ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	prog, err := analysis.LoadModule(".", flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pamlint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(prog, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pamlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", rel(pos.String()), d.Analyzer.Name, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pamlint: %d problem(s)\n", len(diags))
+		os.Exit(1)
+	}
+	fmt.Printf("pamlint: %d package(s) clean\n", len(prog.Packages))
+}
+
+// rel trims the current working directory prefix from a position string so
+// diagnostics print repo-relative paths.
+func rel(pos string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return pos
+	}
+	if len(pos) > len(wd)+1 && pos[:len(wd)] == wd {
+		return pos[len(wd)+1:]
+	}
+	return pos
+}

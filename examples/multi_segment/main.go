@@ -47,7 +47,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  after: crossings=%d NIC=%.2f CPU=%.2f maxThroughput=%.2f Gbps\n",
-			a.Crossings, a.NICUtil, a.CPUUtil, float64(a.MaxThroughput))
+			a.Crossings, a.NICUtil, a.CPUUtil, a.MaxThroughput.Float())
 	}
 
 	// Beyond the paper: several chains share one SmartNIC, so utilizations

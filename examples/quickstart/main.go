@@ -51,5 +51,5 @@ func main() {
 	fmt.Printf("\nPAM keeps %d crossings (naive: %d) and raises the chain's "+
 		"max throughput from %.2f to %.2f Gbps.\n",
 		plan.After.Crossings, naive.After.Crossings,
-		float64(plan.Before.MaxThroughput), float64(plan.After.MaxThroughput))
+		plan.Before.MaxThroughput.Float(), plan.After.MaxThroughput.Float())
 }

@@ -1,0 +1,95 @@
+package analysis
+
+// Directive scanning: the analyzers are driven by //pam:... comments (see
+// the package doc for the full list). A function-level directive lives in
+// the declaration's doc comment; a line-level directive is a trailing or
+// own-line comment on the statement it exempts.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directive parses one comment line into a pam: directive name and its
+// argument remainder ("" when none). Not a directive → ok=false.
+func directive(text string) (name, arg string, ok bool) {
+	t := strings.TrimPrefix(text, "//")
+	if !strings.HasPrefix(t, "pam:") {
+		return "", "", false
+	}
+	t = strings.TrimPrefix(t, "pam:")
+	if i := strings.IndexAny(t, " \t"); i >= 0 {
+		return t[:i], strings.TrimSpace(t[i+1:]), true
+	}
+	return t, "", true
+}
+
+// docDirective reports whether the doc comment group carries the named
+// pam: directive, returning its argument.
+func docDirective(doc *ast.CommentGroup, name string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if n, arg, ok := directive(c.Text); ok && n == name {
+			return arg, true
+		}
+	}
+	return "", false
+}
+
+// FuncDirective reports whether the function declaration is annotated with
+// the named pam: directive (in its doc comment).
+func FuncDirective(fd *ast.FuncDecl, name string) bool {
+	_, ok := docDirective(fd.Doc, name)
+	return ok
+}
+
+// lineDirectiveTable builds the package's file→line→directive-names map
+// once. Every comment in every file is considered, so both trailing
+// comments (`x() //pam:slowpath-ok park`) and own-line comments directly
+// above a statement count for the line they sit on.
+func (pkg *Package) lineDirectiveTable(fset *token.FileSet) map[string]map[int][]string {
+	pkg.dirOnce.Do(func() {
+		pkg.lineDirectives = make(map[string]map[int][]string)
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					n, _, ok := directive(c.Text)
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					m := pkg.lineDirectives[pos.Filename]
+					if m == nil {
+						m = make(map[int][]string)
+						pkg.lineDirectives[pos.Filename] = m
+					}
+					m[pos.Line] = append(m[pos.Line], n)
+				}
+			}
+		}
+	})
+	return pkg.lineDirectives
+}
+
+// LineAllowed reports whether the source line holding pos (in pkg) carries
+// the named pam: directive — the per-line escape hatch mechanism. A
+// directive on the line directly above the statement also counts, so multi
+// line constructs can be annotated without trailing comments.
+func (pkg *Package) LineAllowed(fset *token.FileSet, pos token.Pos, name string) bool {
+	p := fset.Position(pos)
+	m := pkg.lineDirectiveTable(fset)[p.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, n := range m[line] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package analysis
+
+// The atomicfield analyzer: a struct field accessed through sync/atomic
+// anywhere in the program must be accessed atomically everywhere. The
+// classic bug this catches is the Dekker-style sleeping flag or a gate
+// balance counter read with a plain load in one place and atomic ops
+// elsewhere — the racy mix -race only reports when the interleaving
+// actually fires, and the compiler never does.
+//
+// Mechanically: a whole-program pass collects every field whose address is
+// passed to a sync/atomic function (atomic.LoadInt64(&s.f), AddUint64,
+// CompareAndSwap...); a second pass flags every other mention of those
+// fields — a plain read, a plain write, a ++ — that is not itself the
+// address argument of an atomic call. Fields declared with the atomic
+// wrapper types (atomic.Int64, atomic.Bool, ...) cannot be accessed
+// non-atomically except by copying the struct (which go vet's copylocks
+// already rejects), so they need no checking here; the analyzer exists for
+// the classic &field form.
+//
+// A line annotated //pam:nonatomic-ok <reason> is exempt — the documented
+// escape for single-threaded phases like initialization before the
+// goroutines that share the field exist.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField is the mixed atomic/plain access analyzer.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  runAtomicField,
+}
+
+// atomicFacts is the whole-program index the analyzer computes once.
+type atomicFacts struct {
+	// fields is the set of struct fields that appear as &x.f arguments to
+	// sync/atomic calls anywhere in the program.
+	fields map[*types.Var]bool
+	// atomicUses is the set of SelectorExpr positions that ARE the &x.f of
+	// an atomic call — the allowed mentions.
+	atomicUses map[token.Pos]bool
+}
+
+func runAtomicField(pass *Pass) error {
+	facts := pass.Prog.Fact("atomicfield", func() any {
+		return collectAtomicFacts(pass.Prog)
+	}).(*atomicFacts)
+
+	info := pass.Pkg.TypesInfo
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := info.Selections[se]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			fld, ok := sel.Obj().(*types.Var)
+			if !ok || !facts.fields[fld] {
+				return true
+			}
+			if facts.atomicUses[se.Pos()] {
+				return true
+			}
+			if pass.Pkg.LineAllowed(pass.Prog.Fset, se.Pos(), "nonatomic-ok") {
+				return true
+			}
+			pass.Reportf(se.Pos(), "non-atomic access to field %s.%s, which is accessed atomically elsewhere",
+				fieldOwner(fld), fld.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// collectAtomicFacts scans every loaded package for &x.f arguments to
+// sync/atomic functions.
+func collectAtomicFacts(prog *Program) *atomicFacts {
+	facts := &atomicFacts{
+		fields:     make(map[*types.Var]bool),
+		atomicUses: make(map[token.Pos]bool),
+	}
+	for _, pkg := range prog.Packages {
+		info := pkg.TypesInfo
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || ue.Op != token.AND {
+						continue
+					}
+					se, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					sel, ok := info.Selections[se]
+					if !ok || sel.Kind() != types.FieldVal {
+						continue
+					}
+					if fld, ok := sel.Obj().(*types.Var); ok {
+						facts.fields[fld] = true
+						facts.atomicUses[se.Pos()] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return facts
+}
+
+// fieldOwner names the struct type declaring the field, best-effort.
+func fieldOwner(fld *types.Var) string {
+	if fld.Pkg() != nil {
+		// The field's parent scope does not name the struct; report the
+		// package-qualified field for unambiguous grepping.
+		return fld.Pkg().Name()
+	}
+	return "?"
+}

@@ -1,0 +1,48 @@
+// Golden-fixture tests for the four pamlint analyzers, plus a whole-tree
+// run asserting the real codebase is clean — the same invariant CI's lint
+// job enforces, kept under tier-1 so a violation fails `go test ./...`
+// even where the lint job doesn't run.
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestHotPathFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/hotpath", "testdata/hotpath", analysis.HotPath)
+}
+
+func TestAtomicFieldFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/atomicfield", "testdata/atomicfield", analysis.AtomicField)
+}
+
+func TestUnitCheckFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/unitcheck", "testdata/unitcheck", analysis.UnitCheck)
+}
+
+func TestProvenanceFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/provenance", "testdata/provenance", analysis.Provenance)
+}
+
+// TestTreeClean runs every analyzer over the whole module, as `pamlint
+// ./...` does. Loading the module through the source importer takes a few
+// seconds, so -short skips it.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis is slow; skipped under -short")
+	}
+	prog, err := analysis.LoadModule("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	ds, err := analysis.Run(prog, analysis.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	if len(ds) > 0 {
+		t.Errorf("tree is not pamlint-clean:\n%s", analysistest.Diagnostics(prog, ds))
+	}
+}

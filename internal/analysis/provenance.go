@@ -1,0 +1,132 @@
+package analysis
+
+// The provenance analyzer: every exported field of scenario.Params — the
+// calibrated knobs every live scenario runs on — must have a provenance
+// entry in DESIGN.md §5, i.e. appear backtick-quoted in the calibration
+// section. A calibrated default without provenance is how magic numbers
+// rot: PRs 4, 5 and 8 each re-derived scenario constants from the shared
+// gates' physics, and the §5 table is where those derivations live.
+//
+// The rule predates this analyzer (cmd/docscheck has enforced it since PR
+// 4); the mechanics now live here, shared by both binaries, so the docs job
+// and the lint job cannot drift apart. The analyzer fires on any package
+// named "scenario" declaring a struct type Params, and reads DESIGN.md from
+// the module root.
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Provenance is the DESIGN §5 scenario-knob provenance analyzer.
+var Provenance = &Analyzer{
+	Name: "provenance",
+	Doc:  "every exported scenario.Params field needs a DESIGN.md §5 provenance entry",
+	Run:  runProvenance,
+}
+
+func runProvenance(pass *Pass) error {
+	if pass.Pkg.Types.Name() != "scenario" {
+		return nil
+	}
+	var params *ast.StructType
+	var fields []*ast.Ident
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != "Params" {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			params = st
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					if name.IsExported() {
+						fields = append(fields, name)
+					}
+				}
+			}
+			return false
+		})
+	}
+	if params == nil {
+		return nil
+	}
+	design, err := os.ReadFile(filepath.Join(pass.Prog.ModuleDir, "DESIGN.md"))
+	if err != nil {
+		pass.Reportf(params.Pos(), "scenario.Params declared but DESIGN.md is unreadable: %v", err)
+		return nil
+	}
+	section, ok := ProvenanceSection(design)
+	if !ok {
+		pass.Reportf(params.Pos(), "DESIGN.md has no \"## §5\" calibration section for scenario.Params provenance")
+		return nil
+	}
+	for _, name := range fields {
+		if !strings.Contains(section, "`"+name.Name+"`") {
+			pass.Reportf(name.Pos(), "scenario.Params field %q has no provenance entry in DESIGN.md §5", name.Name)
+		}
+	}
+	return nil
+}
+
+// ProvenanceSection extracts DESIGN.md's §5 calibration section: from the
+// "## §5" heading to the next top-level heading. Shared with cmd/docscheck
+// so the provenance rule lives in exactly one place.
+func ProvenanceSection(design []byte) (string, bool) {
+	section := string(design)
+	i := strings.Index(section, "## §5")
+	if i < 0 {
+		return "", false
+	}
+	section = section[i:]
+	if j := strings.Index(section[5:], "\n## "); j >= 0 {
+		section = section[:5+j]
+	}
+	return section, true
+}
+
+// ParamsFieldNames returns the exported field names of a struct type named
+// Params declared in the file, for parser-only callers like docscheck.
+func ParamsFieldNames(f *ast.File) []string {
+	var fields []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok || ts.Name.Name != "Params" {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, fld := range st.Fields.List {
+			for _, name := range fld.Names {
+				if name.IsExported() {
+					fields = append(fields, name.Name)
+				}
+			}
+		}
+		return false
+	})
+	return fields
+}
+
+// MissingProvenance returns one problem string per field with no
+// backtick-quoted mention in the §5 section — the docscheck-facing form of
+// the provenance rule.
+func MissingProvenance(section string, fields []string, designFile string) []string {
+	var problems []string
+	for _, name := range fields {
+		if !strings.Contains(section, "`"+name+"`") {
+			problems = append(problems, fmt.Sprintf(
+				"%s: scenario.Params field %q has no provenance entry in DESIGN.md §5", designFile, name))
+		}
+	}
+	return problems
+}

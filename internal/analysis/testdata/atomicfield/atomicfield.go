@@ -1,0 +1,49 @@
+// The atomicfield analyzer's golden fixture: a field accessed through
+// sync/atomic in one function and with plain loads, stores and increments
+// elsewhere — the racy mix the analyzer exists to reject — plus the
+// //pam:nonatomic-ok escape and fields that must stay silent.
+package fixture
+
+import "sync/atomic"
+
+type meters struct {
+	served  uint64 // mixed: atomic adds and plain reads — the seeded bug
+	dropped uint64 // atomic-only: never flagged
+	label   int    // plain-only: never flagged
+}
+
+// record is the atomic side of the mix: it establishes both fields as
+// atomically-accessed.
+func record(m *meters) {
+	atomic.AddUint64(&m.served, 1)
+	atomic.AddUint64(&m.dropped, 1)
+}
+
+// snapshot reads served with a plain load — the classic torn read on
+// 32-bit platforms and a -race finding only when the interleaving fires.
+func snapshot(m *meters) uint64 {
+	return m.served // want `non-atomic access to field fixture.served`
+}
+
+// bump increments served without the atomic RMW, losing concurrent adds.
+func bump(m *meters) {
+	m.served++ // want `non-atomic access to field fixture.served`
+}
+
+// atomicReader stays on the atomic API: silent.
+func atomicReader(m *meters) uint64 {
+	return atomic.LoadUint64(&m.dropped)
+}
+
+// plainReader touches only the never-atomic field: silent.
+func plainReader(m *meters) int {
+	return m.label
+}
+
+// initAllowed is the documented escape: single-threaded initialization
+// before the goroutines that share the field exist.
+func initAllowed() *meters {
+	m := &meters{}
+	m.served = 0 //pam:nonatomic-ok constructor runs before any sharing
+	return m
+}

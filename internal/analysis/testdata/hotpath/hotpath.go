@@ -1,0 +1,179 @@
+// The hotpath analyzer's golden fixture: one seeded violation per rule,
+// plus the escapes (//pam:slowpath boundary, //pam:slowpath-ok line) that
+// must stay silent.
+package fixture
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+type counterState struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	wg    sync.WaitGroup
+	count int
+	ch    chan int
+}
+
+// clockRead reads the wall clock on a hot path.
+//
+//pam:hotpath
+func clockRead() time.Time {
+	return time.Now() // want `calls time.Now \(wall-clock read\)`
+}
+
+// monotonicRead uses the blessed clock idiom: time.Since against an anchor.
+//
+//pam:hotpath
+func monotonicRead(epoch time.Time) time.Duration {
+	return time.Since(epoch) // allowed: monotonic read, no allocation
+}
+
+// locker takes a mutex on a hot path.
+//
+//pam:hotpath
+func locker(s *counterState) {
+	s.mu.Lock() // want `calls \(\*sync.Mutex\).Lock \(mutex acquisition\)`
+	s.count++
+	s.mu.Unlock() // Unlock is allowed: release never blocks
+}
+
+// condWaiter parks on a condition variable.
+//
+//pam:hotpath
+func condWaiter(s *counterState) {
+	s.cond.Wait() // want `calls \(\*sync.Cond\).Wait \(condition wait\)`
+}
+
+// wgWaiter blocks on a WaitGroup (Add and Done are fine).
+//
+//pam:hotpath
+func wgWaiter(s *counterState) {
+	s.wg.Add(1)
+	s.wg.Done()
+	s.wg.Wait() // want `calls \(\*sync.WaitGroup\).Wait \(waitgroup wait\)`
+}
+
+// sender performs a bare, blocking channel send.
+//
+//pam:hotpath
+func sender(s *counterState) {
+	s.ch <- 1 // want `blocking channel send`
+}
+
+// receiver performs a bare, blocking channel receive.
+//
+//pam:hotpath
+func receiver(s *counterState) int {
+	return <-s.ch // want `blocking channel receive`
+}
+
+// blockingSelect selects with no default clause.
+//
+//pam:hotpath
+func blockingSelect(s *counterState) {
+	select { // want `blocking select`
+	case <-s.ch:
+	}
+}
+
+// nonblockingSelect is the Dekker-style park/wake signal idiom: a select
+// with a default never blocks and must pass.
+//
+//pam:hotpath
+func nonblockingSelect(s *counterState) {
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+// allocator hits the heap three ways.
+//
+//pam:hotpath
+func allocator(n int) []int {
+	m := map[int]int{} // want `allocates: map literal`
+	_ = m
+	_ = make([]byte, n) // want `allocates: make`
+	return []int{n}     // want `allocates: slice literal`
+}
+
+// formatter calls into fmt.
+//
+//pam:hotpath
+func formatter(n int) string {
+	return fmt.Sprint(n) // want `calls fmt.Sprint \(formatting allocates\)`
+}
+
+// stringConcat builds a string at runtime.
+//
+//pam:hotpath
+func stringConcat(a, b string) string {
+	return a + b // want `allocates: string concatenation`
+}
+
+// byteConv converts between string and []byte.
+//
+//pam:hotpath
+func byteConv(s string) []byte {
+	return []byte(s) // want `allocates: string/\[\]byte conversion`
+}
+
+// spawner launches a goroutine.
+//
+//pam:hotpath
+func spawner() {
+	go func() {}() // want `spawns goroutine` `allocates: func literal`
+}
+
+// transitive violates only through a helper two frames down; the
+// diagnostic lands at the violation with the call chain in the message.
+//
+//pam:hotpath
+func transitive(s *counterState) {
+	indirect(s)
+}
+
+func indirect(s *counterState) {
+	deepest(s)
+}
+
+func deepest(s *counterState) {
+	time.Sleep(time.Millisecond) // want `calls time.Sleep \(sleeps\) \(via indirect → deepest\)`
+}
+
+// guarded calls into an annotated slow-path entry: allowed, not descended.
+//
+//pam:hotpath
+func guarded(s *counterState) {
+	slowEntry(s)
+}
+
+// slowEntry is a deliberate slow-path boundary; its body may block.
+//
+//pam:slowpath
+func slowEntry(s *counterState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+}
+
+// excused carries a reasoned line-level allow.
+//
+//pam:hotpath
+func excused(s *counterState) {
+	s.mu.Lock() //pam:slowpath-ok fixture: deliberate exception
+	s.mu.Unlock()
+}
+
+// clean is a compliant hot path: atomics-free arithmetic, struct literal,
+// append into caller-provided storage.
+//
+//pam:hotpath
+func clean(dst []int, n int) []int {
+	type pair struct{ a, b int }
+	p := pair{a: n, b: n * 2}
+	return append(dst, p.a+p.b)
+}

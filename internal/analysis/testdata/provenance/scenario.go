@@ -1,0 +1,14 @@
+// The provenance analyzer's golden fixture: a scenario.Params struct whose
+// fields must each appear backtick-quoted in the sibling DESIGN.md's §5
+// calibration section. OfferedGbps is documented there; MysteryKnob is the
+// seeded violation.
+package scenario
+
+// Params is the fixture's calibrated knob set.
+type Params struct {
+	OfferedGbps float64
+	MysteryKnob float64 // want `field "MysteryKnob" has no provenance entry in DESIGN.md §5`
+	internal    int     // unexported: exempt from provenance
+}
+
+var _ = Params{}.internal

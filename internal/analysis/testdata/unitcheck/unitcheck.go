@@ -1,0 +1,57 @@
+// The unitcheck analyzer's golden fixture: two unit domains, the three
+// rejected conversion shapes (cross-domain, strip, launder), the blessed
+// escapes (//pam:unitconv helpers, //pam:unitconv-ok lines), and constant
+// conversions that must stay silent.
+package fixture
+
+// Gbps expresses catalog throughput.
+//
+//pam:unit gbps
+type Gbps float64
+
+// DevSeconds expresses normalized device time.
+//
+//pam:unit device-seconds
+type DevSeconds float64
+
+// MeasuredGbps is the blessed float64 → Gbps entry point.
+//
+//pam:unitconv
+func MeasuredGbps(v float64) Gbps { return Gbps(v) }
+
+// costOf is the blessed Gbps → DevSeconds conversion helper.
+//
+//pam:unitconv
+func costOf(bytes int, g Gbps) DevSeconds {
+	return DevSeconds(float64(bytes) * 8 / (float64(g) * 1e9))
+}
+
+// crossDomain casts one unit domain straight into another.
+func crossDomain(g Gbps) DevSeconds {
+	return DevSeconds(g) // want `cross-domain unit conversion gbps → device-seconds`
+}
+
+// strip erases the unit with a bare numeric conversion.
+func strip(g Gbps) float64 {
+	return float64(g) // want `conversion strips unit domain gbps`
+}
+
+// launder casts a raw measurement into a domain without the helper.
+func launder(v float64) Gbps {
+	return Gbps(v) // want `raw value cast into unit domain gbps`
+}
+
+// constants are born in-domain: a constant conversion is silent.
+func constants() Gbps {
+	return Gbps(9.5)
+}
+
+// viaHelpers routes every mix through the blessed helpers: silent.
+func viaHelpers(bytes int, raw float64) DevSeconds {
+	return costOf(bytes, MeasuredGbps(raw))
+}
+
+// excused carries a reasoned line-level allow.
+func excused(g Gbps) float64 {
+	return float64(g) //pam:unitconv-ok fixture: deliberate exception
+}

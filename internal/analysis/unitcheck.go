@@ -1,0 +1,172 @@
+package analysis
+
+// The unitcheck analyzer: quantities in different unit domains may only mix
+// through the named conversion helpers. The dataplane juggles catalog Gbps,
+// bytes per second, normalized device-seconds, link-seconds and their int64
+// nano-unit fixed points; Go's type system keeps *named* types apart inside
+// expressions but lets any explicit conversion erase the distinction — the
+// class of bug behind PR 4's token-balance clamp, where a balance in one
+// unit regime was carried into another.
+//
+// A named type annotated
+//
+//	//pam:unit <domain>
+//	type Gbps float64
+//
+// declares its values to carry that domain. Outside functions annotated
+// //pam:unitconv (the named conversion helpers), three conversions are
+// rejected:
+//
+//   - unit type → unit type of a different domain (cross-domain cast),
+//   - unit type → plain numeric (stripping the unit),
+//   - plain non-constant numeric → unit type (laundering a raw number into
+//     a domain).
+//
+// Constant conversions (Gbps(2.0) in a config literal) pass: literals are
+// how domain values are born. A line annotated //pam:unitconv-ok <reason>
+// exempts a single conversion.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UnitCheck is the unit-domain conversion analyzer.
+var UnitCheck = &Analyzer{
+	Name: "unitcheck",
+	Doc:  "//pam:unit domains may only mix through //pam:unitconv helpers",
+	Run:  runUnitCheck,
+}
+
+// unitFacts maps named types to their declared unit domain.
+type unitFacts struct {
+	domains map[*types.TypeName]string
+}
+
+func runUnitCheck(pass *Pass) error {
+	facts := pass.Prog.Fact("unitcheck", func() any {
+		return collectUnitFacts(pass.Prog)
+	}).(*unitFacts)
+	if len(facts.domains) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if FuncDirective(d, "unitconv") || d.Body == nil {
+					continue
+				}
+				checkUnitConversions(pass, facts, d.Body)
+			case *ast.GenDecl:
+				checkUnitConversions(pass, facts, d)
+			}
+		}
+	}
+	return nil
+}
+
+// collectUnitFacts scans every loaded package for //pam:unit type
+// declarations. The directive may sit on the TypeSpec or on its GenDecl.
+func collectUnitFacts(prog *Program) *unitFacts {
+	facts := &unitFacts{domains: make(map[*types.TypeName]string)}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				declArg, declOK := docDirective(gd.Doc, "unit")
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					arg, ok := docDirective(ts.Doc, "unit")
+					if !ok {
+						arg, ok = declArg, declOK
+					}
+					if !ok || arg == "" {
+						continue
+					}
+					if tn, isTN := pkg.TypesInfo.Defs[ts.Name].(*types.TypeName); isTN {
+						facts.domains[tn] = arg
+					}
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// domainOf resolves the unit domain a type carries, following named-type
+// chains ("type devSec seconds" inherits seconds' domain unless annotated
+// itself).
+func domainOf(facts *unitFacts, t types.Type) (string, bool) {
+	for {
+		named, ok := t.(*types.Named)
+		if !ok {
+			return "", false
+		}
+		if d, ok := facts.domains[named.Obj()]; ok {
+			return d, true
+		}
+		u := named.Underlying()
+		if u == t {
+			return "", false
+		}
+		t = u
+	}
+}
+
+// checkUnitConversions flags cross-domain and domain-stripping conversions
+// in one declaration body.
+func checkUnitConversions(pass *Pass, facts *unitFacts, root ast.Node) {
+	info := pass.Pkg.TypesInfo
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		arg := call.Args[0]
+		if av, ok := info.Types[arg]; ok && av.Value != nil {
+			return true // constant conversion: literals are born in-domain
+		}
+		to, from := tv.Type, info.TypeOf(arg)
+		if to == nil || from == nil {
+			return true
+		}
+		toDom, toUnit := domainOf(facts, to)
+		fromDom, fromUnit := domainOf(facts, from)
+		if !toUnit && !fromUnit {
+			return true
+		}
+		if pass.Pkg.LineAllowed(pass.Prog.Fset, call.Pos(), "unitconv-ok") {
+			return true
+		}
+		switch {
+		case toUnit && fromUnit && toDom != fromDom:
+			pass.Reportf(call.Pos(),
+				"cross-domain unit conversion %s → %s outside a //pam:unitconv helper",
+				fromDom, toDom)
+		case !toUnit && fromUnit && isNumeric(to):
+			pass.Reportf(call.Pos(),
+				"conversion strips unit domain %s outside a //pam:unitconv helper", fromDom)
+		case toUnit && !fromUnit && isNumeric(from):
+			pass.Reportf(call.Pos(),
+				"raw value cast into unit domain %s outside a //pam:unitconv helper", toDom)
+		}
+		return true
+	})
+}
+
+func isNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}

@@ -308,7 +308,7 @@ func (j *journey) segmentCost(start, end int) (service, overhead time.Duration) 
 			// Validated at SetPlacement; cannot happen mid-run.
 			continue
 		}
-		service += gbpsService(j.size, float64(g))
+		service += gbpsService(j.size, g.Float())
 		overhead += s.cfg.NFOverhead
 	}
 	return service, overhead

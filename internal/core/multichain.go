@@ -287,7 +287,7 @@ func (m MultiPAM) Select(v MultiView) (MultiPlan, error) {
 				excluded[fmt.Sprintf("%d/%s", cd.chainIdx, e.Name)] = true
 				continue
 			}
-			cpuU += float64(v.Loads[cd.chainIdx].Throughput) / float64(g)
+			cpuU += v.Loads[cd.chainIdx].Throughput.Float() / g.Float()
 			if cpuU >= 1 {
 				excluded[fmt.Sprintf("%d/%s", cd.chainIdx, e.Name)] = true
 				continue

@@ -48,8 +48,29 @@ func (k Kind) String() string {
 	}
 }
 
-// Gbps expresses throughput in gigabits per second.
+// Gbps expresses throughput in gigabits per second. The //pam:unit
+// directive registers it as a unit domain with cmd/pamlint's unitcheck
+// analyzer: converting it to or from plain numerics anywhere outside a
+// //pam:unitconv helper (MeasuredGbps, Float, the utilization math below)
+// is rejected, so a raw measurement or a bytes/s quantity cannot be
+// laundered into catalog units by a bare cast.
+//
+//pam:unit gbps
 type Gbps float64
+
+// MeasuredGbps types a raw throughput measurement — a meter reading, a
+// smoothed control-loop estimate — as catalog Gbps. It is the one blessed
+// entry point from plain float64 into the Gbps domain; every other
+// non-constant cast is a unitcheck violation.
+//
+//pam:unitconv
+func MeasuredGbps(v float64) Gbps { return Gbps(v) }
+
+// Float strips the Gbps unit for display, serialization and config structs
+// that carry plain numerics — the blessed exit from the domain.
+//
+//pam:unitconv
+func (g Gbps) Float() float64 { return float64(g) }
 
 // Capacity is the per-device throughput capacity of one vNF type (Table 1's
 // θS and θC, plus an FPGA column for the future-work profile). A zero value
@@ -157,6 +178,8 @@ type Device struct {
 
 // Utilization computes Σ θcur/θd_i for the resident vNF types (with
 // multiplicity). It returns an error for unknown types.
+//
+//pam:unitconv
 func (d Device) Utilization(cat Catalog, residents []string, cur Gbps) (float64, error) {
 	var u float64
 	for _, t := range residents {
@@ -172,6 +195,8 @@ func (d Device) Utilization(cat Catalog, residents []string, cur Gbps) (float64,
 // DMAUtilization computes the DMA-engine utilization at chain throughput cur
 // with the given number of PCIe crossings. It returns 0 when the device does
 // not model DMA engines.
+//
+//pam:unitconv
 func (d Device) DMAUtilization(cur Gbps, crossings int) float64 {
 	if d.DMAEngineGbps <= 0 || crossings <= 0 {
 		return 0
@@ -183,6 +208,8 @@ func (d Device) DMAUtilization(cur Gbps, crossings int) float64 {
 // the device's vNF budget: the θ at which utilization reaches 1.0. Residents
 // with Unbounded capacity contribute negligibly. It returns +Inf for an
 // empty device.
+//
+//pam:unitconv
 func (d Device) Saturation(cat Catalog, residents []string) (Gbps, error) {
 	var perGbit float64 // utilization per Gbps of chain throughput
 	for _, t := range residents {
@@ -200,6 +227,8 @@ func (d Device) Saturation(cat Catalog, residents []string) (Gbps, error) {
 
 // DMASaturation returns the chain throughput at which the DMA engines
 // saturate given the crossing count, or +Inf when unmodelled.
+//
+//pam:unitconv
 func (d Device) DMASaturation(crossings int) Gbps {
 	if d.DMAEngineGbps <= 0 || crossings <= 0 {
 		return Gbps(math.Inf(1))

@@ -139,6 +139,8 @@ func (g *gate) loadRate() float64 { return math.Float64frombits(g.rateB.Load()) 
 // balance to the new burst (bugfix 2) and wake waiters blocked on a zero
 // rate or sleeping against the old one (a rate raised mid-wait takes effect
 // within maxGateSleep).
+//
+//pam:slowpath
 func (g *gate) setRate(rate, burst float64) {
 	g.mu.Lock()
 	g.rateB.Store(math.Float64bits(rate))
@@ -176,6 +178,8 @@ const maxGateSleep = 5 * time.Millisecond
 // one winner per elapsed interval, so concurrent refills cannot credit the
 // same nanoseconds twice (no minting); the balance CAS loop tolerates
 // concurrent grants and lease returns.
+//
+//pam:hotpath
 func (g *gate) refill() {
 	now := gateNanos()
 	last := g.lastAcc.Load()
@@ -206,6 +210,8 @@ func (g *gate) refill() {
 }
 
 // casTake debits need nano-units iff the balance covers them.
+//
+//pam:hotpath
 func (g *gate) casTake(need int64) bool {
 	for {
 		b := g.balance.Load()
@@ -224,6 +230,8 @@ func (g *gate) casTake(need int64) bool {
 // (zero-rate parking lives on the slow path). The clock is read only when
 // the banked balance has run dry — the steady-state grant is balance check,
 // CAS, grant counter: three uncontended atomics.
+//
+//pam:hotpath
 func (g *gate) tryTake(need int64) bool {
 	if g.waiters.Load() != 0 || g.loadRate() <= 0 {
 		return false
@@ -253,6 +261,8 @@ func (g *gate) take(n float64) {
 }
 
 // takeNanos is take in the fixed-point form the lease machinery uses.
+//
+//pam:hotpath
 func (g *gate) takeNanos(need int64) {
 	if need <= 0 {
 		return
@@ -273,6 +283,8 @@ func (g *gate) takeNanos(need int64) {
 // population. A stale token on the node's channel (a setRate nudge that
 // raced a grant, say) at worst causes one spurious loop iteration and is
 // drained before the node returns to the pool.
+//
+//pam:slowpath
 func (g *gate) slowTake(need int64) {
 	w := waiterPool.Get().(*gateWaiter)
 	g.mu.Lock()
@@ -340,6 +352,8 @@ func (g *gate) slowTake(need int64) {
 // is returned, an exact account of budget actually consumed. Lock-free; a
 // FIFO waiter sleeping against an empty bucket re-checks the balance within
 // maxGateSleep.
+//
+//pam:hotpath
 func (g *gate) returnNanos(n int64) {
 	if n <= 0 {
 		return
@@ -417,6 +431,8 @@ func (dg *deviceGate) resident() int { return int(dg.residents.Load()) }
 // are minted either way.
 //
 // extra is the lease actually drawn (0 when only the burst itself fit).
+//
+//pam:hotpath
 func (dg *deviceGate) drawLease(need int64) (extra int64, ok bool) {
 	res := int64(dg.residents.Load())
 	if res < 1 {

@@ -183,9 +183,9 @@ func TestCloseReleasesParkedWorker(t *testing.T) {
 	// Simulate the pre-placement state: the worker that picks these frames
 	// up must park on the rate condition.
 	el := r.chains[0].elems[0]
-	el.rateMu.Lock()
-	el.rateBps = 0
-	el.rateMu.Unlock()
+	zeroed := *el.placed.Load()
+	zeroed.bps = 0
+	el.placed.Store(&zeroed)
 
 	synth := traffic.NewSynth(4, 5)
 	accepted := 0
@@ -223,10 +223,10 @@ func TestZeroRateElementParks(t *testing.T) {
 	el := r.chains[0].elems[0]
 
 	// Simulate the pre-placement state the constructor normally never
-	// exposes: no rate, no device.
-	el.rateMu.Lock()
-	el.rateBps = 0
-	el.rateMu.Unlock()
+	// exposes: no rate yet.
+	zeroed := *el.placed.Load()
+	zeroed.bps = 0
+	el.placed.Store(&zeroed)
 
 	type res struct {
 		cost float64

@@ -89,6 +89,8 @@ func newDMAGate(link pcie.Link, scale float64, burst time.Duration) *dmaGate {
 // the per-burst descriptor overhead is unknowable before bursts form. One
 // atomic add: this sits on the per-frame Send path of every CPU-headed
 // chain and must not contend with the gate's burst admissions.
+//
+//pam:hotpath
 func (d *dmaGate) offer(dir dmaDir, bytes uint64) {
 	d.demandBytes[dir].Add(bytes)
 }
@@ -110,6 +112,8 @@ func (d *dmaGate) serializationUnits(bytes uint64) float64 {
 // cross charges one burst's crossing of bytes in direction dir against the
 // shared engine budget, blocking until it is granted. A zero link costs
 // nothing and never blocks; the byte counters still record the crossing.
+//
+//pam:hotpath
 func (d *dmaGate) cross(dir dmaDir, bytes int) {
 	cost := d.link.EngineSeconds(bytes, d.scale)
 	if cost > 0 {

@@ -206,24 +206,22 @@ type element struct {
 	name string
 	typ  string
 
-	mu   sync.Mutex
-	inst nf.NF
+	// inst is the element's live NF instance, published as an atomic
+	// pointer: processBurst loads it once per burst with no lock, and
+	// doMigrate swaps it only while the element is frozen, so no burst of
+	// this element is in flight anywhere during the store.
+	inst atomic.Pointer[nf.NF]
 	loc  atomic.Int32 // device.Kind
 
-	// rateMu guards the element's placement on the shared capacity model:
-	// rateBps is its catalog capacity on the current device scaled to
-	// bytes/s (the divisor that converts a burst's bytes into normalized
-	// device-seconds), dev the device gate those seconds are charged to,
-	// and rateGen a generation counter place bumps on every retarget — a
-	// worker holding a token lease from an older generation must return
-	// it to the gate it was drawn from instead of spending stale budget.
-	// rateCond wakes workers blocked on a non-positive rate (an element
-	// observed before its first placement must park, not spin).
+	// placed is the element's position on the shared capacity model,
+	// published as one immutable placement value so the per-burst read
+	// (chargeFor) is a single atomic load with no torn rate/device/
+	// generation triple. rateMu and rateCond exist only for the zero-rate
+	// park: a worker that loads a non-positive rate parks in awaitRate
+	// until place — or Close — broadcasts.
+	placed   atomic.Pointer[placement]
 	rateMu   sync.Mutex
 	rateCond *sync.Cond
-	rateBps  float64
-	rateGen  uint64
-	dev      *deviceGate
 
 	// paused freezes the element for a live migration: owning workers skip
 	// its rings (which then buffer arrivals — the freeze buffer) and never
@@ -266,28 +264,62 @@ type element struct {
 	migMu sync.Mutex // serializes migrations of this element
 }
 
-// chargeFor blocks until the element has a positive rate and returns the
-// burst's cost in normalized device-seconds, the gate to charge it to and
-// the placement generation the cost was computed under (a lease drawn for
-// this burst is valid only while that generation holds). It reports
-// ok=false when the runtime closed while the worker was parked on a
-// non-positive rate: Close broadcasts the rate conditions after setting
-// closed, and an abandoned park must release its burst instead of
-// stranding Drain on frames nobody will ever serve.
+// placement is one immutable position of an element on the shared capacity
+// model: bps its catalog capacity on the current device scaled to bytes/s
+// (the divisor that converts a burst's bytes into normalized
+// device-seconds), dev the device gate those seconds are charged to, and
+// gen a generation counter place bumps on every retarget — a worker
+// holding a token lease from an older generation must return it to the
+// gate it was drawn from instead of spending stale budget. place publishes
+// a fresh value on every change; readers treat a loaded placement as
+// read-only.
+type placement struct {
+	bps float64
+	gen uint64
+	dev *deviceGate
+}
+
+// chargeFor returns the burst's cost in normalized device-seconds, the
+// gate to charge it to and the placement generation the cost was computed
+// under (a lease drawn for this burst is valid only while that generation
+// holds). The placed regime is one atomic load and a division; a
+// non-positive rate falls through to awaitRate's park. It reports ok=false
+// when the runtime closed while the worker was parked: an abandoned park
+// must release its burst instead of stranding Drain on frames nobody will
+// ever serve.
+//
+//pam:hotpath
 func (el *element) chargeFor(totalBytes int) (cost float64, dev *deviceGate, gen uint64, ok bool) {
-	el.rateMu.Lock()
-	for el.rateBps <= 0 {
-		if el.parent.closed.Load() {
-			el.rateMu.Unlock()
+	p := el.placed.Load()
+	if p == nil || p.bps <= 0 {
+		if p, ok = el.awaitRate(); !ok {
 			return 0, nil, 0, false
+		}
+	}
+	return float64(totalBytes) / p.bps, p.dev, p.gen, true
+}
+
+// awaitRate parks until place publishes a positive rate (an element
+// observed before its first placement must park, not spin), reporting
+// ok=false when the runtime closed while parked: Close broadcasts the rate
+// conditions after setting closed. The re-check-under-lock pairs with
+// place, which publishes the new placement before taking rateMu to
+// broadcast — a parked worker either sees the fresh rate or receives the
+// wakeup.
+//
+//pam:slowpath
+func (el *element) awaitRate() (*placement, bool) {
+	el.rateMu.Lock()
+	defer el.rateMu.Unlock()
+	for {
+		if p := el.placed.Load(); p != nil && p.bps > 0 {
+			return p, true
+		}
+		if el.parent.closed.Load() {
+			return nil, false
 		}
 		el.rateCond.Wait()
 	}
-	cost = float64(totalBytes) / el.rateBps
-	dev = el.dev
-	gen = el.rateGen
-	el.rateMu.Unlock()
-	return cost, dev, gen, true
 }
 
 // place points the element at a device gate with its scaled catalog rate
@@ -297,18 +329,23 @@ func (el *element) chargeFor(totalBytes int) (cost float64, dev *deviceGate, gen
 // outstanding token lease: a lease drawn under the old rate (or from the
 // old gate) is returned, never spent — the lease form of the setRate
 // fast→slow clamp guarantee. The broadcast releases any worker parked on a
-// zero-rate element.
+// zero-rate element. Callers are serialized (the constructor, then
+// migrations under migMu), so the load-then-store pair cannot lose an
+// update.
 func (el *element) place(dev *deviceGate, bps float64) {
-	el.rateMu.Lock()
-	if el.dev != dev {
-		if el.dev != nil {
-			el.dev.detach()
+	old := el.placed.Load()
+	gen := uint64(1)
+	if old != nil {
+		gen = old.gen + 1
+	}
+	if old == nil || old.dev != dev {
+		if old != nil && old.dev != nil {
+			old.dev.detach()
 		}
 		dev.attach()
-		el.dev = dev
 	}
-	el.rateBps = bps
-	el.rateGen++
+	el.placed.Store(&placement{bps: bps, gen: gen, dev: dev})
+	el.rateMu.Lock()
 	el.rateCond.Broadcast()
 	el.rateMu.Unlock()
 }
@@ -383,6 +420,8 @@ type worker struct {
 // gen is the placement generation the cost was computed under; a lease
 // from any other generation (element migrated, rate retargeted) is
 // returned to its own gate first so stale budget is never spent.
+//
+//pam:hotpath
 func (w *worker) charge(cost float64, dev *deviceGate, gen uint64) {
 	need := nanoUnits(cost)
 	if w.leaseDev == dev && w.leaseGen == gen {
@@ -423,6 +462,8 @@ func (w *worker) releaseLease() {
 // so either the producer sees sleeping and signals, or the worker sees the
 // work — a lost wakeup requires both loads to precede both stores, which
 // the total order on sequentially consistent atomics forbids.
+//
+//pam:hotpath
 func (w *worker) wakeIfSleeping() {
 	if w.sleeping.Load() {
 		select {
@@ -505,12 +546,12 @@ func New(cfg Config) (*Runtime, error) {
 			el := &element{
 				name:   e.Name,
 				typ:    e.Type,
-				inst:   inst,
 				parent: r,
 				ch:     tc,
 				pos:    i,
 				meter:  metrics.NewShardedMeter(cfg.Workers+1, 0),
 			}
+			el.inst.Store(&inst)
 			el.loc.Store(int32(e.Loc))
 			el.rateCond = sync.NewCond(&el.rateMu)
 			gate, err := r.gateFor(e.Loc)
@@ -556,7 +597,10 @@ func New(cfg Config) (*Runtime, error) {
 	return r, nil
 }
 
-// bytesPerSec converts a catalog rate to the emulated throttle rate.
+// bytesPerSec converts a catalog rate to the emulated throttle rate — the
+// named gbps → bytes/s conversion helper the unitcheck analyzer requires.
+//
+//pam:unitconv
 func bytesPerSec(g device.Gbps, scale float64) float64 {
 	return float64(g) * 1e9 / 8 / scale
 }
@@ -613,11 +657,15 @@ func (r *Runtime) Send(frame []byte) bool { return r.SendChain(0, frame) }
 // rejected frame stays with the caller. The push itself is one lock-free
 // ring publish plus (only when the owning worker is parked) one wake
 // signal: zero allocations in steady state.
+//
+//pam:hotpath
 func (r *Runtime) SendChain(ci int, frame []byte) bool {
 	// The read lock excludes Close: once closed is set under the write
 	// lock, no Send can be past the check below, so Close's Drain cannot
-	// miss an in-flight increment.
-	r.closeMu.RLock()
+	// miss an in-flight increment. The deliberate exception to the
+	// hot-path no-locks rule: an RWMutex read lock is one atomic in the
+	// uncontended regime and only ever contends against Close itself.
+	r.closeMu.RLock() //pam:slowpath-ok close-exclusion read lock
 	defer r.closeMu.RUnlock()
 	if !r.started.Load() || r.closed.Load() || ci < 0 || ci >= len(r.chains) {
 		return false
@@ -702,9 +750,10 @@ func (r *Runtime) SetEgressTap(fn func(frame []byte)) {
 // multi-tenant tests that attribute egress per tenant.
 func (r *Runtime) SetChainEgressTap(fn func(chainIdx int, frame []byte)) { r.egress = fn }
 
-// run is the pool worker's main loop: poll every owned ring round-robin,
-// draining and processing up to one burst per visit; handle migration
-// pause rendezvous between bursts; park when a full sweep finds no work.
+// run is the pool worker's goroutine body: allocate the per-worker batch
+// scratch once (decoders, job slices, context arrays), then enter the
+// polling loop. The split keeps every allocation in this prologue so the
+// loop itself is provably allocation-free.
 func (w *worker) run() {
 	r := w.r
 	defer r.workerWG.Done()
@@ -724,7 +773,16 @@ func (w *worker) run() {
 	ctxs := make([]nf.Ctx, batch)
 	ptrs := make([]*nf.Ctx, batch)
 	lats := make([]int64, 0, batch)
+	w.loop(decs, jobs, inline, ctxs, ptrs, lats)
+}
 
+// loop polls every owned ring round-robin, draining and processing up to
+// one burst per visit; it handles migration pause rendezvous between
+// bursts and parks when a full sweep finds no work.
+//
+//pam:hotpath
+func (w *worker) loop(decs []*packet.Decoder, jobs, inline []job, ctxs []nf.Ctx, ptrs []*nf.Ctx, lats []int64) {
+	r := w.r
 	for {
 		if w.ctrlPending.Load() != 0 {
 			w.handleCtrl()
@@ -755,12 +813,10 @@ func (w *worker) run() {
 			w.sleeping.Store(false)
 			continue
 		}
-		select {
+		select { //pam:slowpath-ok the park itself: blocking here is the point
 		case <-w.wake:
 		case req := <-w.ctrl:
-			w.ctrlPending.Add(-1)
-			w.releaseLease()
-			req.acked <- struct{}{}
+			w.ackPause(req)
 		case <-r.stop:
 			w.sleeping.Store(false)
 			return
@@ -785,19 +841,29 @@ func (w *worker) anyWork() bool {
 
 // handleCtrl acks every pending pause rendezvous. Called only between
 // bursts, so an ack guarantees no burst of the pausing element is in
-// flight on this worker; the lease goes back first so a frozen element's
-// banked budget flows to the gate where co-resident tenants can use it.
+// flight on this worker.
+//
+//pam:slowpath
 func (w *worker) handleCtrl() {
 	for {
 		select {
 		case req := <-w.ctrl:
-			w.ctrlPending.Add(-1)
-			w.releaseLease()
-			req.acked <- struct{}{}
+			w.ackPause(req)
 		default:
 			return
 		}
 	}
+}
+
+// ackPause completes one pause rendezvous: the lease goes back first so a
+// frozen element's banked budget flows to the gate where co-resident
+// tenants can use it, then the ack unblocks the migration coordinator.
+//
+//pam:slowpath
+func (w *worker) ackPause(req *pauseReq) {
+	w.ctrlPending.Add(-1)
+	w.releaseLease()
+	req.acked <- struct{}{}
 }
 
 // processBurst runs one burst through an element's NF and forwards it:
@@ -809,6 +875,8 @@ func (w *worker) handleCtrl() {
 // crossings, foreign-owner shards and frozen or backlogged successors
 // enqueue to the destination ring, so gate charging always happens where
 // the frames are consumed.
+//
+//pam:hotpath
 func (w *worker) processBurst(el *element, jobs []job, inline *[]job, decs []*packet.Decoder, ctxs []nf.Ctx, ptrs []*nf.Ctx, lats *[]int64) {
 	r := w.r
 	for {
@@ -856,7 +924,9 @@ func (w *worker) processBurst(el *element, jobs []job, inline *[]job, decs []*pa
 		if crossed {
 			r.dma.cross(dirTo(device.Kind(el.loc.Load())), crossBytes)
 			if r.cfg.SleepPCIe {
-				time.Sleep(r.cfg.Link.PropDelay + r.cfg.Link.SerializationTime(crossBytes))
+				// The latency-floor sleep is opt-in emulation fidelity, not a
+				// dataplane stall.
+				time.Sleep(r.cfg.Link.PropDelay + r.cfg.Link.SerializationTime(crossBytes)) //pam:slowpath-ok SleepPCIe latency floor
 			}
 		}
 
@@ -864,7 +934,10 @@ func (w *worker) processBurst(el *element, jobs []job, inline *[]job, decs []*pa
 		el.meter.Cell(w.idx+1).ObserveN(uint64(n), uint64(total), now)
 		for i := range jobs {
 			dec := decs[i]
-			_, _ = dec.Decode(jobs[i].frame) // NFs tolerate partial decodes
+			// Decode is allocation-free on well-formed frames; its malformed-
+			// frame error path formats, which NFs tolerate and never hit in
+			// steady state.
+			_, _ = dec.Decode(jobs[i].frame) //pam:slowpath-ok decode error path formats
 			c := &ctxs[i]
 			*c = nf.Ctx{Frame: jobs[i].frame, Decoder: dec, Now: now}
 			if k, ok := flow.FromDecoder(dec); ok {
@@ -872,9 +945,7 @@ func (w *worker) processBurst(el *element, jobs []job, inline *[]job, decs []*pa
 			}
 			ptrs[i] = c
 		}
-		el.mu.Lock()
-		inst := el.inst
-		el.mu.Unlock()
+		inst := *el.inst.Load()
 		verdicts := inst.ProcessBatch(ptrs[:n])
 
 		if el.pos == len(el.ch.elems)-1 {
@@ -952,6 +1023,8 @@ func (w *worker) processBurst(el *element, jobs []job, inline *[]job, decs []*pa
 // egressBatch completes a burst at the chain tail: one PCIe charge back to
 // the NIC when the tail runs on the CPU, one histogram critical section for
 // the burst's latencies, one meter update for its packets and bytes.
+//
+//pam:hotpath
 func (w *worker) egressBatch(el *element, jobs []job, verdicts []nf.Verdict, lats *[]int64) {
 	r := w.r
 	if device.Kind(el.loc.Load()) == device.KindCPU {
@@ -967,7 +1040,7 @@ func (w *worker) egressBatch(el *element, jobs []job, verdicts []nf.Verdict, lat
 		if bytes > 0 {
 			r.dma.cross(dmaToNIC, bytes)
 			if r.cfg.SleepPCIe {
-				time.Sleep(r.cfg.Link.PropDelay + r.cfg.Link.SerializationTime(bytes))
+				time.Sleep(r.cfg.Link.PropDelay + r.cfg.Link.SerializationTime(bytes)) //pam:slowpath-ok SleepPCIe latency floor
 			}
 		}
 	}
@@ -985,7 +1058,9 @@ func (w *worker) egressBatch(el *element, jobs []job, verdicts []nf.Verdict, lat
 		}
 		r.recycle(jobs[i].frame)
 	}
-	el.ch.latency.RecordBatch(*lats)
+	// One histogram lock per burst, not per frame: amortized to the point
+	// of vanishing from profiles, and the histogram has no lock-free form.
+	el.ch.latency.RecordBatch(*lats) //pam:slowpath-ok amortized per-burst histogram lock
 	el.ch.meter.Cell(w.idx+1).ObserveN(delivered, deliveredBytes, now)
 	r.inFlight.Add(-len(jobs))
 }
@@ -1042,9 +1117,7 @@ func (el *element) doMigrate(to device.Kind) (migrate.Report, error) {
 	}()
 
 	tr := migrate.PCIeTransport{Link: r.cfg.Link, Setup: time.Millisecond}
-	el.mu.Lock()
-	old := el.inst
-	el.mu.Unlock()
+	old := *el.inst.Load()
 	rep, err := migrate.Move(old, fresh, tr)
 	if err != nil {
 		return migrate.Report{}, err
@@ -1055,9 +1128,9 @@ func (el *element) doMigrate(to device.Kind) (migrate.Report, error) {
 	if r.cfg.SleepPCIe {
 		time.Sleep(rep.Transfer)
 	}
-	el.mu.Lock()
-	el.inst = fresh
-	el.mu.Unlock()
+	// The element is frozen (every owner acked), so no ProcessBatch call is
+	// in flight anywhere: the swap is a plain publish.
+	el.inst.Store(&fresh)
 	// Cut the telemetry attribution before the placement flips: everything
 	// metered up to this instant was served on — and must be priced at the
 	// catalog capacity of — the old device. The element is still frozen, so
@@ -1186,9 +1259,7 @@ func (r *Runtime) NFStats() map[string]nf.Stats {
 	out := make(map[string]nf.Stats)
 	for _, tc := range r.chains {
 		for _, el := range tc.elems {
-			el.mu.Lock()
-			out[r.statKey(tc, el.name)] = el.inst.Stats()
-			el.mu.Unlock()
+			out[r.statKey(tc, el.name)] = (*el.inst.Load()).Stats()
 		}
 	}
 	return out
@@ -1200,9 +1271,7 @@ func (r *Runtime) Instance(name string) (nf.NF, bool) {
 	for _, tc := range r.chains {
 		for _, el := range tc.elems {
 			if el.name == name {
-				el.mu.Lock()
-				defer el.mu.Unlock()
-				return el.inst, true
+				return *el.inst.Load(), true
 			}
 		}
 	}

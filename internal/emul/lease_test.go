@@ -130,9 +130,7 @@ func TestFrozenShardReturnsLease(t *testing.T) {
 	defer r.Close()
 
 	el := r.chains[0].elems[0]
-	el.rateMu.Lock()
-	rate := el.rateBps
-	el.rateMu.Unlock()
+	rate := el.placed.Load().bps
 
 	const frames, frameBytes = 20, 256
 	synth := traffic.NewSynth(8, 11)

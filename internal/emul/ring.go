@@ -51,6 +51,8 @@ func newRing(capacity int) *ring {
 
 // push enqueues one job, reporting false when the ring is full. Safe for
 // any number of concurrent producers.
+//
+//pam:hotpath
 func (q *ring) push(j job) bool {
 	pos := q.enq.Load()
 	for {
@@ -78,6 +80,8 @@ func (q *ring) push(j job) bool {
 
 // popBatch dequeues up to len(dst) published jobs. Single-consumer only:
 // the owning worker is the sole caller, so the dequeue cursor needs no CAS.
+//
+//pam:hotpath
 func (q *ring) popBatch(dst []job) int {
 	pos := q.deq.Load()
 	n := 0
@@ -103,6 +107,8 @@ func (q *ring) popBatch(dst []job) int {
 // forwarding check must not overtake a frame mid-publish, and the park
 // check treats a claim in progress as work (the producer's wake follows its
 // publish, so the worker cannot sleep through it).
+//
+//pam:hotpath
 func (q *ring) empty() bool { return q.enq.Load() == q.deq.Load() }
 
 // pending returns the number of enqueued entries (migration reports).

@@ -317,8 +317,8 @@ func (s *LoadSampler) Sample() LoadSample {
 					continue
 				}
 				if cap, err := r.cfg.Catalog.Lookup(el.typ, seg.loc); err == nil && cap > 0 {
-					load.Utilization = load.ServedGbps / float64(cap)
-					load.Demand = load.OfferedGbps / float64(cap)
+					load.Utilization = load.ServedGbps / cap.Float()
+					load.Demand = load.OfferedGbps / cap.Float()
 				}
 				out.Elements = append(out.Elements, load)
 

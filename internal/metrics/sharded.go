@@ -22,6 +22,8 @@ type MeterCell struct {
 }
 
 // observe advances the cell's interval end to now if it is later.
+//
+//pam:hotpath
 func (c *MeterCell) observe(now time.Duration) {
 	n := int64(now)
 	for {
@@ -34,6 +36,8 @@ func (c *MeterCell) observe(now time.Duration) {
 
 // ObserveN records a burst of packets delivered together at virtual time
 // now.
+//
+//pam:hotpath
 func (c *MeterCell) ObserveN(packets, bytes uint64, now time.Duration) {
 	if packets == 0 {
 		return
@@ -44,9 +48,13 @@ func (c *MeterCell) ObserveN(packets, bytes uint64, now time.Duration) {
 }
 
 // Drop records one dropped packet at virtual time now.
+//
+//pam:hotpath
 func (c *MeterCell) Drop(now time.Duration) { c.DropN(1, now) }
 
 // DropN records a burst of n packets dropped together at virtual time now.
+//
+//pam:hotpath
 func (c *MeterCell) DropN(n uint64, now time.Duration) {
 	if n == 0 {
 		return

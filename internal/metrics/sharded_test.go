@@ -20,7 +20,7 @@ func TestShardedMeterFold(t *testing.T) {
 	// 1000 packets × 1250 bytes over 10 ms = 1 Gbps, spread round-robin
 	// across the cells; the last write lands the interval end on cell 1.
 	for i := 0; i < 1000; i++ {
-		m.Cell(i % 3).ObserveN(1, 1250, time.Duration(i+1)*10*time.Microsecond)
+		m.Cell(i%3).ObserveN(1, 1250, time.Duration(i+1)*10*time.Microsecond)
 	}
 	if m.Packets() != 1000 || m.Bytes() != 1000*1250 {
 		t.Errorf("fold: pkts=%d bytes=%d", m.Packets(), m.Bytes())
@@ -105,7 +105,7 @@ func TestShardedMeterConcurrent(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < writes; i++ {
-				m.Cell(g + 1).ObserveN(4, 4*100, time.Duration(i))
+				m.Cell(g+1).ObserveN(4, 4*100, time.Duration(i))
 				m.Cell(0).DropN(1, time.Duration(i)) // everyone shares cell 0
 			}
 		}(g)

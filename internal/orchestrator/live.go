@@ -63,7 +63,7 @@ func NewLive(rt *emul.Runtime, cfg Config, viewTemplate core.View) (*Live, error
 		per := o.chainRates(len(placements))
 		loads := make([]core.Load, len(placements))
 		for i, c := range placements {
-			loads[i] = core.Load{Chain: c, Throughput: device.Gbps(per[i])}
+			loads[i] = core.Load{Chain: c, Throughput: device.MeasuredGbps(per[i])}
 		}
 		o.smu.Lock()
 		nicU, cpuU, dmaU := o.nicUtil, o.cpuUtil, o.dmaUtil

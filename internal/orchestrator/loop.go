@@ -466,16 +466,16 @@ func rescale(loads []core.Load, smoothedTotal float64) {
 	}
 	var raw float64
 	for _, ld := range loads {
-		raw += float64(ld.Throughput)
+		raw += ld.Throughput.Float()
 	}
 	if raw > 0 {
 		f := smoothedTotal / raw
 		for i := range loads {
-			loads[i].Throughput = device.Gbps(float64(loads[i].Throughput) * f)
+			loads[i].Throughput = device.MeasuredGbps(loads[i].Throughput.Float() * f)
 		}
 		return
 	}
-	each := device.Gbps(smoothedTotal / float64(len(loads)))
+	each := device.MeasuredGbps(smoothedTotal / float64(len(loads)))
 	for i := range loads {
 		loads[i].Throughput = each
 	}

@@ -34,6 +34,8 @@ func DefaultLink() Link {
 }
 
 // SerializationTime returns the time the frame occupies the link.
+//
+//pam:hotpath
 func (l Link) SerializationTime(frameBytes int) time.Duration {
 	if l.BandwidthGbps <= 0 || frameBytes <= 0 {
 		return 0
@@ -45,6 +47,8 @@ func (l Link) SerializationTime(frameBytes int) time.Duration {
 
 // CrossingTime returns the total unloaded latency of one crossing for a
 // frame: propagation plus serialization.
+//
+//pam:hotpath
 func (l Link) CrossingTime(frameBytes int) time.Duration {
 	return l.PropDelay + l.SerializationTime(frameBytes)
 }
@@ -56,6 +60,8 @@ func (l Link) CrossingTime(frameBytes int) time.Duration {
 // catalog rates by scale must multiply the size-proportional term by the
 // same factor so that crossings saturate the engine at the same
 // catalog-unit throughput the real link would.
+//
+//pam:hotpath
 func (l Link) EngineSeconds(bytes int, scale float64) float64 {
 	if scale <= 0 {
 		scale = 1
@@ -67,6 +73,8 @@ func (l Link) EngineSeconds(bytes int, scale float64) float64 {
 // a float — the size-proportional share of EngineSeconds, used to meter
 // offered crossing demand before a burst forms (the per-burst descriptor
 // overhead is only knowable at admission).
+//
+//pam:hotpath
 func (l Link) SerializationSeconds(bytes int, scale float64) float64 {
 	if scale <= 0 {
 		scale = 1

@@ -23,6 +23,11 @@ out="${1:-bench_current.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
+# The numbers below only mean anything if the hot paths stayed
+# allocation-free: gate on the compiler's escape analysis before spending
+# minutes benchmarking a dataplane that now mallocs per frame.
+go run ./cmd/escapecheck ./...
+
 go test -run xxx -bench='^BenchmarkDataplane$|MultiChainSelect|SharedDeviceContention|PCIeDMAContention' \
 	-benchtime=10x -count=3 -benchmem . | tee "$tmp"
 go test -run xxx -bench='MultiTenantDataplane' -benchtime=50000x -count=3 -benchmem . | tee -a "$tmp"
