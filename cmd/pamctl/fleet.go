@@ -1,0 +1,89 @@
+package main
+
+// The fleet command: the paper's scale-out terminal case resolved one tier
+// up. Two emulated servers each run the single-server closed loop; server
+// A's storm tenant ramps both of A's devices past the threshold at once,
+// so Multi-PAM has no feasible push-aside and the loop escalates instead.
+// The fleet coordinator — owner of the tenant→server placement registry —
+// picks the storm as the offender, verifies the calm server B can absorb
+// it, and executes the staged cross-server chain migration over the
+// transport: B freezes its copy of the chain, the registry flip reroutes
+// the storm's traffic into the freeze buffers, A drains and snapshots, B
+// restores and replays. The command exits non-zero when the escalation,
+// the migration, or the recovery fails to materialize.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+func runFleet(engine string, p scenario.Params) error {
+	if engine != "emul" {
+		return fmt.Errorf("the fleet tier drives live dataplanes; run it with -engine emul")
+	}
+	lp := scenario.DefaultLiveParams()
+	fmt.Printf("engine: emul (wall clock, scale %.0fx); seed %d\n", lp.Scale, p.Seed)
+	fmt.Printf("server %s: %.1f Gbps NIC + %.1f Gbps CPU backgrounds, storm %.1f -> %.1f Gbps at %v\n",
+		scenario.FleetServerA, float64(scenario.FleetBusyNICGbps), float64(scenario.FleetBusyCPUGbps),
+		float64(scenario.FleetStormCalmGbps), float64(scenario.FleetStormGbps), scenario.FleetStormOnset)
+	fmt.Printf("server %s: %.1f Gbps background\n\n", scenario.FleetServerB, float64(scenario.FleetCalmNICGbps))
+
+	res, err := scenario.RunFleetScaleOut(p, lp, nil)
+	if err != nil {
+		return err
+	}
+
+	for _, srv := range res.Servers {
+		fmt.Printf("%s control-plane events:\n", srv)
+		for _, e := range res.Events[srv] {
+			fmt.Println("  " + e.Format(time.Millisecond))
+		}
+	}
+
+	fmt.Println("\ncoordinator log:")
+	for _, l := range res.CoordinatorLog {
+		fmt.Println("  " + l)
+	}
+
+	tbl := report.NewTable("\ncross-server migrations", "tenant", "from", "to", "reason", "state B", "buffered", "took")
+	for _, m := range res.Migrations {
+		tbl.AddRowf(m.Tenant, string(m.From), string(m.To), m.Reason.String(),
+			m.StateBytes, m.Buffered, m.Took.Round(time.Microsecond).String())
+	}
+	fmt.Println(tbl)
+
+	for _, srv := range res.Servers {
+		var nicU []float64
+		for _, s := range res.Samples {
+			if s.Server == srv {
+				nicU = append(nicU, s.Load.NIC.Utilization)
+			}
+		}
+		fmt.Printf("%s NIC demand over time: %s\n", srv, report.Spark(nicU))
+	}
+	fmt.Println("final placements:")
+	for _, srv := range res.Servers {
+		fmt.Printf("  %-8s %v\n", string(srv)+":", res.Placements[srv])
+	}
+	fmt.Printf("escalations: %d; source cleared: %v; storm delivered %.3f -> %.3f Gbps\n",
+		res.Escalations, res.SourceCleared, res.StormPreGbps, res.StormPostGbps)
+
+	if res.Escalations == 0 {
+		return fmt.Errorf("server %s never escalated — the hot spot was not terminal", scenario.FleetServerA)
+	}
+	if len(res.Migrations) == 0 {
+		return fmt.Errorf("the coordinator executed no cross-server migration")
+	}
+	if !res.SourceCleared {
+		return fmt.Errorf("the source detector never cleared after the handoff")
+	}
+	if res.StormPostGbps <= res.StormPreGbps {
+		return fmt.Errorf("the storm's delivered throughput did not recover (%.3f -> %.3f Gbps)",
+			res.StormPreGbps, res.StormPostGbps)
+	}
+	fmt.Println("\nscale-out relieved: escalated, migrated, cleared, recovered")
+	return nil
+}

@@ -19,6 +19,7 @@
 //	pamctl multi                # multi-tenant: N chains share one NIC+CPU
 //	pamctl crossing             # crossing storm: the DMA engine saturates
 //	pamctl stability            # stochastic hover: prove no ping-pong
+//	pamctl fleet                # two servers: escalate, migrate a tenant
 //
 // The live command runs the full control plane on the engine selected with
 // -engine: "chainsim" replays the hotspot scenario in deterministic virtual
@@ -41,6 +42,15 @@
 // crossing-reducing border migration. With -engine emul the episode runs on
 // the emulator's shared DMA-engine gate, detected from the measured
 // per-direction crossing demand (DESIGN.md §4).
+//
+// The fleet command (emul only) runs the two-server scale-out scenario:
+// one server's storm tenant overloads both of its devices at once — the
+// terminal case where no local push-aside helps — and the per-server loop
+// escalates to the fleet coordinator, which migrates the offending
+// tenant's whole chain to a calm server through the staged cross-server
+// handoff (freeze, reroute, drain, snapshot, restore, replay). The command
+// exits non-zero when the escalate → migrate → clear → recover arc breaks
+// (DESIGN.md §4).
 //
 // The stability command (emul only) runs the control-loop stability
 // harness: a seeded stochastic workload hovers around the overload
@@ -111,6 +121,8 @@ func main() {
 		err = runCrossing(*engine, p)
 	case "stability":
 		err = runStability(*engine, p)
+	case "fleet":
+		err = runFleet(*engine, p)
 	default:
 		err = run(cmd, p, *csv)
 	}
@@ -218,7 +230,7 @@ func run(cmd string, p scenario.Params, csv bool) error {
 			fmt.Printf("%-18s %v\n", sel.Name()+":", plan)
 		}
 	default:
-		return fmt.Errorf("unknown command %q (try: all, table1, figure1, figure2a, figure2b, pcie, headline, ablation-pcie, ablation-naive, future-fpga, multistep, plan, live, multi, crossing, stability)", cmd)
+		return fmt.Errorf("unknown command %q (try: all, table1, figure1, figure2a, figure2b, pcie, headline, ablation-pcie, ablation-naive, future-fpga, multistep, plan, live, multi, crossing, stability, fleet)", cmd)
 	}
 	return nil
 }

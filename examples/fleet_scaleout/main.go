@@ -1,0 +1,68 @@
+// Fleet scale-out: what happens when push-aside runs out of road. One
+// server's storm tenant ramps until *both* of its devices are past the
+// overload threshold at once — the paper's terminal case, where every
+// local Multi-PAM candidate would just move the hot spot to the other
+// device. Instead of dead-ending, the per-server control loop reports a
+// structured escalation upward; the fleet coordinator, which owns the
+// tenant→server placement registry, ranks the server's tenants by their
+// measured per-chain demand, picks the storm as the offender, verifies a
+// calm second server can absorb it under the destination ceiling, and
+// executes the staged cross-server chain migration: the destination's
+// copy of the chain freezes first, the registry flip reroutes the storm's
+// traffic into the freeze buffers (lossless), the source quiesces, drains
+// and snapshots the NF state, and the destination restores, thaws and
+// replays. The source detector clears, the storm's delivered throughput
+// recovers on the new server, and the co-resident background tenants on
+// both servers keep flowing throughout.
+//
+// The same run, as a CLI: `go run ./cmd/pamctl -engine emul fleet`.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	p := scenario.DefaultParams()
+	lp := scenario.DefaultLiveParams()
+
+	fmt.Printf("server %s: %.1f Gbps NIC + %.1f Gbps CPU backgrounds; storm ramps %.1f -> %.1f Gbps at %v\n",
+		scenario.FleetServerA, float64(scenario.FleetBusyNICGbps), float64(scenario.FleetBusyCPUGbps),
+		float64(scenario.FleetStormCalmGbps), float64(scenario.FleetStormGbps), scenario.FleetStormOnset)
+	fmt.Printf("server %s: %.1f Gbps background — the fleet's headroom\n\n",
+		scenario.FleetServerB, float64(scenario.FleetCalmNICGbps))
+
+	res, err := scenario.RunFleetScaleOut(p, lp, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, srv := range res.Servers {
+		fmt.Printf("%s control-plane events:\n", srv)
+		for _, e := range res.Events[srv] {
+			fmt.Println("  " + e.Format(time.Millisecond))
+		}
+	}
+	fmt.Println("coordinator log:")
+	for _, l := range res.CoordinatorLog {
+		fmt.Println("  " + l)
+	}
+	for _, m := range res.Migrations {
+		fmt.Printf("migrated %q %s -> %s (%s): %d state bytes shipped, %d rerouted frames replayed, %v\n",
+			m.Tenant, m.From, m.To, m.Reason, m.StateBytes, m.Buffered, m.Took.Round(time.Microsecond))
+	}
+	fmt.Println("final placements:")
+	for _, srv := range res.Servers {
+		fmt.Printf("  %-8s %v\n", string(srv)+":", res.Placements[srv])
+	}
+	fmt.Printf("\nescalations: %d; source detector cleared: %v\n", res.Escalations, res.SourceCleared)
+	fmt.Printf("storm delivered: %.3f Gbps squeezed on %s -> %.3f Gbps recovered on %s\n",
+		res.StormPreGbps, scenario.FleetServerA, res.StormPostGbps, scenario.FleetServerB)
+	if res.Escalations > 0 && len(res.Migrations) > 0 && res.SourceCleared {
+		fmt.Println("relieved: the fleet tier did what no local migration could")
+	}
+}

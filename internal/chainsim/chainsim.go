@@ -101,10 +101,12 @@ type Sim struct {
 
 	nicSeries *metrics.TimeSeries
 	cpuSeries *metrics.TimeSeries
+	dmaSeries *metrics.TimeSeries
 	thrSeries *metrics.TimeSeries
 
 	lastNICBusy time.Duration
 	lastCPUBusy time.Duration
+	lastDMABusy time.Duration
 	lastBytes   uint64
 	lastSample  time.Duration
 }
@@ -127,6 +129,7 @@ func New(cfg Config) (*Sim, error) {
 		meter:     metrics.NewMeter(cfg.Warmup),
 		nicSeries: &metrics.TimeSeries{},
 		cpuSeries: &metrics.TimeSeries{},
+		dmaSeries: &metrics.TimeSeries{},
 		thrSeries: &metrics.TimeSeries{},
 	}
 	if cfg.SampleEvery > 0 {
@@ -330,11 +333,13 @@ func (s *Sim) sample() {
 	if win > 0 {
 		nicBusy := s.nic.BusyTime()
 		cpuBusy := s.cpu.BusyTime()
+		dmaBusy := s.dma.BusyTime()
 		s.nicSeries.Append(now, float64(nicBusy-s.lastNICBusy)/float64(win))
 		s.cpuSeries.Append(now, float64(cpuBusy-s.lastCPUBusy)/float64(win))
+		s.dmaSeries.Append(now, float64(dmaBusy-s.lastDMABusy)/float64(win))
 		bytes := s.meter.Bytes()
 		s.thrSeries.Append(now, float64(bytes-s.lastBytes)*8/win.Seconds()/1e9)
-		s.lastNICBusy, s.lastCPUBusy, s.lastBytes = nicBusy, cpuBusy, bytes
+		s.lastNICBusy, s.lastCPUBusy, s.lastDMABusy, s.lastBytes = nicBusy, cpuBusy, dmaBusy, bytes
 	}
 	s.lastSample = now
 	s.eng.After(s.cfg.SampleEvery, s.sample)
@@ -342,18 +347,24 @@ func (s *Sim) sample() {
 
 // WindowStats returns utilization and delivered throughput over the last
 // completed telemetry window (or zeros when sampling is disabled). It is
-// the load signal the orchestrator's poller consumes.
-func (s *Sim) WindowStats() (nicUtil, cpuUtil, deliveredGbps float64) {
+// the load signal the orchestrator's poller consumes. dmaUtil is the DMA
+// engines' busy fraction — zero when the DMA stage is disabled — so the
+// virtual-time detector sees the same three-resource signal as the
+// emulator's demand sampler.
+func (s *Sim) WindowStats() (nicUtil, cpuUtil, dmaUtil, deliveredGbps float64) {
 	if p, ok := s.nicSeries.Last(); ok {
 		nicUtil = p.V
 	}
 	if p, ok := s.cpuSeries.Last(); ok {
 		cpuUtil = p.V
 	}
+	if p, ok := s.dmaSeries.Last(); ok {
+		dmaUtil = p.V
+	}
 	if p, ok := s.thrSeries.Last(); ok {
 		deliveredGbps = p.V
 	}
-	return nicUtil, cpuUtil, deliveredGbps
+	return nicUtil, cpuUtil, dmaUtil, deliveredGbps
 }
 
 // Result summarizes a finished run.
@@ -372,6 +383,7 @@ type Result struct {
 	Duration      time.Duration
 	NICSeries     []metrics.Point
 	CPUSeries     []metrics.Point
+	DMASeries     []metrics.Point
 	ThrSeries     []metrics.Point
 }
 
@@ -403,6 +415,7 @@ func (s *Sim) Run(until time.Duration) Result {
 		Duration:      el,
 		NICSeries:     s.nicSeries.Points(),
 		CPUSeries:     s.cpuSeries.Points(),
+		DMASeries:     s.dmaSeries.Points(),
 		ThrSeries:     s.thrSeries.Points(),
 	}
 	_ = meas

@@ -151,7 +151,7 @@ func TestSetPlacementMidRun(t *testing.T) {
 	}
 	s.Inject(src)
 	s.Run(200 * time.Millisecond)
-	_, _, before := s.WindowStats()
+	_, _, _, before := s.WindowStats()
 
 	// Decide from telemetry: the measured (delivered) throughput is the
 	// θcur the controller sees.
@@ -164,7 +164,7 @@ func TestSetPlacementMidRun(t *testing.T) {
 		t.Fatalf("SetPlacement: %v", err)
 	}
 	res := s.Run(500 * time.Millisecond)
-	_, _, after := s.WindowStats()
+	_, _, _, after := s.WindowStats()
 	if after <= before {
 		t.Errorf("throughput did not improve after migration: before=%.3f after=%.3f", before, after)
 	}

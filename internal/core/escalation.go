@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Escalation is the structured form of PAM's scale-out terminal case. The
+// paper's decision loop ends at "both devices overloaded → start another
+// instance"; instead of logging that verdict as a dead-end skip, the
+// control loop reports it upward as an Escalation so a fleet tier can act
+// on it — migrate the offending tenant's chain to a calmer server. The
+// snapshot carries the measured three-resource demand picture the selector
+// rejected, which is everything a coordinator needs to pick a destination
+// with genuine headroom.
+type Escalation struct {
+	// At is the backend clock (virtual or wall) when the terminal verdict
+	// was reached.
+	At time.Duration
+	// Reason classifies the verdict.
+	Reason EscalationReason
+	// NICUtil, CPUUtil and DMAUtil are the measured demand utilizations of
+	// the window that fired the episode (Σ offered/θ per device; offered
+	// crossing load over the engine budget for DMAUtil). Demand exceeds 1
+	// under overload even though delivered throughput has collapsed.
+	NICUtil float64
+	CPUUtil float64
+	DMAUtil float64
+	// DeliveredGbps is the detector's smoothed measured delivered rate at
+	// the verdict — the θcur selection was attempted at.
+	DeliveredGbps float64
+}
+
+// EscalationReason says why the per-server loop could not relieve the
+// overload locally.
+type EscalationReason uint8
+
+const (
+	// EscalateBothOverloaded is the paper's measured terminal case: demand
+	// on every device is past the threshold, so a push-aside only moves
+	// the hot spot.
+	EscalateBothOverloaded EscalationReason = iota
+	// EscalateNoFeasiblePlan covers the border-set exhaustion form of the
+	// same verdict: the NIC (or DMA engine) stays hot but no candidate
+	// passes the aggregate Eq. 2 / crossing-relief checks.
+	EscalateNoFeasiblePlan
+)
+
+// String names the reason.
+func (r EscalationReason) String() string {
+	if r == EscalateBothOverloaded {
+		return "both-overloaded"
+	}
+	return "no-feasible-plan"
+}
+
+// String renders the escalation for logs.
+func (e Escalation) String() string {
+	return fmt.Sprintf("scale-out (%v): nic=%.2f cpu=%.2f dma=%.2f delivered=%.2f Gbps",
+		e.Reason, e.NICUtil, e.CPUUtil, e.DMAUtil, e.DeliveredGbps)
+}

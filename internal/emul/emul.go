@@ -198,6 +198,15 @@ type tenantChain struct {
 	meter        *metrics.ShardedMeter
 	offered      atomic.Uint64 // frames offered at this chain's ingress
 	ingressDrops atomic.Uint64 // SendChain rejections (first queue full)
+
+	// inflight counts this chain's accepted frames still inside the
+	// pipeline — the per-chain slice of Runtime.inFlight. DrainChain polls
+	// it to zero during a cross-server handoff.
+	inflight atomic.Int64
+	// quiesced closes this chain's ingress: SendChain rejects without
+	// metering, so a chain parked after its tenant migrated away neither
+	// accepts traffic nor pollutes the source server's demand telemetry.
+	quiesced atomic.Bool
 }
 
 // element is one chain position: its NF instance, current placement, input
@@ -671,6 +680,11 @@ func (r *Runtime) SendChain(ci int, frame []byte) bool {
 		return false
 	}
 	tc := r.chains[ci]
+	if tc.quiesced.Load() {
+		// Ingress closed for a cross-server handoff: reject without
+		// metering — these frames belong to the destination server now.
+		return false
+	}
 	tc.offered.Add(1)
 	first := tc.elems[0]
 	// Offered demand is metered before the queue decides: an ingress-dropped
@@ -695,12 +709,14 @@ func (r *Runtime) SendChain(ci int, frame []byte) bool {
 		crossing: headCPU, // NIC ingress → CPU
 	}
 	r.inFlight.Add(1)
+	tc.inflight.Add(1)
 	s := first.shardFor(j.hash)
 	if s.q.push(j) {
 		s.owner.wakeIfSleeping()
 		return true
 	}
 	r.inFlight.Done()
+	tc.inflight.Add(-1)
 	tc.ingressDrops.Add(1)
 	now := r.now()
 	// Senders have no worker identity: ingress drops land in cell 0.
@@ -910,6 +926,7 @@ func (w *worker) processBurst(el *element, jobs []job, inline *[]job, decs []*pa
 				r.recycle(jobs[i].frame)
 			}
 			r.inFlight.Add(-n)
+			el.ch.inflight.Add(int64(-n))
 			return
 		}
 		w.charge(cost, dev, gen)
@@ -1010,6 +1027,7 @@ func (w *worker) processBurst(el *element, jobs []job, inline *[]job, decs []*pa
 		}
 		if finished > 0 {
 			r.inFlight.Add(-finished)
+			el.ch.inflight.Add(int64(-finished))
 		}
 		*inline = keep
 		if len(keep) == 0 {
@@ -1063,18 +1081,43 @@ func (w *worker) egressBatch(el *element, jobs []job, verdicts []nf.Verdict, lat
 	el.ch.latency.RecordBatch(*lats) //pam:slowpath-ok amortized per-burst histogram lock
 	el.ch.meter.Cell(w.idx+1).ObserveN(delivered, deliveredBytes, now)
 	r.inFlight.Add(-len(jobs))
+	el.ch.inflight.Add(int64(-len(jobs)))
 }
 
-// doMigrate performs the UNO sequence. The element is frozen by flagging it
-// paused and rendezvousing with every pool worker that owns one of its
-// shards: each owner acks at a burst boundary with its token lease
-// returned, so once all acks are in, no burst of this element is in flight
+// freeze pauses the element: flag first (workers re-check paused before
+// every burst and every inline hop), then rendezvous with each owning
+// worker. Each owner acks at a burst boundary with its token lease
+// returned, so once freeze returns, no burst of this element is in flight
 // anywhere and the served meters are stable. Arriving frames accumulate in
-// the element's bounded rings and are replayed by virtue of FIFO
-// consumption after the swap. The freeze is scoped to this element — the
-// owning workers keep draining every other ring they own, so other
-// elements of the same chain and every other tenant chain keep forwarding
-// throughout. Callers hold el.migMu.
+// the element's bounded rings — the freeze buffer. The freeze is scoped to
+// this element: the owning workers keep draining every other ring they
+// own. Idempotent in effect (a second freeze just re-rendezvouses), but
+// callers serialize via migMu or the fleet tier's suspended control loop.
+func (el *element) freeze() {
+	el.paused.Store(true)
+	acked := make(chan struct{}, len(el.owners))
+	req := &pauseReq{acked: acked}
+	for _, ow := range el.owners {
+		ow.ctrlPending.Add(1)
+		ow.ctrl <- req
+		ow.wakeIfSleeping()
+	}
+	for range el.owners {
+		<-acked
+	}
+}
+
+// unfreeze resumes a frozen element: clear the flag, then wake the owners —
+// the frozen rings may hold buffered frames no future push would announce.
+func (el *element) unfreeze() {
+	el.paused.Store(false)
+	for _, ow := range el.owners {
+		ow.wakeIfSleeping()
+	}
+}
+
+// doMigrate performs the UNO sequence over the freeze rendezvous (see
+// element.freeze). Callers hold el.migMu.
 func (el *element) doMigrate(to device.Kind) (migrate.Report, error) {
 	r := el.parent
 	from := device.Kind(el.loc.Load())
@@ -1094,27 +1137,8 @@ func (el *element) doMigrate(to device.Kind) (migrate.Report, error) {
 		return migrate.Report{}, err
 	}
 
-	// Freeze: flag first (workers re-check paused before every burst and
-	// every inline hop), then rendezvous with each owning worker.
-	el.paused.Store(true)
-	acked := make(chan struct{}, len(el.owners))
-	req := &pauseReq{acked: acked}
-	for _, ow := range el.owners {
-		ow.ctrlPending.Add(1)
-		ow.ctrl <- req
-		ow.wakeIfSleeping()
-	}
-	for range el.owners {
-		<-acked
-	}
-	defer func() {
-		// Resume: clear the flag, then wake the owners — the frozen rings
-		// may hold buffered frames no future push would announce.
-		el.paused.Store(false)
-		for _, ow := range el.owners {
-			ow.wakeIfSleeping()
-		}
-	}()
+	el.freeze()
+	defer el.unfreeze()
 
 	tr := migrate.PCIeTransport{Link: r.cfg.Link, Setup: time.Millisecond}
 	old := *el.inst.Load()

@@ -149,6 +149,12 @@ type ChainLoad struct {
 	Drops uint64
 	// LossRate is Drops/(Drops+DeliveredPkts) for the window.
 	LossRate float64
+	// NICDemand/CPUDemand are the chain's contribution to each device's
+	// demand utilization (Σ offered/θ over the chain's elements on that
+	// device). The fleet coordinator ranks tenants by them to pick which
+	// chain to push to another server when a whole server escalates.
+	NICDemand float64
+	CPUDemand float64
 }
 
 // LoadSample is one polling window's measured load, in catalog units.
@@ -270,6 +276,7 @@ func (s *LoadSampler) Sample() LoadSample {
 
 	out.Chains = make([]ChainLoad, len(r.chains))
 	for ci, tc := range r.chains {
+		var nicDemand, cpuDemand float64
 		for i, el := range tc.elems {
 			cur := &s.elems[ci][i]
 			// Read order matters against a concurrent migration: placement
@@ -330,6 +337,11 @@ func (s *LoadSampler) Sample() LoadSample {
 				dev.Utilization += load.Demand
 				dev.GrantUtilization += load.Utilization
 				dev.Drops += load.Drops
+				if seg.loc == device.KindCPU {
+					cpuDemand += load.Demand
+				} else {
+					nicDemand += load.Demand
+				}
 			}
 			*cur = meterCursor{
 				bytes: bytes, pkts: pkts, drops: drops,
@@ -345,6 +357,8 @@ func (s *LoadSampler) Sample() LoadSample {
 			DeliveredGbps: toGbps(bytes - cur.bytes),
 			DeliveredPkts: pkts - cur.pkts,
 			Drops:         drops - cur.drops,
+			NICDemand:     nicDemand,
+			CPUDemand:     cpuDemand,
 		}
 		if t := cl.Drops + cl.DeliveredPkts; t > 0 {
 			cl.LossRate = float64(cl.Drops) / float64(t)

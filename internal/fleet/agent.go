@@ -1,0 +1,252 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/orchestrator"
+)
+
+// Agent is one server's fleet endpoint: it wraps the server's control loop
+// (orchestrator.Live) and dataplane (emul.Runtime) as the leaf, forwards
+// the loop's scale-out escalations to the coordinator, and executes the
+// staged handoff protocol against the local runtime. Tenants are addressed
+// by chain name — every server pre-provisions every tenant's chain, so the
+// agent resolves a tenant to a local chain index with Runtime.ChainIndex.
+type Agent struct {
+	id   ServerID
+	live *orchestrator.Live
+	tr   Transport
+	// drainTimeout bounds DetachRequest's wait for in-flight frames.
+	drainTimeout time.Duration
+
+	mu sync.Mutex
+	// detachResume holds the source-side loop release between Detach and
+	// Finalize; recvResume the destination-side release between
+	// PrepareReceive and CommitReceive/AbortReceive. Keyed by tenant so a
+	// protocol violation (double prepare, finalize without detach) is an
+	// error instead of a leaked lock.
+	detachResume map[string]func()
+	recvResume   map[string]func()
+}
+
+// NewAgent registers a server on the transport and wires the loop's
+// escalation hook to it. The loop keeps running exactly as before — the
+// agent only adds the upward report and the externally-driven handoff
+// path.
+func NewAgent(id ServerID, live *orchestrator.Live, tr Transport) (*Agent, error) {
+	if live == nil {
+		return nil, errors.New("fleet: agent needs a live loop")
+	}
+	a := &Agent{
+		id:           id,
+		live:         live,
+		tr:           tr,
+		drainTimeout: 2 * time.Second,
+		detachResume: make(map[string]func()),
+		recvResume:   make(map[string]func()),
+	}
+	if err := tr.Register(id, a.handle); err != nil {
+		return nil, err
+	}
+	// The hook runs on the polling goroutine with the loop's decision lock
+	// held: build the report, enqueue it (Escalate never blocks), return.
+	live.OnEscalation(func(ce core.Escalation) {
+		e := Escalation{Server: id, Core: ce}
+		if ls, ok := live.LastSample(); ok {
+			e.Chains = ls.Chains
+		}
+		_ = a.tr.Escalate(e) // a dropped report re-fires next hot streak
+	})
+	return a, nil
+}
+
+// ID returns the server this agent fronts.
+func (a *Agent) ID() ServerID { return a.id }
+
+// handle serves the coordinator's staged protocol. Requests to one agent
+// execute serially (the transport's per-server ordering), so the stage
+// bookkeeping needs no further synchronization beyond a.mu.
+func (a *Agent) handle(req Request) (Reply, error) {
+	switch r := req.(type) {
+	case StatusRequest:
+		// Hot must outlive the detector's fired flag: the loop re-arms the
+		// detector when it escalates (so the episode can retry), which would
+		// otherwise make the server look recovered to the coordinator at the
+		// exact moment it reported being stuck. A server is hot until its
+		// smoothed utilization re-enters the hysteresis band.
+		ls, _ := a.live.LastSample()
+		det := a.live.Detector()
+		hot := det.Fired() || det.SmoothedUtil() >= det.Config().ClearThreshold
+		return StatusReply{Load: ls, Hot: hot}, nil
+	case PrepareReceiveRequest:
+		return a.prepareReceive(r.Tenant)
+	case DetachRequest:
+		return a.detach(r.Tenant)
+	case CommitReceiveRequest:
+		return a.commitReceive(r.Tenant, r)
+	case FinalizeRequest:
+		return a.finalize(r.Tenant, r.Ok)
+	case AbortReceiveRequest:
+		return a.abortReceive(r.Tenant)
+	default:
+		return nil, fmt.Errorf("fleet: agent %s: unknown request %T", a.id, req)
+	}
+}
+
+// chainFor resolves a tenant to its pre-provisioned local chain.
+func (a *Agent) chainFor(tenant string) (int, error) {
+	ci := a.live.Runtime().ChainIndex(tenant)
+	if ci < 0 {
+		return 0, fmt.Errorf("fleet: server %s hosts no chain for tenant %q", a.id, tenant)
+	}
+	return ci, nil
+}
+
+// prepareReceive opens the destination side: suspend the local loop (no
+// local decision may touch the dataplane mid-handoff) and freeze the
+// tenant's chain so traffic rerouted from here on buffers losslessly.
+func (a *Agent) prepareReceive(tenant string) (Reply, error) {
+	ci, err := a.chainFor(tenant)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	if _, busy := a.recvResume[tenant]; busy {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("fleet: server %s already receiving %q", a.id, tenant)
+	}
+	a.mu.Unlock()
+	resume := a.live.Suspend()
+	if err := a.live.Runtime().FreezeChain(ci); err != nil {
+		resume()
+		return nil, err
+	}
+	a.mu.Lock()
+	a.recvResume[tenant] = resume
+	a.mu.Unlock()
+	return PrepareReceiveReply{}, nil
+}
+
+// detach extracts the tenant from the source: quiesce ingress, drain the
+// pipeline, freeze, snapshot. The loop stays suspended — the chain is
+// half-gone and no local decision may run — until Finalize.
+func (a *Agent) detach(tenant string) (Reply, error) {
+	ci, err := a.chainFor(tenant)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	if _, busy := a.detachResume[tenant]; busy {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("fleet: server %s already detaching %q", a.id, tenant)
+	}
+	a.mu.Unlock()
+	rt := a.live.Runtime()
+	resume := a.live.Suspend()
+	fail := func(err error) (Reply, error) {
+		_ = rt.ResumeChain(ci)
+		resume()
+		return nil, err
+	}
+	if err := rt.QuiesceChain(ci); err != nil {
+		return fail(err)
+	}
+	if err := rt.DrainChain(ci, a.drainTimeout); err != nil {
+		return fail(err)
+	}
+	if err := rt.FreezeChain(ci); err != nil {
+		return fail(err)
+	}
+	snap, err := rt.SnapshotChain(ci)
+	if err != nil {
+		return fail(err)
+	}
+	a.mu.Lock()
+	a.detachResume[tenant] = resume
+	a.mu.Unlock()
+	return DetachReply{Snapshot: snap}, nil
+}
+
+// commitReceive installs the shipped snapshot into the frozen chain and
+// thaws it: buffered reroutes replay in order, the local loop learns a
+// chain arrived (cooldown) and resumes.
+func (a *Agent) commitReceive(tenant string, r CommitReceiveRequest) (Reply, error) {
+	ci, err := a.chainFor(tenant)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	resume, ok := a.recvResume[tenant]
+	a.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fleet: server %s: commit for %q without prepare", a.id, tenant)
+	}
+	rt := a.live.Runtime()
+	stateBytes, err := rt.RestoreChain(ci, r.Snapshot)
+	if err != nil {
+		// Leave the chain frozen: the coordinator unwinds with
+		// AbortReceive, which thaws it untouched.
+		return nil, err
+	}
+	buffered, err := rt.ThawChain(ci)
+	if err != nil {
+		return nil, err
+	}
+	a.live.NoteExternalMove(ci)
+	a.mu.Lock()
+	delete(a.recvResume, tenant)
+	a.mu.Unlock()
+	resume()
+	return CommitReceiveReply{StateBytes: stateBytes, Buffered: buffered}, nil
+}
+
+// finalize ends the source side. Ok parks the chain as-is (quiesced and
+// frozen, demand gone); !Ok is the abort path — ingress reopens and the
+// chain serves again. Either way the suspended loop resumes.
+func (a *Agent) finalize(tenant string, ok bool) (Reply, error) {
+	ci, err := a.chainFor(tenant)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	resume, pending := a.detachResume[tenant]
+	delete(a.detachResume, tenant)
+	a.mu.Unlock()
+	if !pending {
+		return nil, fmt.Errorf("fleet: server %s: finalize for %q without detach", a.id, tenant)
+	}
+	if ok {
+		a.live.NoteExternalMove(ci)
+	} else if err := a.live.Runtime().ResumeChain(ci); err != nil {
+		resume()
+		return nil, err
+	}
+	resume()
+	return FinalizeReply{}, nil
+}
+
+// abortReceive unwinds PrepareReceive after a later stage failed: the
+// frozen chain thaws untouched and the loop resumes.
+func (a *Agent) abortReceive(tenant string) (Reply, error) {
+	ci, err := a.chainFor(tenant)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	resume, pending := a.recvResume[tenant]
+	delete(a.recvResume, tenant)
+	a.mu.Unlock()
+	if !pending {
+		return nil, fmt.Errorf("fleet: server %s: abort for %q without prepare", a.id, tenant)
+	}
+	if _, err := a.live.Runtime().ThawChain(ci); err != nil {
+		resume()
+		return nil, err
+	}
+	resume()
+	return AbortReceiveReply{}, nil
+}

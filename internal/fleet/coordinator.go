@@ -1,0 +1,304 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// CoordinatorConfig tunes the fleet tier's placement decisions.
+type CoordinatorConfig struct {
+	// MaxDestUtil is the demand-utilization ceiling a destination may reach
+	// after absorbing the migrated tenant, on either device. Kept below the
+	// detector's clear threshold so the migration lands the destination
+	// calm, not merely not-yet-hot. Default 0.8.
+	MaxDestUtil float64
+}
+
+func (c *CoordinatorConfig) setDefaults() {
+	if c.MaxDestUtil <= 0 {
+		c.MaxDestUtil = 0.8
+	}
+}
+
+// Coordinator is the fleet's brain: it owns the tenant→server Registry,
+// listens for per-server scale-out escalations on the Transport, picks the
+// offending tenant and a calm destination, and executes the staged
+// cross-server chain migration. One coordinator goroutine serves the whole
+// fleet; every dataplane touch happens inside an agent, on the far side of
+// a Transport call.
+type Coordinator struct {
+	reg *Registry
+	tr  Transport
+	cfg CoordinatorConfig
+
+	mu         sync.Mutex
+	migrations []Migration
+	log        []string
+	done       chan struct{}
+}
+
+// NewCoordinator builds a coordinator over an assembled registry and
+// transport. Call Start to begin serving escalations, or drive
+// HandleEscalation / Migrate directly for deterministic tests.
+func NewCoordinator(reg *Registry, tr Transport, cfg CoordinatorConfig) *Coordinator {
+	cfg.setDefaults()
+	return &Coordinator{reg: reg, tr: tr, cfg: cfg}
+}
+
+// Registry exposes the placement map (the traffic router reads it).
+func (c *Coordinator) Registry() *Registry { return c.reg }
+
+// Start launches the serving goroutine. It exits when the transport
+// closes; Wait blocks for that.
+func (c *Coordinator) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done != nil {
+		return
+	}
+	done := make(chan struct{})
+	c.done = done
+	go func() {
+		defer close(done)
+		for e := range c.tr.Escalations() {
+			if _, err := c.HandleEscalation(e); err != nil {
+				c.logf("escalation from %s unresolved: %v", e.Server, err)
+			}
+		}
+	}()
+}
+
+// Wait blocks until the serving goroutine exits (the transport closed).
+// No-op when Start was never called.
+func (c *Coordinator) Wait() {
+	c.mu.Lock()
+	done := c.done
+	c.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+}
+
+// HandleEscalation resolves one scale-out report: re-check the server is
+// still hot (the buffered stream can hold stale repeats), rank its tenants
+// by the escalating window's per-chain demand, pick the calmest feasible
+// destination, and run the staged migration. Returns the executed
+// migration, or an error when the fleet has no feasible relief (every
+// other server too close to its own ceiling).
+func (c *Coordinator) HandleEscalation(e Escalation) (Migration, error) {
+	rep, err := c.status(e.Server)
+	if err != nil {
+		return Migration{}, err
+	}
+	if !rep.Hot {
+		// The server recovered (or a prior migration already relieved it)
+		// between report and handling: a stale repeat, not a failure.
+		c.logf("escalation from %s: already clear, no action", e.Server)
+		return Migration{}, nil
+	}
+	offender, weight, err := c.pickOffender(e)
+	if err != nil {
+		return Migration{}, err
+	}
+	dest, err := c.pickDestination(e, offender)
+	if err != nil {
+		return Migration{}, err
+	}
+	m, err := c.Migrate(offender, dest)
+	if err != nil {
+		return Migration{}, err
+	}
+	m.Reason = e.Core.Reason
+	c.reg.SetWeight(offender, weight)
+	c.mu.Lock()
+	c.migrations[len(c.migrations)-1].Reason = e.Core.Reason
+	c.mu.Unlock()
+	return m, nil
+}
+
+// pickOffender ranks the escalating server's tenants by their measured
+// demand contribution (NIC + CPU) in the escalating window and returns the
+// heaviest — the paper's aggressor, the tenant whose removal relieves the
+// most. Ties break by name for determinism.
+func (c *Coordinator) pickOffender(e Escalation) (tenant string, weight float64, err error) {
+	resident := c.reg.Placements()[e.Server]
+	if len(resident) == 0 {
+		return "", 0, fmt.Errorf("fleet: %s escalated but hosts no tenants", e.Server)
+	}
+	demand := make(map[string]float64, len(e.Chains))
+	for _, cl := range e.Chains {
+		demand[cl.Name] = cl.NICDemand + cl.CPUDemand
+	}
+	sort.Strings(resident)
+	best, bestD := "", -1.0
+	for _, t := range resident {
+		if d := demand[t]; d > bestD {
+			best, bestD = t, d
+		}
+	}
+	return best, bestD, nil
+}
+
+// pickDestination surveys every other server and returns the calmest one
+// that can absorb the offender below the config ceiling on both devices.
+func (c *Coordinator) pickDestination(e Escalation, offender string) (ServerID, error) {
+	var offNIC, offCPU float64
+	for _, cl := range e.Chains {
+		if cl.Name == offender {
+			offNIC, offCPU = cl.NICDemand, cl.CPUDemand
+		}
+	}
+	best, bestUtil := ServerID(""), 0.0
+	for _, s := range c.reg.Servers() {
+		if s == e.Server {
+			continue
+		}
+		rep, err := c.status(s)
+		if err != nil {
+			c.logf("candidate %s unreachable: %v", s, err)
+			continue
+		}
+		nic := rep.Load.NIC.Utilization + offNIC
+		cpu := rep.Load.CPU.Utilization + offCPU
+		if rep.Hot || nic > c.cfg.MaxDestUtil || cpu > c.cfg.MaxDestUtil {
+			continue
+		}
+		util := max(nic, cpu)
+		if best == "" || util < bestUtil {
+			best, bestUtil = s, util
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("fleet: no server can absorb %q (need nic %.2f cpu %.2f under %.2f)",
+			offender, offNIC, offCPU, c.cfg.MaxDestUtil)
+	}
+	return best, nil
+}
+
+func (c *Coordinator) status(s ServerID) (StatusReply, error) {
+	rep, err := c.tr.Call(s, StatusRequest{})
+	if err != nil {
+		return StatusReply{}, err
+	}
+	sr, ok := rep.(StatusReply)
+	if !ok {
+		return StatusReply{}, fmt.Errorf("fleet: %s answered status with %T", s, rep)
+	}
+	return sr, nil
+}
+
+// Migrate runs the staged cross-server chain migration for one tenant:
+//
+//  1. destination PrepareReceive — its copy of the chain freezes
+//  2. registry flip — tenant traffic reroutes into the frozen chain
+//  3. source Detach — quiesce, drain, freeze, snapshot (loop suspended)
+//  4. destination CommitReceive — restore state + placement, thaw, replay
+//  5. source Finalize — chain parks, loop resumes
+//
+// Any stage failure unwinds: the registry flips back, the destination
+// aborts (thaw untouched), the source resumes serving. The tenant loses
+// service only for the drain-to-thaw window, and frames rerouted during it
+// replay from the destination's freeze buffers.
+func (c *Coordinator) Migrate(tenant string, to ServerID) (Migration, error) {
+	from, ok := c.reg.Lookup(tenant)
+	if !ok {
+		return Migration{}, fmt.Errorf("fleet: unknown tenant %q", tenant)
+	}
+	if from == to {
+		return Migration{}, fmt.Errorf("fleet: tenant %q already on %s", tenant, to)
+	}
+	start := time.Now()
+	if _, err := c.tr.Call(to, PrepareReceiveRequest{Tenant: tenant}); err != nil {
+		return Migration{}, fmt.Errorf("fleet: prepare on %s: %w", to, err)
+	}
+	if err := c.reg.Move(tenant, to); err != nil {
+		_, _ = c.tr.Call(to, AbortReceiveRequest{Tenant: tenant})
+		return Migration{}, err
+	}
+	unwind := func(stage string, err error) (Migration, error) {
+		_ = c.reg.Move(tenant, from)
+		_, _ = c.tr.Call(to, AbortReceiveRequest{Tenant: tenant})
+		return Migration{}, fmt.Errorf("fleet: %s: %w", stage, err)
+	}
+	rep, err := c.tr.Call(from, DetachRequest{Tenant: tenant})
+	if err != nil {
+		return unwind(fmt.Sprintf("detach on %s", from), err)
+	}
+	det, ok := rep.(DetachReply)
+	if !ok {
+		return unwind("detach", fmt.Errorf("unexpected reply %T", rep))
+	}
+	rep, err = c.tr.Call(to, CommitReceiveRequest{Tenant: tenant, Snapshot: det.Snapshot})
+	if err != nil {
+		// The source still holds the intact chain: reopen it.
+		_, _ = c.tr.Call(from, FinalizeRequest{Tenant: tenant, Ok: false})
+		return unwind(fmt.Sprintf("commit on %s", to), err)
+	}
+	com, ok := rep.(CommitReceiveReply)
+	if !ok {
+		_, _ = c.tr.Call(from, FinalizeRequest{Tenant: tenant, Ok: false})
+		return unwind("commit", fmt.Errorf("unexpected reply %T", rep))
+	}
+	if _, err := c.tr.Call(from, FinalizeRequest{Tenant: tenant, Ok: true}); err != nil {
+		// The destination already owns the tenant; the source just failed
+		// to park cleanly. Record the migration and surface the error.
+		c.logf("finalize on %s failed: %v", from, err)
+	}
+	m := Migration{
+		Tenant:     tenant,
+		From:       from,
+		To:         to,
+		StateBytes: com.StateBytes,
+		Buffered:   com.Buffered,
+		Took:       time.Since(start),
+	}
+	c.mu.Lock()
+	c.migrations = append(c.migrations, m)
+	c.mu.Unlock()
+	c.logf("migrated %v", m)
+	return m, nil
+}
+
+// Rebalance computes the registry's rebalance plan and executes each move
+// through the staged migration, stopping at the first failure. Called on
+// tenant arrival/departure; maxMoves bounds the disruption (<= 0 means
+// unbounded).
+func (c *Coordinator) Rebalance(maxMoves int) ([]Migration, error) {
+	plan := c.reg.Rebalance(maxMoves)
+	var out []Migration
+	for _, mv := range plan {
+		// Rebalance already flipped the registry; flip back so Migrate owns
+		// the flip at the protocol's reroute point.
+		if err := c.reg.Move(mv.Tenant, mv.From); err != nil {
+			return out, err
+		}
+		m, err := c.Migrate(mv.Tenant, mv.To)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Migrations returns every executed cross-server migration.
+func (c *Coordinator) Migrations() []Migration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Migration(nil), c.migrations...)
+}
+
+// Log returns the coordinator's human-readable event log.
+func (c *Coordinator) Log() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.log...)
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	c.mu.Lock()
+	c.log = append(c.log, fmt.Sprintf(format, args...))
+	c.mu.Unlock()
+}

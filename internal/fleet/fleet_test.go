@@ -1,0 +1,301 @@
+package fleet_test
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/emul"
+	"repro/internal/fleet"
+	"repro/internal/orchestrator"
+	"repro/internal/pcie"
+	"repro/internal/scenario"
+	"repro/internal/traffic"
+)
+
+const (
+	tenantMover    = "mover"
+	tenantNeighbor = "neighbor"
+)
+
+// server is one test server: a runtime pre-provisioned with every tenant's
+// chain, its live loop, its agent, and per-chain delivery counters.
+type server struct {
+	id        fleet.ServerID
+	rt        *emul.Runtime
+	live      *orchestrator.Live
+	delivered [2]atomic.Uint64 // frames out, by chain index
+}
+
+// newServer builds a two-tenant server: mover (a stateful Monitor) at chain
+// 0 and neighbor (a Logger) at chain 1, both on the SmartNIC.
+func newServer(t *testing.T, id fleet.ServerID, tr fleet.Transport) *server {
+	t.Helper()
+	mover, err := chain.New(tenantMover,
+		chain.Element{Name: "mov-mon", Type: device.TypeMonitor, Loc: device.KindSmartNIC},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neighbor, err := chain.New(tenantNeighbor,
+		chain.Element{Name: "nbr-log", Type: device.TypeLogger, Loc: device.KindSmartNIC},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := emul.New(emul.Config{
+		Chains:  []*chain.Chain{mover, neighbor},
+		Catalog: device.Table1(),
+		Link:    pcie.DefaultLink(),
+		Scale:   100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{id: id, rt: rt}
+	rt.SetChainEgressTap(func(ci int, _ []byte) {
+		if ci >= 0 && ci < len(s.delivered) {
+			s.delivered[ci].Add(1)
+		}
+	})
+	rt.Start()
+	t.Cleanup(func() { rt.Close() })
+
+	p := scenario.DefaultParams()
+	live, err := orchestrator.NewLive(rt, orchestrator.Config{
+		PollEvery:     10 * time.Millisecond,
+		MultiSelector: core.MultiPAM{},
+	}, scenario.View(nil, p, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.live = live
+	if _, err := fleet.NewAgent(id, live, tr); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCrossServerMigrationKeepsNeighborDelivered is the satellite -race
+// test: while the mover tenant's chain migrates server A → server B, both
+// servers' co-resident neighbor traffic keeps flowing, and the mover's own
+// frames — rerouted mid-flight by the registry flip — survive via the
+// destination's freeze buffers. Senders, both dataplanes, both agents and
+// the coordinator all run concurrently.
+func TestCrossServerMigrationKeepsNeighborDelivered(t *testing.T) {
+	tr := fleet.NewChanTransport()
+	defer tr.Close()
+	a := newServer(t, "srv-a", tr)
+	b := newServer(t, "srv-b", tr)
+	byID := map[fleet.ServerID]*server{a.id: a, b.id: b}
+
+	reg, err := fleet.NewRegistry(a.id, b.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := reg.Assign(tenantMover, 1.0); s != a.id {
+		t.Fatalf("mover assigned to %s", s)
+	}
+	reg.Assign(tenantNeighbor, 1.0) // lands on b; a's neighbor chain is driven directly
+	coord := fleet.NewCoordinator(reg, tr, fleet.CoordinatorConfig{})
+
+	// Seed the mover's Monitor with state worth shipping.
+	synth := traffic.NewSynth(8, 3)
+	for i := 0; i < 200; i++ {
+		a.rt.SendChain(0, synth.Frame(uint64(i%8), 512))
+	}
+	a.rt.Drain()
+
+	stop := make(chan struct{})
+	senderDone := make(chan struct{})
+	var moverSent, nbrASent, nbrBSent atomic.Uint64
+	go func() {
+		defer close(senderDone)
+		sy := traffic.NewSynth(8, 11)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Mover traffic follows the registry — the flip mid-migration
+			// reroutes it into srv-b's frozen chain, where it buffers.
+			home, _ := reg.Lookup(tenantMover)
+			if byID[home].rt.SendChain(0, sy.Frame(uint64(i%8), 512)) {
+				moverSent.Add(1)
+			}
+			// Neighbor traffic on both servers, unaffected throughout.
+			if a.rt.SendChain(1, sy.Frame(uint64(i%8), 512)) {
+				nbrASent.Add(1)
+			}
+			if b.rt.SendChain(1, sy.Frame(uint64(i%8), 512)) {
+				nbrBSent.Add(1)
+			}
+			time.Sleep(300 * time.Microsecond)
+		}
+	}()
+
+	time.Sleep(20 * time.Millisecond)
+	m, err := coord.Migrate(tenantMover, b.id)
+	if err != nil {
+		t.Fatalf("Migrate: %v\nlog: %s", err, strings.Join(coord.Log(), "\n"))
+	}
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	<-senderDone
+	a.rt.Drain()
+	b.rt.Drain()
+
+	if m.From != a.id || m.To != b.id {
+		t.Errorf("migration %v, want srv-a -> srv-b", m)
+	}
+	if m.StateBytes == 0 {
+		t.Error("no NF state shipped for a stateful Monitor chain")
+	}
+	if home, _ := reg.Lookup(tenantMover); home != b.id {
+		t.Errorf("registry still routes mover to %s", home)
+	}
+	// The parked source chain rejects traffic.
+	if a.rt.SendChain(0, synth.Frame(0, 512)) {
+		t.Error("parked source chain accepted a frame after handoff")
+	}
+
+	// Neighbors: delivered within tolerance of accepted on both servers.
+	for _, tc := range []struct {
+		name      string
+		sent, got uint64
+	}{
+		{"neighbor@a", nbrASent.Load(), a.delivered[1].Load()},
+		{"neighbor@b", nbrBSent.Load(), b.delivered[1].Load()},
+	} {
+		if tc.sent == 0 {
+			t.Fatalf("%s sent nothing", tc.name)
+		}
+		if frac := float64(tc.got) / float64(tc.sent); frac < 0.9 {
+			t.Errorf("%s delivered %d/%d (%.2f), want >= 0.9 despite the concurrent migration",
+				tc.name, tc.got, tc.sent, frac)
+		}
+	}
+	// The mover's accepted frames survive the handoff: drained on the
+	// source before the snapshot, or buffered and replayed on the
+	// destination.
+	moverGot := a.delivered[0].Load() + b.delivered[0].Load()
+	moverAccepted := moverSent.Load() + 200 // plus the state-seeding frames
+	if frac := float64(moverGot) / float64(moverAccepted); frac < 0.95 {
+		t.Errorf("mover delivered %d/%d (%.2f) across the handoff, want >= 0.95",
+			moverGot, moverAccepted, frac)
+	}
+	if b.delivered[0].Load() == 0 {
+		t.Error("destination delivered no mover frames after the handoff")
+	}
+	// The source loop learned of the departure (cooldown event).
+	var external bool
+	for _, e := range a.live.Events() {
+		if e.Kind == orchestrator.EventExternal {
+			external = true
+		}
+	}
+	if !external {
+		t.Errorf("source loop recorded no external-move event:\n%s", a.live.Describe())
+	}
+}
+
+func TestMigrateValidation(t *testing.T) {
+	tr := fleet.NewChanTransport()
+	defer tr.Close()
+	a := newServer(t, "va", tr)
+	_ = newServer(t, "vb", tr)
+	reg, err := fleet.NewRegistry("va", "vb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Assign(tenantMover, 1.0)
+	coord := fleet.NewCoordinator(reg, tr, fleet.CoordinatorConfig{})
+	if _, err := coord.Migrate("ghost", "vb"); err == nil {
+		t.Error("migrating an unknown tenant succeeded")
+	}
+	if _, err := coord.Migrate(tenantMover, "va"); err == nil {
+		t.Error("migrating a tenant onto its own server succeeded")
+	}
+	_ = a
+}
+
+func TestAgentProtocolGuards(t *testing.T) {
+	tr := fleet.NewChanTransport()
+	defer tr.Close()
+	_ = newServer(t, "pg", tr)
+
+	if _, err := tr.Call("pg", fleet.FinalizeRequest{Tenant: tenantMover, Ok: true}); err == nil {
+		t.Error("finalize without detach accepted")
+	}
+	if _, err := tr.Call("pg", fleet.CommitReceiveRequest{Tenant: tenantMover}); err == nil {
+		t.Error("commit without prepare accepted")
+	}
+	if _, err := tr.Call("pg", fleet.AbortReceiveRequest{Tenant: tenantMover}); err == nil {
+		t.Error("abort without prepare accepted")
+	}
+	if _, err := tr.Call("pg", fleet.DetachRequest{Tenant: "ghost"}); err == nil {
+		t.Error("detach of an unhosted tenant accepted")
+	}
+	// Prepare then abort leaves the server fully serviceable.
+	if _, err := tr.Call("pg", fleet.PrepareReceiveRequest{Tenant: tenantMover}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Call("pg", fleet.PrepareReceiveRequest{Tenant: tenantMover}); err == nil {
+		t.Error("double prepare accepted")
+	}
+	if _, err := tr.Call("pg", fleet.AbortReceiveRequest{Tenant: tenantMover}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChanTransportLifecycle(t *testing.T) {
+	tr := fleet.NewChanTransport()
+	if err := tr.Register("x", func(fleet.Request) (fleet.Reply, error) {
+		return fleet.StatusReply{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register("x", nil); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if _, err := tr.Call("nope", fleet.StatusRequest{}); err == nil {
+		t.Error("call to unregistered server succeeded")
+	}
+	if _, err := tr.Call("x", fleet.StatusRequest{}); err != nil {
+		t.Errorf("call failed: %v", err)
+	}
+	if err := tr.Escalate(fleet.Escalation{Server: "x"}); err != nil {
+		t.Errorf("escalate failed: %v", err)
+	}
+	select {
+	case e := <-tr.Escalations():
+		if e.Server != "x" {
+			t.Errorf("escalation from %s", e.Server)
+		}
+	default:
+		t.Error("escalation not delivered")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if _, err := tr.Call("x", fleet.StatusRequest{}); err == nil {
+		t.Error("call after close succeeded")
+	}
+	if err := tr.Escalate(fleet.Escalation{}); err == nil {
+		t.Error("escalate after close succeeded")
+	}
+	if _, open := <-tr.Escalations(); open {
+		t.Error("escalation stream still open after close")
+	}
+	if err := tr.Register("y", nil); err == nil {
+		t.Error("register after close succeeded")
+	}
+}

@@ -1,0 +1,239 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is the coordinator's tenant→server placement map. Placement is
+// traffic routing: every server pre-provisions every tenant's chain, so
+// "tenant T lives on server S" means T's frames are sent to S's runtime
+// and T's chain on every other server sits parked. Assignment is
+// weighted-least-loaded with deterministic tie-breaks (declaration order),
+// so a seeded churn sequence always reproduces the same placements.
+type Registry struct {
+	mu      sync.RWMutex
+	servers []ServerID
+	rank    map[ServerID]int // declaration order, the tie-break
+	tenants map[string]ServerID
+	weights map[string]float64
+}
+
+// RegistryMove is one rebalance step: move the tenant From→To.
+type RegistryMove struct {
+	Tenant string
+	From   ServerID
+	To     ServerID
+}
+
+// NewRegistry builds a registry over the given servers, in the order that
+// breaks load ties.
+func NewRegistry(servers ...ServerID) (*Registry, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("fleet: registry needs at least one server")
+	}
+	r := &Registry{
+		servers: append([]ServerID(nil), servers...),
+		rank:    make(map[ServerID]int, len(servers)),
+		tenants: make(map[string]ServerID),
+		weights: make(map[string]float64),
+	}
+	for i, s := range servers {
+		if _, dup := r.rank[s]; dup {
+			return nil, fmt.Errorf("fleet: duplicate server %q", s)
+		}
+		r.rank[s] = i
+	}
+	return r, nil
+}
+
+// Servers returns the fleet's servers in declaration order.
+func (r *Registry) Servers() []ServerID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]ServerID(nil), r.servers...)
+}
+
+// Assign places an arriving tenant on the least-loaded server (by summed
+// tenant weight, ties by declaration order) and returns it. Re-assigning an
+// existing tenant updates its weight in place without moving it.
+func (r *Registry) Assign(tenant string, weight float64) ServerID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.tenants[tenant]; ok {
+		r.weights[tenant] = weight
+		return s
+	}
+	best := r.leastLoaded()
+	r.tenants[tenant] = best
+	r.weights[tenant] = weight
+	return best
+}
+
+// leastLoaded picks the min-load server, ties by declaration order.
+// Callers hold mu.
+func (r *Registry) leastLoaded() ServerID {
+	best := r.servers[0]
+	bestLoad := r.load(best)
+	for _, s := range r.servers[1:] {
+		if l := r.load(s); l < bestLoad {
+			best, bestLoad = s, l
+		}
+	}
+	return best
+}
+
+// load sums the weights placed on s. Callers hold mu.
+func (r *Registry) load(s ServerID) float64 {
+	var sum float64
+	for t, on := range r.tenants {
+		if on == s {
+			sum += r.weights[t]
+		}
+	}
+	return sum
+}
+
+// Remove deletes a departing tenant.
+func (r *Registry) Remove(tenant string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.tenants, tenant)
+	delete(r.weights, tenant)
+}
+
+// Lookup returns the tenant's server.
+func (r *Registry) Lookup(tenant string) (ServerID, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.tenants[tenant]
+	return s, ok
+}
+
+// SetWeight updates a placed tenant's weight (the coordinator refreshes it
+// from measured per-chain demand).
+func (r *Registry) SetWeight(tenant string, weight float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tenants[tenant]; ok {
+		r.weights[tenant] = weight
+	}
+}
+
+// Move repoints a tenant at a server (the routing flip of a cross-server
+// migration).
+func (r *Registry) Move(tenant string, to ServerID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.rank[to]; !ok {
+		return fmt.Errorf("fleet: unknown server %q", to)
+	}
+	if _, ok := r.tenants[tenant]; !ok {
+		return fmt.Errorf("fleet: unknown tenant %q", tenant)
+	}
+	r.tenants[tenant] = to
+	return nil
+}
+
+// Load returns the summed tenant weight placed on s.
+func (r *Registry) Load(s ServerID) float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.load(s)
+}
+
+// Placements returns each server's tenants, sorted, keyed by server.
+func (r *Registry) Placements() map[ServerID][]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[ServerID][]string, len(r.servers))
+	for _, s := range r.servers {
+		out[s] = nil
+	}
+	for t, s := range r.tenants {
+		out[s] = append(out[s], t)
+	}
+	for _, ts := range out {
+		sort.Strings(ts)
+	}
+	return out
+}
+
+// Rebalance computes up to maxMoves tenant moves that shrink the fleet's
+// load spread: each step moves the lightest tenant off the most-loaded
+// server that still lands the pair closer together, stopping when no move
+// helps. maxMoves <= 0 means unbounded. The result is deterministic for a
+// given placement (sorted iteration, declaration-order ties) and is a
+// *plan* — the caller routes each move through the staged migration to
+// make it real.
+func (r *Registry) Rebalance(maxMoves int) []RegistryMove {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var plan []RegistryMove
+	// Each accepted move strictly shrinks the mover pair's gap, but the
+	// global spread is recomputed per step; the tenant-count bound keeps a
+	// pathological placement from cycling.
+	for i := 0; i < len(r.tenants) && (maxMoves <= 0 || len(plan) < maxMoves); i++ {
+		mv, ok := r.bestMove()
+		if !ok {
+			break
+		}
+		r.tenants[mv.Tenant] = mv.To
+		plan = append(plan, mv)
+	}
+	return plan
+}
+
+// bestMove finds the single move that most reduces the max-min load gap,
+// or ok=false when none helps. Callers hold mu.
+func (r *Registry) bestMove() (RegistryMove, bool) {
+	if len(r.servers) < 2 {
+		return RegistryMove{}, false
+	}
+	hi, lo := r.servers[0], r.servers[0]
+	hiLoad, loLoad := r.load(hi), r.load(lo)
+	for _, s := range r.servers[1:] {
+		l := r.load(s)
+		if l > hiLoad {
+			hi, hiLoad = s, l
+		}
+		if l < loLoad {
+			lo, loLoad = s, l
+		}
+	}
+	gap := hiLoad - loLoad
+	if gap <= 0 {
+		return RegistryMove{}, false
+	}
+	// Among the hot server's tenants, the one whose weight sits closest to
+	// half the gap leaves the pair most even after the move (a weight w
+	// turns the pairwise gap into |gap−2w|, minimized at w = gap/2); any
+	// 0 < w < gap strictly shrinks it. Names sorted so ties are
+	// deterministic.
+	var names []string
+	for t, s := range r.tenants {
+		if s == hi {
+			names = append(names, t)
+		}
+	}
+	sort.Strings(names)
+	best, bestAfter := "", gap
+	for _, t := range names {
+		w := r.weights[t]
+		if w <= 0 || w >= gap {
+			continue
+		}
+		after := gap - 2*w
+		if after < 0 {
+			after = -after
+		}
+		if after < bestAfter {
+			best, bestAfter = t, after
+		}
+	}
+	if best == "" {
+		return RegistryMove{}, false
+	}
+	return RegistryMove{Tenant: best, From: hi, To: lo}, true
+}

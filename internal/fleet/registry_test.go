@@ -1,0 +1,188 @@
+package fleet_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// churn replays a seeded arrival/departure sequence against a fresh
+// registry and returns it. Same seed, same resulting placement — the
+// determinism the fleet tier's reproducibility rests on.
+func churn(t *testing.T, seed int64, ops int) *fleet.Registry {
+	t.Helper()
+	reg, err := fleet.NewRegistry("s0", "s1", "s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var present []string
+	next := 0
+	for i := 0; i < ops; i++ {
+		if len(present) == 0 || rng.Float64() < 0.6 {
+			name := fmt.Sprintf("tenant-%03d", next)
+			next++
+			reg.Assign(name, 0.1+rng.Float64())
+			present = append(present, name)
+		} else {
+			idx := rng.Intn(len(present))
+			reg.Remove(present[idx])
+			present = append(present[:idx], present[idx+1:]...)
+		}
+	}
+	return reg
+}
+
+func spread(reg *fleet.Registry) float64 {
+	servers := reg.Servers()
+	lo, hi := reg.Load(servers[0]), reg.Load(servers[0])
+	for _, s := range servers[1:] {
+		l := reg.Load(s)
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	return hi - lo
+}
+
+func TestRegistryChurnDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		a := churn(t, seed, 200)
+		b := churn(t, seed, 200)
+		if !reflect.DeepEqual(a.Placements(), b.Placements()) {
+			t.Errorf("seed %d: same churn, different placements:\n%v\n%v",
+				seed, a.Placements(), b.Placements())
+		}
+		planA := a.Rebalance(0)
+		planB := b.Rebalance(0)
+		if !reflect.DeepEqual(planA, planB) {
+			t.Errorf("seed %d: same placement, different rebalance plan:\n%v\n%v",
+				seed, planA, planB)
+		}
+	}
+}
+
+func TestRegistryAssignLeastLoaded(t *testing.T) {
+	reg, err := fleet.NewRegistry("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := reg.Assign("t1", 1.0); s != "a" {
+		t.Errorf("first tenant on %s, want declaration-order tie-break to a", s)
+	}
+	if s := reg.Assign("t2", 0.5); s != "b" {
+		t.Errorf("second tenant on %s, want the empty server b", s)
+	}
+	if s := reg.Assign("t3", 0.1); s != "b" {
+		t.Errorf("third tenant on %s, want the lighter server b", s)
+	}
+	if s := reg.Assign("t1", 2.0); s != "a" {
+		t.Errorf("re-assign moved t1 to %s", s)
+	}
+	if w := reg.Load("a"); w != 2.0 {
+		t.Errorf("re-assign did not update weight: load(a) = %v", w)
+	}
+}
+
+func TestRegistryRebalanceShrinksSpread(t *testing.T) {
+	reg := churn(t, 99, 300)
+	// Pile everything onto one server, then rebalance.
+	pl := reg.Placements()
+	for _, ts := range pl {
+		for _, tn := range ts {
+			if err := reg.Move(tn, "s0"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := spread(reg)
+	plan := reg.Rebalance(0)
+	after := spread(reg)
+	if len(plan) == 0 {
+		t.Fatal("no rebalance plan for a fully skewed placement")
+	}
+	if after >= before {
+		t.Errorf("rebalance left spread %.3f, was %.3f", after, before)
+	}
+	for _, mv := range plan {
+		if mv.From != "s0" {
+			t.Errorf("move %v drains the wrong server", mv)
+		}
+	}
+	// A second pass finds little or nothing left to move.
+	if again := reg.Rebalance(0); len(again) > len(plan) {
+		t.Errorf("rebalance not converging: second pass wants %d moves", len(again))
+	}
+}
+
+func TestRegistryRebalanceRespectsMaxMoves(t *testing.T) {
+	reg, err := fleet.NewRegistry("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		reg.Assign(fmt.Sprintf("t%d", i), 1.0)
+		if err := reg.Move(fmt.Sprintf("t%d", i), "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if plan := reg.Rebalance(2); len(plan) > 2 {
+		t.Errorf("maxMoves=2 produced %d moves", len(plan))
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	if _, err := fleet.NewRegistry(); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := fleet.NewRegistry("a", "a"); err == nil {
+		t.Error("duplicate server accepted")
+	}
+	reg, err := fleet.NewRegistry("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Move("ghost", "a"); err == nil {
+		t.Error("move of unknown tenant accepted")
+	}
+	reg.Assign("t", 1)
+	if err := reg.Move("t", "ghost-server"); err == nil {
+		t.Error("move to unknown server accepted")
+	}
+	if _, ok := reg.Lookup("ghost"); ok {
+		t.Error("lookup of unknown tenant succeeded")
+	}
+}
+
+// BenchmarkFleetRebalance measures the coordinator-side cost of planning a
+// full rebalance of a skewed 64-tenant, 4-server fleet — pure registry
+// arithmetic, no transport, no dataplane.
+func BenchmarkFleetRebalance(b *testing.B) {
+	reg, err := fleet.NewRegistry("s0", "s1", "s2", "s3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, 64)
+	rng := rand.New(rand.NewSource(5))
+	for i := range names {
+		names[i] = fmt.Sprintf("tenant-%03d", i)
+		reg.Assign(names[i], 0.1+rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tn := range names {
+			if err := reg.Move(tn, "s0"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if plan := reg.Rebalance(0); len(plan) == 0 {
+			b.Fatal("no plan for a fully skewed placement")
+		}
+	}
+}

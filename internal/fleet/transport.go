@@ -1,0 +1,254 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/emul"
+)
+
+// Transport carries every coordinator↔agent exchange: synchronous staged
+// RPCs coordinator→agent (Call) and the asynchronous escalation stream
+// agent→coordinator (Escalate / Escalations). Keeping the boundary here
+// means the same coordinator logic would drive a wire transport; the
+// in-process ChanTransport below keeps the whole fleet in one -race test
+// binary.
+type Transport interface {
+	// Register installs a server's request handler. One handler per server.
+	Register(id ServerID, h Handler) error
+	// Call delivers a request to a server and blocks for its reply.
+	Call(id ServerID, req Request) (Reply, error)
+	// Escalate enqueues a server's scale-out report for the coordinator.
+	// It must not block: it is called from the per-server polling
+	// goroutine with the loop's decision lock held.
+	Escalate(e Escalation) error
+	// Escalations is the coordinator's receive side; closed by Close.
+	Escalations() <-chan Escalation
+	// Close tears the transport down; subsequent calls fail.
+	Close() error
+}
+
+// Handler serves one server's side of the staged protocol.
+type Handler func(Request) (Reply, error)
+
+// Request is a coordinator→agent message. The concrete types below are the
+// protocol's stages.
+type Request interface{ isRequest() }
+
+// Reply is an agent's response to a Request.
+type Reply interface{ isReply() }
+
+// StatusRequest asks a server for its current load picture.
+type StatusRequest struct{}
+
+// StatusReply is the server's answer: its last closed sampling window and
+// the detector's hot state.
+type StatusReply struct {
+	Load emul.LoadSample
+	// Hot reports whether the server is in (or has not yet recovered from)
+	// an overload episode: its detector is fired, or the smoothed
+	// utilization is still above the hysteresis clear threshold.
+	Hot bool
+}
+
+// PrepareReceiveRequest (coordinator→destination) opens a handoff: the
+// destination suspends its local loop and freezes the tenant's
+// pre-provisioned chain so rerouted traffic buffers losslessly.
+type PrepareReceiveRequest struct{ Tenant string }
+
+// PrepareReceiveReply acknowledges the freeze.
+type PrepareReceiveReply struct{}
+
+// DetachRequest (coordinator→source) extracts the tenant: quiesce ingress,
+// drain in-flight frames, freeze, snapshot. The source loop stays
+// suspended until FinalizeRequest.
+type DetachRequest struct{ Tenant string }
+
+// DetachReply carries the chain's migratable image.
+type DetachReply struct{ Snapshot emul.ChainSnapshot }
+
+// CommitReceiveRequest (coordinator→destination) installs the snapshot and
+// thaws: buffered reroutes replay, the destination loop resumes.
+type CommitReceiveRequest struct {
+	Tenant   string
+	Snapshot emul.ChainSnapshot
+}
+
+// CommitReceiveReply reports what the install moved.
+type CommitReceiveReply struct {
+	StateBytes int
+	Buffered   int
+}
+
+// FinalizeRequest (coordinator→source) ends the handoff. Ok=true parks the
+// source chain (quiesced and frozen, its demand gone from the server);
+// Ok=false is the abort path: ingress reopens and the chain resumes as if
+// nothing happened. Either way the source loop resumes.
+type FinalizeRequest struct {
+	Tenant string
+	Ok     bool
+}
+
+// FinalizeReply acknowledges the finalize.
+type FinalizeReply struct{}
+
+// AbortReceiveRequest (coordinator→destination) unwinds PrepareReceive
+// when a later stage failed: the frozen chain thaws untouched and the
+// destination loop resumes.
+type AbortReceiveRequest struct{ Tenant string }
+
+// AbortReceiveReply acknowledges the unwind.
+type AbortReceiveReply struct{}
+
+func (StatusRequest) isRequest()         {}
+func (PrepareReceiveRequest) isRequest() {}
+func (DetachRequest) isRequest()         {}
+func (CommitReceiveRequest) isRequest()  {}
+func (FinalizeRequest) isRequest()       {}
+func (AbortReceiveRequest) isRequest()   {}
+
+func (StatusReply) isReply()         {}
+func (PrepareReceiveReply) isReply() {}
+func (DetachReply) isReply()         {}
+func (CommitReceiveReply) isReply()  {}
+func (FinalizeReply) isReply()       {}
+func (AbortReceiveReply) isReply()   {}
+
+// escalationBuffer bounds the coordinator's inbox. Escalations repeat
+// (the per-server loop re-arms and re-fires while hot), so dropping one
+// under a full buffer loses nothing but latency.
+const escalationBuffer = 64
+
+// ChanTransport is the in-process Transport: one serving goroutine per
+// registered server, channel-backed RPC, a buffered escalation stream.
+type ChanTransport struct {
+	mu      sync.Mutex
+	servers map[ServerID]chan rpc
+	wg      sync.WaitGroup
+	esc     chan Escalation
+	// quit, closed by Close, releases in-flight Calls and stops the
+	// serving goroutines; the rpc channels themselves stay open so a
+	// racing Call can never send on a closed channel.
+	quit   chan struct{}
+	closed bool
+}
+
+type rpc struct {
+	req   Request
+	reply chan rpcReply
+}
+
+type rpcReply struct {
+	rep Reply
+	err error
+}
+
+// NewChanTransport builds an empty in-process transport.
+func NewChanTransport() *ChanTransport {
+	return &ChanTransport{
+		servers: make(map[ServerID]chan rpc),
+		esc:     make(chan Escalation, escalationBuffer),
+		quit:    make(chan struct{}),
+	}
+}
+
+// Register implements Transport: it spawns the server's serving goroutine.
+// All requests to one server execute serially on it, which is the staged
+// protocol's per-server ordering guarantee.
+func (t *ChanTransport) Register(id ServerID, h Handler) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return errors.New("fleet: transport closed")
+	}
+	if _, dup := t.servers[id]; dup {
+		return fmt.Errorf("fleet: server %q already registered", id)
+	}
+	ch := make(chan rpc)
+	t.servers[id] = ch
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for {
+			select {
+			case <-t.quit:
+				return
+			case c := <-ch:
+				rep, err := h(c.req)
+				c.reply <- rpcReply{rep: rep, err: err}
+			}
+		}
+	}()
+	return nil
+}
+
+// Call implements Transport. The coordinator boundary is control plane by
+// construction — every Call crosses a channel rendezvous and blocks for
+// the agent's staged work.
+//
+//pam:slowpath
+func (t *ChanTransport) Call(id ServerID, req Request) (Reply, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, errors.New("fleet: transport closed")
+	}
+	ch, ok := t.servers[id]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fleet: no server %q", id)
+	}
+	c := rpc{req: req, reply: make(chan rpcReply, 1)}
+	select {
+	case ch <- c:
+	case <-t.quit:
+		return nil, errors.New("fleet: transport closed")
+	}
+	select {
+	case r := <-c.reply:
+		return r.rep, r.err
+	case <-t.quit:
+		return nil, errors.New("fleet: transport closed")
+	}
+}
+
+// Escalate implements Transport. Non-blocking by contract: the report is
+// dropped (with an error) when the coordinator's inbox is full, because
+// the per-server loop re-fires the same verdict after its next hot streak.
+//
+//pam:slowpath
+func (t *ChanTransport) Escalate(e Escalation) error {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return errors.New("fleet: transport closed")
+	}
+	select {
+	case t.esc <- e:
+		return nil
+	default:
+		return fmt.Errorf("fleet: escalation inbox full, dropped report from %s", e.Server)
+	}
+}
+
+// Escalations implements Transport.
+func (t *ChanTransport) Escalations() <-chan Escalation { return t.esc }
+
+// Close implements Transport: server goroutines drain and exit, then the
+// escalation stream closes so a coordinator ranging over it terminates.
+func (t *ChanTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.servers = map[ServerID]chan rpc{}
+	t.mu.Unlock()
+	close(t.quit)
+	t.wg.Wait()
+	close(t.esc)
+	return nil
+}

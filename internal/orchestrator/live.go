@@ -141,6 +141,29 @@ func (o *Live) Samples() []emul.LoadSample {
 	return append([]emul.LoadSample(nil), o.samples...)
 }
 
+// LastSample returns the most recent non-degenerate sampling window, or
+// false before the first one closes. The fleet agent enriches escalation
+// reports with its per-chain breakdown so the coordinator can identify the
+// offending tenant.
+func (o *Live) LastSample() (emul.LoadSample, bool) {
+	o.smu.Lock()
+	defer o.smu.Unlock()
+	if len(o.samples) == 0 {
+		return emul.LoadSample{}, false
+	}
+	return o.samples[len(o.samples)-1], true
+}
+
+// Runtime exposes the dataplane this loop controls (the fleet agent
+// executes chain handoffs against it).
+func (o *Live) Runtime() *emul.Runtime { return o.rt }
+
+// NoteExternalMove is NoteExternalMove on the underlying loop stamped with
+// the runtime's clock.
+func (o *Live) NoteExternalMove(chainIdx int) {
+	o.loop.NoteExternalMove(o.rt.Elapsed(), chainIdx)
+}
+
 // Start launches the background poller. Stop (or abandoning the runtime)
 // ends it; Start after Stop restarts it.
 func (o *Live) Start() {

@@ -146,8 +146,8 @@ func TestLiveLoopSkipsAndRearmsOnUnexecutablePlan(t *testing.T) {
 	defer rt.Close()
 	p := scenario.DefaultParams()
 	// Every fired episode yields the both-overloaded terminal error, is
-	// logged as skipped, and the detector re-arms so the next hot window
-	// can fire a genuine retry.
+	// logged as a structured escalation, and the detector re-arms so the
+	// next hot window can fire a genuine retry.
 	live, err := orchestrator.NewLive(rt, orchestrator.Config{
 		PollEvery: 10 * time.Millisecond,
 		Selector:  noPlan{},
@@ -162,10 +162,10 @@ func TestLiveLoopSkipsAndRearmsOnUnexecutablePlan(t *testing.T) {
 	}
 	evs := live.Events()
 	if len(evs) < 2 {
-		t.Fatalf("want repeated skip events after re-arm, got %+v", evs)
+		t.Fatalf("want repeated escalation events after re-arm, got %+v", evs)
 	}
 	for _, e := range evs {
-		if e.Kind != orchestrator.EventSkipped {
+		if e.Kind != orchestrator.EventEscalated {
 			t.Errorf("unexpected event %+v", e)
 		}
 	}

@@ -98,6 +98,9 @@ type Event struct {
 	Plan     core.MultiPlan
 	Err      error
 	Downtime time.Duration
+	// Escalation carries the structured scale-out report for
+	// EventEscalated entries.
+	Escalation *core.Escalation
 }
 
 // EventKind classifies control-loop events.
@@ -121,6 +124,16 @@ const (
 	// element migrated back to its original device after the overload
 	// passed (Config.ReclaimAfter).
 	EventReclaimed
+	// EventEscalated records the scale-out terminal case (both devices hot,
+	// no feasible Multi-PAM plan) reported upward as a structured
+	// core.Escalation instead of a dead-end skip. The loop still re-arms:
+	// if no fleet tier acts, the verdict is retried like any skip.
+	EventEscalated
+	// EventExternal records an externally-driven chain migration the fleet
+	// tier executed against this server's dataplane (NoteExternalMove):
+	// the loop starts its cooldown and drops the chain's reclaim
+	// candidates, but the move itself was not its decision.
+	EventExternal
 )
 
 // String names the kind.
@@ -134,6 +147,10 @@ func (k EventKind) String() string {
 		return "limit-reached"
 	case EventReclaimed:
 		return "reclaimed"
+	case EventEscalated:
+		return "escalated"
+	case EventExternal:
+		return "external-move"
 	}
 	return "migrated"
 }
@@ -215,6 +232,9 @@ type loop struct {
 	calm     int // consecutive below-ClearThreshold windows (reclaim gate)
 	armed    int // consecutive windows the reclaim headroom guard held
 	reclaims int
+	// escalate, when set, receives the structured scale-out report for
+	// every terminal-case episode (see OnEscalation).
+	escalate func(core.Escalation)
 }
 
 func newLoop(cfg Config, view func() core.MultiView, exec func(core.MultiPlan) (time.Duration, error)) (*loop, error) {
@@ -274,6 +294,20 @@ func (l *loop) observe(now time.Duration, s telemetry.Sample) {
 		// measured throughput moves, so a terminal verdict now (e.g.
 		// both-overloaded at this θcur) need not be terminal next window.
 		l.detector.Rearm()
+		if errors.Is(err, core.ErrBothOverloaded) {
+			// The paper's scale-out terminal case: report it upward as a
+			// structured escalation rather than a dead-end skip, so a fleet
+			// tier can relieve the server by migrating a tenant away.
+			esc := escalationFrom(now, v, s, throughput)
+			l.mu.Lock()
+			l.events = append(l.events, Event{At: now, Kind: EventEscalated, Err: err, Escalation: &esc})
+			fn := l.escalate
+			l.mu.Unlock()
+			if fn != nil {
+				fn(esc)
+			}
+			return
+		}
 		l.appendEvent(Event{At: now, Kind: EventSkipped, Err: err})
 		return
 	}
@@ -481,6 +515,73 @@ func rescale(loads []core.Load, smoothedTotal float64) {
 	}
 }
 
+// escalationFrom builds the structured scale-out report for a terminal
+// verdict: the measured demand picture from the window that fired, with
+// the reason classified against the same measured utilizations the
+// selector checked. A model-driven backend (no measured utilizations in
+// the view) reaches the verdict by exhausting candidates, which is the
+// no-feasible-plan form.
+func escalationFrom(now time.Duration, v core.MultiView, s telemetry.Sample, throughput float64) core.Escalation {
+	th := v.OverloadThreshold
+	if th <= 0 {
+		th = core.DefaultOverloadThreshold
+	}
+	reason := core.EscalateNoFeasiblePlan
+	if v.MeasuredNICUtil >= th && v.MeasuredCPUUtil >= th {
+		reason = core.EscalateBothOverloaded
+	}
+	return core.Escalation{
+		At:            now,
+		Reason:        reason,
+		NICUtil:       s.NICUtil,
+		CPUUtil:       s.CPUUtil,
+		DMAUtil:       s.DMAUtil,
+		DeliveredGbps: throughput,
+	}
+}
+
+// OnEscalation installs the hook that receives every terminal-case report
+// (nil uninstalls it). The hook runs on the polling goroutine with the
+// loop's decision lock held, so it must not block and must not call back
+// into the loop — a fleet agent forwards the report to its coordinator's
+// queue and returns.
+func (l *loop) OnEscalation(fn func(core.Escalation)) {
+	l.mu.Lock()
+	l.escalate = fn
+	l.mu.Unlock()
+}
+
+// Suspend takes the loop's decision lock and returns the release. While
+// suspended no poll can detect, select or execute, which is how the fleet
+// tier keeps the local control plane's hands off the dataplane during an
+// externally-driven cross-server migration. Polls taken meanwhile block
+// until resume.
+func (l *loop) Suspend() (resume func()) {
+	l.decideMu.Lock()
+	return l.decideMu.Unlock
+}
+
+// NoteExternalMove records that the fleet tier moved a chain in or out of
+// this server's dataplane: the cooldown starts (the dataplane just changed
+// and must settle before the next local decision), the reclaim streaks
+// reset, and any reclaim candidates belonging to the moved chain are
+// dropped — their elements are no longer this server's to restore.
+func (l *loop) NoteExternalMove(now time.Duration, chainIdx int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.moved = true
+	l.lastMove = now
+	l.calm, l.armed = 0, 0
+	kept := l.pushed[:0]
+	for _, m := range l.pushed {
+		if m.ChainIndex != chainIdx {
+			kept = append(kept, m)
+		}
+	}
+	l.pushed = kept
+	l.events = append(l.events, Event{At: now, Kind: EventExternal})
+}
+
 func (l *loop) appendEvent(e Event) {
 	l.mu.Lock()
 	l.events = append(l.events, e)
@@ -530,10 +631,14 @@ func (e Event) Format(round time.Duration) string {
 		at = at.Round(round)
 	}
 	switch {
+	case e.Kind == EventEscalated && e.Escalation != nil:
+		return fmt.Sprintf("[%8v] %v: %v", at, e.Kind, *e.Escalation)
 	case e.Err != nil:
 		return fmt.Sprintf("[%8v] %v: %v", at, e.Kind, e.Err)
 	case e.Kind == EventMigrated || e.Kind == EventReclaimed:
 		return fmt.Sprintf("[%8v] %v: %v (downtime %v)", at, e.Kind, e.Plan, e.Downtime)
+	case e.Kind == EventExternal:
+		return fmt.Sprintf("[%8v] %v: fleet tier migrated a chain in or out", at, e.Kind)
 	default:
 		return fmt.Sprintf("[%8v] %v: overload episode suppressed", at, e.Kind)
 	}

@@ -104,11 +104,12 @@ func (o *Orchestrator) Start() {
 
 func (o *Orchestrator) poll() {
 	defer o.sim.Engine().After(o.cfg.PollEvery, o.poll)
-	nicU, cpuU, delivered := o.sim.WindowStats()
+	nicU, cpuU, dmaU, delivered := o.sim.WindowStats()
 	o.observe(o.sim.Engine().Now(), telemetry.Sample{
 		At:            o.sim.Engine().Now(),
 		NICUtil:       nicU,
 		CPUUtil:       cpuU,
+		DMAUtil:       dmaU,
 		DeliveredGbps: delivered,
 	})
 }

@@ -165,13 +165,20 @@ func TestSkippedEventWhenBothOverloaded(t *testing.T) {
 	if o.Migrations() != 0 {
 		t.Fatalf("migrated despite infeasible CPU:\n%s", o.Describe())
 	}
-	var sawSkip bool
+	var sawEscalation bool
 	for _, e := range o.Events() {
-		if e.Kind == orchestrator.EventSkipped && errors.Is(e.Err, core.ErrBothOverloaded) {
-			sawSkip = true
+		if e.Kind == orchestrator.EventEscalated && errors.Is(e.Err, core.ErrBothOverloaded) {
+			sawEscalation = true
+			if e.Escalation == nil {
+				t.Error("escalated event carries no structured report")
+			} else if e.Escalation.Reason != core.EscalateNoFeasiblePlan {
+				// The DES view carries no measured utilizations, so the
+				// verdict is reached by exhausting candidates.
+				t.Errorf("reason = %v, want no-feasible-plan", e.Escalation.Reason)
+			}
 		}
 	}
-	if !sawSkip {
-		t.Errorf("no both-overloaded skip event:\n%s", o.Describe())
+	if !sawEscalation {
+		t.Errorf("no both-overloaded escalation event:\n%s", o.Describe())
 	}
 }

@@ -1,0 +1,389 @@
+package scenario
+
+// The fleet scale-out scenario: the paper's terminal case — both devices
+// hot, no feasible Multi-PAM plan — resolved one tier up. Two emulated
+// servers each run the full single-server closed loop (emul.Runtime +
+// orchestrator.Live); a fleet.Coordinator owns the tenant→server placement
+// registry and listens on a fleet.Transport. Server A hosts a NIC-heavy
+// background, a CPU-heavy background, and a storm tenant whose ramp
+// demand-overloads *both* devices at once, so the local loop cannot push
+// any border vNF aside (every candidate move would overload the other
+// device) and instead reports a structured escalation. The coordinator
+// ranks A's tenants by their measured per-chain demand, picks the storm as
+// the offender, verifies the calm server B can absorb it under the
+// destination ceiling, and executes the staged cross-server chain
+// migration: B's copy of the chain freezes, the registry flip reroutes the
+// storm's traffic into the freeze buffers, A drains and snapshots, B
+// restores and replays. A's detector then clears and its backgrounds
+// recover while B's own background never stops flowing. The one runner
+// backs the fleet_scaleout example, `pamctl -engine emul fleet`, and the
+// -race fleet e2e test, so they all exercise an identical configuration
+// (see DESIGN.md §4 and §5).
+
+import (
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/emul"
+	"repro/internal/fleet"
+	"repro/internal/orchestrator"
+	"repro/internal/traffic"
+)
+
+// Calibrated fleet defaults (provenance in DESIGN.md §5). Server A's
+// steady backgrounds pin each device individually below threshold (NIC
+// 1.4/2 = 0.70 via a Logger, CPU 2.8/4 = 0.70); the storm's ramp adds
+// 1.3/2 = 0.65 NIC and 1.3/4 = 0.325 CPU demand, lifting A to NIC 1.35 /
+// CPU 1.025 — the scale-out terminal case. Terminality must hold in the
+// *model* too, or Multi-PAM finds a local escape instead of escalating:
+// both loaded NIC residents are Loggers (θC = 4, the costliest CPU
+// tenancy), so every Eq. 2 check lands the CPU ≥ 1 even on rescaled
+// (measured-throughput) loads, and the idle chains' border elements carry
+// no load, so moving one never satisfies Eq. 3 — the border set exhausts
+// and the loop reports upward. Server B idles at NIC 0.094, so absorbing
+// the storm lands it at NIC 0.744 / CPU 0.325, under the coordinator's
+// 0.8 destination ceiling; and with the storm gone A falls back to
+// 0.70/0.70, under the detector's 0.80 clear threshold — the escalate →
+// migrate → clear arc the e2e asserts.
+const (
+	// FleetBusyNICGbps is server A's NIC-heavy background offered load.
+	FleetBusyNICGbps = 1.4
+	// FleetBusyCPUGbps is server A's CPU-heavy background offered load.
+	FleetBusyCPUGbps = 2.8
+	// FleetCalmNICGbps is server B's background offered load.
+	FleetCalmNICGbps = 0.3
+	// FleetStormCalmGbps is the storm tenant's pre-ramp offered load.
+	FleetStormCalmGbps = 0.1
+	// FleetStormGbps is the storm tenant's ramp offered load.
+	FleetStormGbps = 1.3
+	// FleetStormOnset is when the storm leaves its calm phase.
+	FleetStormOnset = 400 * time.Millisecond
+	// FleetTotal is the run length: the onset plus enough post-migration
+	// windows for A's smoothed demand to decay below the clear threshold
+	// and the recovered steady state to be measured.
+	FleetTotal = 2 * time.Second
+)
+
+// The two emulated servers.
+const (
+	FleetServerA fleet.ServerID = "srv-a"
+	FleetServerB fleet.ServerID = "srv-b"
+)
+
+// FleetStormIndex is the storm tenant's index in FleetTenants' population
+// (and its chain index on both runtimes, since every server pre-provisions
+// every tenant's chain in the same order).
+const FleetStormIndex = 2
+
+// FleetTenants returns the fleet population in canonical order: A's
+// NIC-heavy Logger background, A's CPU-heavy Firewall background, the
+// storm tenant (Logger on the NIC feeding a Firewall on the CPU — demand
+// on both devices, so its ramp is what makes the hot spot terminal), and
+// B's calm Monitor background. Each call builds fresh chains: the two
+// runtimes must not share chain objects.
+func FleetTenants(p Params) ([]Tenant, error) {
+	busyNIC, err := chain.New("bg-nic-a",
+		chain.Element{Name: "fna0", Type: device.TypeLogger, Loc: device.KindSmartNIC},
+	)
+	if err != nil {
+		return nil, err
+	}
+	busyCPU, err := chain.New("bg-cpu-a",
+		chain.Element{Name: "fca0", Type: device.TypeFirewall, Loc: device.KindCPU},
+	)
+	if err != nil {
+		return nil, err
+	}
+	storm, err := chain.New("storm",
+		chain.Element{Name: "fsl0", Type: device.TypeLogger, Loc: device.KindSmartNIC},
+		chain.Element{Name: "fsf0", Type: device.TypeFirewall, Loc: device.KindCPU},
+	)
+	if err != nil {
+		return nil, err
+	}
+	calmNIC, err := chain.New("bg-nic-b",
+		chain.Element{Name: "fnb0", Type: device.TypeMonitor, Loc: device.KindSmartNIC},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return []Tenant{
+		{Chain: busyNIC, FrameSize: MultiFrameSize,
+			Phases: []traffic.Phase{{RateGbps: FleetBusyNICGbps, Duration: FleetTotal}}},
+		{Chain: busyCPU, FrameSize: MultiFrameSize,
+			Phases: []traffic.Phase{{RateGbps: FleetBusyCPUGbps, Duration: FleetTotal}}},
+		{Chain: storm, FrameSize: 512, Phases: []traffic.Phase{
+			{RateGbps: FleetStormCalmGbps, Duration: FleetStormOnset},
+			{RateGbps: FleetStormGbps, Duration: FleetTotal - FleetStormOnset},
+		}},
+		{Chain: calmNIC, FrameSize: MultiFrameSize,
+			Phases: []traffic.Phase{{RateGbps: FleetCalmNICGbps, Duration: FleetTotal}}},
+	}, nil
+}
+
+// tenantWeight estimates a tenant's placement weight as its peak summed
+// demand utilization (Σ rate/θ over its elements at their current
+// placement) — the same quantity the coordinator ranks offenders by.
+func tenantWeight(cat device.Catalog, t Tenant) float64 {
+	var rate float64
+	for _, ph := range t.Phases {
+		if ph.RateGbps > rate {
+			rate = ph.RateGbps
+		}
+	}
+	var w float64
+	for i := 0; i < t.Chain.Len(); i++ {
+		el := t.Chain.At(i)
+		if th, err := cat.Lookup(el.Type, el.Loc); err == nil && th > 0 {
+			w += rate / th.Float()
+		}
+	}
+	return w
+}
+
+// FleetScaleOutResult is one fleet run's outcome.
+type FleetScaleOutResult struct {
+	// Tenants names the population (canonical order, = chain index on both
+	// servers); Servers the fleet.
+	Tenants []string
+	Servers []fleet.ServerID
+	// Samples is the fleet-wide telemetry timeline: each server's measured
+	// window, tagged with its origin, in poll order.
+	Samples []fleet.Sample
+	// Events is each server's control-plane log.
+	Events map[fleet.ServerID][]orchestrator.Event
+	// Migrations is every cross-server migration the coordinator executed;
+	// CoordinatorLog its human-readable event trail.
+	Migrations     []fleet.Migration
+	CoordinatorLog []string
+	// Placements is the registry's final tenant→server map.
+	Placements map[fleet.ServerID][]string
+	// Escalations counts the source loop's scale-out reports.
+	Escalations int
+	// SourceCleared reports that A's detector saw the overload end after
+	// the storm left (≥1 clear and not currently fired).
+	SourceCleared bool
+	// StormPreGbps is the storm's delivered throughput on A in the last
+	// window before the handoff; StormPostGbps its mean delivered on B over
+	// the run's final windows — the recovery the migration bought.
+	StormPreGbps  float64
+	StormPostGbps float64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// RunFleetScaleOut drives the two-server fleet closed loop described in
+// the package comment above. A nil selector selects core.MultiPAM.
+func RunFleetScaleOut(p Params, lp LiveParams, sel core.MultiSelector) (*FleetScaleOutResult, error) {
+	lp = lp.withDefaults(p)
+	if sel == nil {
+		sel = core.MultiPAM{}
+	}
+	// Fresh chains per server: both runtimes pre-provision the full
+	// population so any tenant can land on either server.
+	tenantsA, err := FleetTenants(p)
+	if err != nil {
+		return nil, err
+	}
+	tenantsB, err := FleetTenants(p)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(tenantsA))
+	for i, t := range tenantsA {
+		names[i] = t.Chain.Name
+	}
+
+	tr := fleet.NewChanTransport()
+	defer tr.Close()
+	type srv struct {
+		id   fleet.ServerID
+		rt   *emul.Runtime
+		live *orchestrator.Live
+	}
+	servers := make([]*srv, 0, 2)
+	for _, sc := range []struct {
+		id      fleet.ServerID
+		tenants []Tenant
+	}{{FleetServerA, tenantsA}, {FleetServerB, tenantsB}} {
+		rt, err := LiveMultiRuntime(p, lp, sc.tenants)
+		if err != nil {
+			return nil, err
+		}
+		rt.Start()
+		defer rt.Close()
+		live, err := orchestrator.NewLive(rt, orchestrator.Config{
+			PollEvery:     lp.PollEvery,
+			MultiSelector: sel,
+			Detector:      lp.Detector,
+			MaxMigrations: lp.MaxMigrations,
+			Cooldown:      lp.Cooldown,
+		}, View(nil, p, 0))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fleet.NewAgent(sc.id, live, tr); err != nil {
+			return nil, err
+		}
+		servers = append(servers, &srv{id: sc.id, rt: rt, live: live})
+	}
+
+	reg, err := fleet.NewRegistry(FleetServerA, FleetServerB)
+	if err != nil {
+		return nil, err
+	}
+	// The scripted initial placement: everything but B's background on A —
+	// the skew the escalation path exists to relieve.
+	cat := device.Table1()
+	for i, t := range tenantsA {
+		reg.Assign(names[i], tenantWeight(cat, t))
+		home := FleetServerA
+		if i == len(tenantsA)-1 {
+			home = FleetServerB
+		}
+		if err := reg.Move(names[i], home); err != nil {
+			return nil, err
+		}
+	}
+	coord := fleet.NewCoordinator(reg, tr, fleet.CoordinatorConfig{})
+	coord.Start()
+
+	drives, total, err := buildTenantDrives(p, lp, tenantsA, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// The pacer: the shared paceAndPoll loop, with two differences — every
+	// send routes through the live registry (so the coordinator's flip
+	// reroutes the storm mid-run), and every poll boundary polls both
+	// servers' loops, tagging the samples fleet-wide.
+	const slack = 500 * time.Microsecond
+	byID := map[fleet.ServerID]*srv{}
+	for _, s := range servers {
+		byID[s.id] = s
+	}
+	var samples []fleet.Sample
+	start := time.Now()
+	nextPoll := lp.PollEvery
+	for {
+		now := time.Since(start)
+		if now >= nextPoll {
+			for _, s := range servers {
+				s.live.Poll()
+				if ls, ok := s.live.LastSample(); ok {
+					samples = append(samples, fleet.Sample{Server: s.id, Load: ls})
+				}
+			}
+			nextPoll += lp.PollEvery
+			continue
+		}
+		best := -1
+		for i := range drives {
+			if drives[i].ok && (best < 0 || drives[i].next.At < drives[best].next.At) {
+				best = i
+			}
+		}
+		if best < 0 && now >= total {
+			break
+		}
+		if best >= 0 && drives[best].next.At <= now+slack {
+			d := &drives[best]
+			if home, ok := reg.Lookup(names[best]); ok {
+				s := byID[home]
+				tmpl := d.synth.Frame(d.next.Flow, d.next.Size)
+				frame := s.rt.AcquireFrame(len(tmpl))
+				copy(frame, tmpl)
+				s.rt.SendChain(best, frame) // false = ingress drop, already metered
+			}
+			d.next, d.ok = d.src.Next()
+			continue
+		}
+		wake := nextPoll
+		if best >= 0 && drives[best].next.At < wake {
+			wake = drives[best].next.At
+		}
+		if best < 0 && total < wake {
+			wake = total
+		}
+		if d := wake - now; d > 0 {
+			time.Sleep(d)
+		}
+	}
+	for _, s := range servers {
+		s.rt.Drain()
+	}
+	elapsed := time.Since(start)
+
+	// Quiesce the control tier before reading its state.
+	if err := tr.Close(); err != nil {
+		return nil, err
+	}
+	coord.Wait()
+
+	res := &FleetScaleOutResult{
+		Tenants:        names,
+		Servers:        []fleet.ServerID{FleetServerA, FleetServerB},
+		Samples:        samples,
+		Events:         map[fleet.ServerID][]orchestrator.Event{},
+		Migrations:     coord.Migrations(),
+		CoordinatorLog: coord.Log(),
+		Placements:     reg.Placements(),
+		Elapsed:        elapsed,
+	}
+	for _, s := range servers {
+		res.Events[s.id] = s.live.Events()
+	}
+	for _, e := range res.Events[FleetServerA] {
+		if e.Kind == orchestrator.EventEscalated {
+			res.Escalations++
+		}
+	}
+	detA := byID[FleetServerA].live.Detector()
+	res.SourceCleared = detA.Clears() >= 1 && !detA.Fired()
+	res.StormPreGbps, res.StormPostGbps = stormRecovery(res)
+	return res, nil
+}
+
+// stormRecovery extracts the storm tenant's delivered throughput around
+// the handoff: the last window on the source before its loop recorded the
+// departure, and the mean of the destination's final windows (at most
+// recoveredWindows, the run-end boundary window dropped).
+func stormRecovery(res *FleetScaleOutResult) (pre, post float64) {
+	var migAt time.Duration = -1
+	for _, e := range res.Events[FleetServerA] {
+		if e.Kind == orchestrator.EventExternal {
+			migAt = e.At
+			break
+		}
+	}
+	var onB []float64
+	for _, s := range res.Samples {
+		if FleetStormIndex >= len(s.Load.Chains) {
+			continue
+		}
+		d := s.Load.Chains[FleetStormIndex].DeliveredGbps
+		switch s.Server {
+		case FleetServerA:
+			if migAt >= 0 && s.Load.At < migAt {
+				pre = d
+			}
+		case FleetServerB:
+			onB = append(onB, d)
+		}
+	}
+	if len(onB) > 1 {
+		onB = onB[:len(onB)-1]
+	}
+	if len(onB) > recoveredWindows {
+		onB = onB[len(onB)-recoveredWindows:]
+	}
+	for _, d := range onB {
+		post += d
+	}
+	if len(onB) > 0 {
+		post /= float64(len(onB))
+	}
+	return pre, post
+}

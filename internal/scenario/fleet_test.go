@@ -1,0 +1,152 @@
+package scenario_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/scenario"
+)
+
+// tenantSeries extracts one tenant's per-window delivered throughput on one
+// server, in poll order, alongside the window end times.
+func tenantSeries(res *scenario.FleetScaleOutResult, srv fleet.ServerID, ti int) (rates []float64, at []time.Duration) {
+	for _, s := range res.Samples {
+		if s.Server != srv || ti >= len(s.Load.Chains) {
+			continue
+		}
+		rates = append(rates, s.Load.Chains[ti].DeliveredGbps)
+		at = append(at, s.Load.At)
+	}
+	return rates, at
+}
+
+// rollingMin returns the smallest mean over any `win` consecutive samples —
+// the sustained-delivery floor (single windows are too granular: a tenant's
+// CBR bursts need not align with 25 ms sampling windows).
+func rollingMin(rates []float64, win int) float64 {
+	if len(rates) < win {
+		win = len(rates)
+	}
+	if win == 0 {
+		return 0
+	}
+	min := -1.0
+	for i := 0; i+win <= len(rates); i++ {
+		var sum float64
+		for _, r := range rates[i : i+win] {
+			sum += r
+		}
+		if m := sum / float64(win); min < 0 || m < min {
+			min = m
+		}
+	}
+	return min
+}
+
+func tailMean(rates []float64, n int) float64 {
+	if len(rates) > 1 {
+		rates = rates[:len(rates)-1] // run-end boundary window
+	}
+	if len(rates) > n {
+		rates = rates[len(rates)-n:]
+	}
+	var sum float64
+	for _, r := range rates {
+		sum += r
+	}
+	if len(rates) == 0 {
+		return 0
+	}
+	return sum / float64(len(rates))
+}
+
+// TestFleetScaleOut is the fleet tier's -race e2e: server A's storm ramp
+// overloads both devices at once (the scale-out terminal case), the local
+// loop escalates instead of dead-ending, the coordinator migrates the storm
+// to the calm server B over the transport, A's detector clears, the storm's
+// delivered throughput recovers on B, and the co-resident backgrounds on
+// both servers keep flowing throughout.
+func TestFleetScaleOut(t *testing.T) {
+	p := scenario.DefaultParams()
+	res, err := scenario.RunFleetScaleOut(p, scenario.LiveParams{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag := func() string {
+		out := "\ncoordinator log:\n"
+		for _, l := range res.CoordinatorLog {
+			out += "  " + l + "\n"
+		}
+		out += "server A events:\n"
+		for _, e := range res.Events[scenario.FleetServerA] {
+			out += "  " + e.Format(time.Millisecond) + "\n"
+		}
+		return out
+	}
+
+	// The terminal case was reported upward, not swallowed.
+	if res.Escalations == 0 {
+		t.Fatalf("server A never escalated%s", diag())
+	}
+	// The coordinator migrated the storm A -> B through the transport.
+	if len(res.Migrations) != 1 {
+		t.Fatalf("migrations = %v, want exactly one%s", res.Migrations, diag())
+	}
+	m := res.Migrations[0]
+	if m.Tenant != "storm" || m.From != scenario.FleetServerA || m.To != scenario.FleetServerB {
+		t.Errorf("migration %v, want storm srv-a -> srv-b", m)
+	}
+	if m.StateBytes == 0 {
+		t.Error("no NF state shipped with the storm chain")
+	}
+	if home, ok := res.Placements[scenario.FleetServerB]; !ok || len(home) != 2 {
+		t.Errorf("final placements %v, want storm joined bg-nic-b on srv-b", res.Placements)
+	}
+	// The source detector saw the overload end.
+	if !res.SourceCleared {
+		t.Errorf("server A's detector never cleared%s", diag())
+	}
+	// The storm's delivered throughput recovered on B: during A's collapse
+	// both devices were saturated, so its pre-handoff delivery was capped
+	// well below offered; on B the chain is feasible again.
+	if res.StormPostGbps < 0.75*scenario.FleetStormGbps {
+		t.Errorf("storm delivered %.3f Gbps on srv-b, want >= 75%% of the %.1f offered%s",
+			res.StormPostGbps, float64(scenario.FleetStormGbps), diag())
+	}
+	if res.StormPostGbps <= res.StormPreGbps {
+		t.Errorf("storm did not recover: pre %.3f -> post %.3f Gbps%s",
+			res.StormPreGbps, res.StormPostGbps, diag())
+	}
+
+	// Co-resident backgrounds on both servers keep flowing. B's background
+	// shares its NIC with the arriving storm yet stays feasible; A's
+	// backgrounds are squeezed during the collapse but never starve, and
+	// recover to near baseline once the storm leaves.
+	for _, tc := range []struct {
+		name     string
+		srv      fleet.ServerID
+		ti       int
+		offered  float64
+		floor    float64 // sustained rolling-mean floor over the whole run
+		recovery float64 // tail mean as a fraction of offered
+	}{
+		{"bg-nic-b", scenario.FleetServerB, 3, scenario.FleetCalmNICGbps, 0.10, 0.70},
+		{"bg-nic-a", scenario.FleetServerA, 0, scenario.FleetBusyNICGbps, 0.05, 0.70},
+		{"bg-cpu-a", scenario.FleetServerA, 1, scenario.FleetBusyCPUGbps, 0.05, 0.70},
+	} {
+		rates, _ := tenantSeries(res, tc.srv, tc.ti)
+		if len(rates) < 8 {
+			t.Fatalf("%s: only %d windows sampled", tc.name, len(rates))
+		}
+		interior := rates[1 : len(rates)-1] // boundary windows are partial
+		if m := rollingMin(interior, 4); m < tc.floor {
+			t.Errorf("%s sustained delivery dropped to %.3f Gbps, floor %.2f%s",
+				tc.name, m, tc.floor, diag())
+		}
+		if tm := tailMean(rates, 8); tm < tc.recovery*tc.offered {
+			t.Errorf("%s tail mean %.3f Gbps, want >= %.0f%% of %.2f offered%s",
+				tc.name, tm, 100*tc.recovery, tc.offered, diag())
+		}
+	}
+}

@@ -12,7 +12,6 @@ package scenario
 // so they all exercise an identical configuration (see DESIGN.md §4).
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/chain"
@@ -202,19 +201,13 @@ func RunLiveHotspot(p Params, lp LiveParams, sel core.Selector) (*LiveHotspotRes
 		return nil, err
 	}
 
-	// The wall-clock schedule is the catalog-unit schedule slowed by Scale.
-	scaled := make([]traffic.Phase, len(lp.Phases))
-	var total time.Duration
-	for i, ph := range lp.Phases {
-		scaled[i] = traffic.Phase{RateGbps: ph.RateGbps / lp.Scale, Duration: ph.Duration}
-		total += ph.Duration
-	}
-	src, err := traffic.NewRamp(scaled, traffic.FixedSize(lp.FrameSize), traffic.ProcessCBR, uint64(lp.Flows), p.Seed)
+	// The single Figure-1 tenant, compiled by the shared drive builder (so
+	// the hotspot run paces exactly like the multi-tenant ones).
+	single := []Tenant{{Chain: Figure1Chain(), Phases: lp.Phases, FrameSize: lp.FrameSize, Flows: lp.Flows}}
+	drives, total, err := buildTenantDrives(p, lp, single, nil)
 	if err != nil {
-		return nil, fmt.Errorf("scenario: live ramp: %w", err)
+		return nil, err
 	}
-
-	drives := []tenantDrive{newDrive(src, traffic.NewSynth(lp.Flows, p.Seed))}
 	elapsed := paceAndPoll(rt, live, lp.PollEvery, drives, total)
 
 	res := &LiveHotspotResult{

@@ -199,6 +199,58 @@ func newDrive(src traffic.Source, synth *traffic.Synth) tenantDrive {
 	return d
 }
 
+// buildTenantDrives compiles every tenant's catalog-rate phase schedule
+// into a primed wall-clock drive — the calm→ramp→poll boilerplate shared
+// by every RunLive* runner: frame size and flow count defaulted from the
+// live params, rates divided by Scale, seeds derived per tenant, and the
+// returned total spanning the longest schedule. The optional override
+// supplies a tenant's source directly (returning nil to fall through to
+// the phase schedule); the stability runner uses it to swap the hover
+// tenant's stochastic shape in while the backgrounds keep the standard
+// ramp path.
+func buildTenantDrives(p Params, lp LiveParams, tenants []Tenant,
+	override func(i int, t Tenant, flows int) (traffic.Source, error)) ([]tenantDrive, time.Duration, error) {
+	drives := make([]tenantDrive, len(tenants))
+	var total time.Duration
+	for i, t := range tenants {
+		size, flows := t.FrameSize, t.Flows
+		if size <= 0 {
+			size = lp.FrameSize
+		}
+		if flows <= 0 {
+			flows = lp.Flows
+		}
+		var dur time.Duration
+		for _, ph := range t.Phases {
+			dur += ph.Duration
+		}
+		if dur > total {
+			total = dur
+		}
+		seed := p.Seed + int64(i)
+		var src traffic.Source
+		var err error
+		if override != nil {
+			src, err = override(i, t, flows)
+			if err != nil {
+				return nil, 0, fmt.Errorf("scenario: tenant %q: %w", t.Chain.Name, err)
+			}
+		}
+		if src == nil {
+			scaled := make([]traffic.Phase, len(t.Phases))
+			for j, ph := range t.Phases {
+				scaled[j] = traffic.Phase{RateGbps: ph.RateGbps / lp.Scale, Duration: ph.Duration}
+			}
+			src, err = traffic.NewRamp(scaled, traffic.FixedSize(size), traffic.ProcessCBR, uint64(flows), seed)
+			if err != nil {
+				return nil, 0, fmt.Errorf("scenario: tenant %q ramp: %w", t.Chain.Name, err)
+			}
+		}
+		drives[i] = newDrive(src, traffic.NewSynth(flows, seed))
+	}
+	return drives, total, nil
+}
+
 // paceAndPoll is the wall-clock driver shared by RunLiveHotspot and
 // RunLiveMultiTenant: it paces each drive's arrival schedule into its chain
 // index on the shared runtime while polling the live control plane every
@@ -291,34 +343,13 @@ func runTenantLoop(p Params, lp LiveParams, tenants []Tenant, sel core.MultiSele
 		return nil, err
 	}
 
-	// Each tenant's wall-clock schedule is its catalog-unit schedule slowed
-	// by Scale.
-	drives := make([]tenantDrive, len(tenants))
-	var total time.Duration
+	drives, total, err := buildTenantDrives(p, lp, tenants, nil)
+	if err != nil {
+		return nil, err
+	}
 	names := make([]string, len(tenants))
 	for i, t := range tenants {
 		names[i] = t.Chain.Name
-		size, flows := t.FrameSize, t.Flows
-		if size <= 0 {
-			size = lp.FrameSize
-		}
-		if flows <= 0 {
-			flows = lp.Flows
-		}
-		scaled := make([]traffic.Phase, len(t.Phases))
-		var dur time.Duration
-		for j, ph := range t.Phases {
-			scaled[j] = traffic.Phase{RateGbps: ph.RateGbps / lp.Scale, Duration: ph.Duration}
-			dur += ph.Duration
-		}
-		if dur > total {
-			total = dur
-		}
-		src, err := traffic.NewRamp(scaled, traffic.FixedSize(size), traffic.ProcessCBR, uint64(flows), p.Seed+int64(i))
-		if err != nil {
-			return nil, fmt.Errorf("scenario: tenant %q ramp: %w", t.Chain.Name, err)
-		}
-		drives[i] = newDrive(src, traffic.NewSynth(flows, p.Seed+int64(i)))
 	}
 
 	elapsed := paceAndPoll(rt, live, lp.PollEvery, drives, total)

@@ -16,7 +16,6 @@ package scenario
 // bounces the element A→B→A: the band is demonstrably what buys stability.
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/chain"
@@ -268,28 +267,22 @@ func RunLiveStability(p Params, lp LiveParams, cfg StabilityConfig, sel core.Mul
 		return nil, err
 	}
 
-	drives := make([]tenantDrive, len(tenants))
+	// The shared builder handles the backgrounds' phase schedules; the hover
+	// tenant (last, by StabilityTenants convention) overrides with its
+	// stochastic (or ramp-baseline) shape.
+	drives, _, err := buildTenantDrives(p, lp, tenants,
+		func(i int, t Tenant, flows int) (traffic.Source, error) {
+			if i != len(tenants)-1 {
+				return nil, nil
+			}
+			return hoverSource(cfg, lp.Scale, flows, p.Seed+int64(i))
+		})
+	if err != nil {
+		return nil, err
+	}
 	names := make([]string, len(tenants))
 	for i, t := range tenants {
 		names[i] = t.Chain.Name
-		flows := t.Flows
-		if flows <= 0 {
-			flows = lp.Flows
-		}
-		var src traffic.Source
-		if i == len(tenants)-1 {
-			src, err = hoverSource(cfg, lp.Scale, flows, p.Seed+int64(i))
-		} else {
-			scaled := make([]traffic.Phase, len(t.Phases))
-			for j, ph := range t.Phases {
-				scaled[j] = traffic.Phase{RateGbps: ph.RateGbps / lp.Scale, Duration: ph.Duration}
-			}
-			src, err = traffic.NewRamp(scaled, traffic.FixedSize(t.FrameSize), traffic.ProcessCBR, uint64(flows), p.Seed+int64(i))
-		}
-		if err != nil {
-			return nil, fmt.Errorf("scenario: stability tenant %q: %w", t.Chain.Name, err)
-		}
-		drives[i] = newDrive(src, traffic.NewSynth(flows, p.Seed+int64(i)))
 	}
 
 	elapsed := paceAndPoll(rt, live, lp.PollEvery, drives, cfg.Total)

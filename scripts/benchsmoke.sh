@@ -32,4 +32,9 @@ go test -run xxx -bench='^BenchmarkDataplane$|MultiChainSelect|SharedDeviceConte
 	-benchtime=10x -count=3 -benchmem . | tee "$tmp"
 go test -run xxx -bench='MultiTenantDataplane' -benchtime=50000x -count=3 -benchmem . | tee -a "$tmp"
 go test -run xxx -bench='GateContention' -benchtime=2000000x -count=3 -benchmem ./internal/emul/ | tee -a "$tmp"
+# The fleet-tier planning cost: a full rebalance of a skewed 64-tenant,
+# 4-server registry. Pure coordinator-side arithmetic (no dataplane), so a
+# fixed 1000 iterations measures steady-state planning rate without
+# wall-clock noise.
+go test -run xxx -bench='FleetRebalance' -benchtime=1000x -count=3 -benchmem ./internal/fleet/ | tee -a "$tmp"
 go run ./cmd/benchjson -o "$out" < "$tmp"
